@@ -1,0 +1,150 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. Burst-detector pluggability: STComb with the Lappas (default) vs the
+   Kleinberg detector on the same synthetic data.
+2. Region identity in STLocal: stream-set keying (default) vs geometry
+   keying.
+3. Expected-frequency baselines: running mean (default) vs moving
+   average vs EWMA on STLocal's retrieval quality.
+4. distGen locality reading: exponential decay (ours) vs the literal
+   "proportional to distance" sampler.
+"""
+
+import pytest
+
+from repro.core import STComb, STLocal, STLocalConfig
+from repro.datagen import GeneratorSettings, generate_dataset
+from repro.eval import jaccard_similarity
+from repro.temporal import (
+    EWMABaseline,
+    KleinbergBurstDetector,
+    MovingAverageBaseline,
+    RunningMeanBaseline,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_dataset(
+        GeneratorSettings(
+            mode="dist", timeline=120, n_streams=40, n_terms=300,
+            n_patterns=40, seed=21,
+        )
+    )
+
+
+def _avg_jaccard_stcomb(data, detector=None):
+    miner = STComb(detector=detector) if detector else STComb()
+    scores = []
+    for pattern in data.patterns:
+        found = miner.top_pattern(data, pattern.term)
+        scores.append(
+            0.0 if found is None else jaccard_similarity(found.streams, pattern.streams)
+        )
+    return sum(scores) / len(scores)
+
+
+def _avg_jaccard_stlocal(data, config):
+    miner = STLocal(config)
+    scores = []
+    for pattern in data.patterns:
+        found = miner.top_pattern(data, pattern.term, locations=data.locations)
+        if found is None:
+            scores.append(0.0)
+            continue
+        members = found.bursty_streams or found.streams
+        scores.append(jaccard_similarity(members, pattern.streams))
+    return sum(scores) / len(scores)
+
+
+def test_ablation_detectors(benchmark, data):
+    """Lappas vs Kleinberg as STComb's temporal substrate."""
+
+    def run():
+        return (
+            _avg_jaccard_stcomb(data),
+            _avg_jaccard_stcomb(
+                data, KleinbergBurstDetector(scaling=2.5, gamma=0.5)
+            ),
+        )
+
+    lappas, kleinberg = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nSTComb JaccardSim — Lappas: {lappas:.3f}  Kleinberg: {kleinberg:.3f}")
+    # Both detectors recover the injected patterns to a useful degree.
+    assert lappas > 0.3
+    assert kleinberg > 0.15
+
+
+def test_ablation_region_key(benchmark, data):
+    """Stream-set vs geometry keying of tracked regions."""
+
+    def run():
+        return (
+            _avg_jaccard_stlocal(data, STLocalConfig(key_by_geometry=False)),
+            _avg_jaccard_stlocal(data, STLocalConfig(key_by_geometry=True)),
+        )
+
+    by_streams, by_geometry = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nSTLocal JaccardSim — stream-set key: {by_streams:.3f}  "
+        f"geometry key: {by_geometry:.3f}"
+    )
+    assert by_streams > 0.3
+    assert by_geometry > 0.2
+
+
+def test_ablation_baselines(benchmark, data):
+    """Expected-frequency model families (Section 4's options)."""
+
+    def run():
+        results = {}
+        for name, factory in (
+            ("running-mean", RunningMeanBaseline),
+            ("moving-average", lambda: MovingAverageBaseline(window=8)),
+            ("ewma", lambda: EWMABaseline(alpha=0.3)),
+        ):
+            results[name] = _avg_jaccard_stlocal(
+                data, STLocalConfig(baseline_factory=factory)
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nSTLocal JaccardSim by baseline:")
+    for name, value in results.items():
+        print(f"  {name:>14}: {value:.3f}")
+    for value in results.values():
+        assert value > 0.2
+
+
+def test_ablation_distgen_literal(benchmark):
+    """Locality reading of the distGen appendix sentence."""
+
+    def spread(mode):
+        dataset = generate_dataset(
+            GeneratorSettings(
+                mode=mode, timeline=60, n_streams=40, n_terms=100,
+                n_patterns=25, seed=5,
+            )
+        )
+        totals = []
+        for pattern in dataset.patterns:
+            pts = [dataset.locations[sid] for sid in pattern.streams]
+            pair_total, pairs = 0.0, 0
+            for i, a in enumerate(pts):
+                for b in pts[i + 1 :]:
+                    pair_total += a.distance_to(b)
+                    pairs += 1
+            if pairs:
+                totals.append(pair_total / pairs)
+        return sum(totals) / len(totals)
+
+    def run():
+        return spread("dist"), spread("dist-literal")
+
+    decay, literal = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nmean pairwise member distance — exp-decay: {decay:.1f}  "
+        f"literal proportional-to-distance: {literal:.1f}"
+    )
+    # The literal reading destroys spatial locality.
+    assert decay < literal

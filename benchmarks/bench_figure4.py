@@ -1,0 +1,27 @@
+"""Figure 4 — Timeframe length of the top pattern per query.
+
+Shape checks: timeframes are bounded by the 48-week timeline, STLocal
+windows track the injected events' spans, and (as the paper observes)
+STLocal's timeframes run at least as long as STComb's on average —
+events "remain in the local spotlight even after the event has faded in
+locations further from the source".
+"""
+
+from conftest import report
+
+from repro.eval import exp_figure4
+
+
+def test_figure4(benchmark, lab):
+    result = benchmark.pedantic(exp_figure4, args=(lab,), rounds=1, iterations=1)
+    report("figure4", result.render())
+
+    for _, _, local_len, comb_len in result.rows:
+        assert 0 <= local_len <= lab.collection.timeline
+        assert 0 <= comb_len <= lab.collection.timeline
+
+    avg_local = sum(row[2] for row in result.rows) / len(result.rows)
+    avg_comb = sum(row[3] for row in result.rows) / len(result.rows)
+    assert avg_local >= avg_comb
+    # At least the long-running tier-1 stories span multi-week windows.
+    assert max(row[2] for row in result.rows) >= 5

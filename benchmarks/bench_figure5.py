@@ -1,0 +1,22 @@
+"""Figure 5 — Distribution of bursty rectangles per term per timestamp.
+
+The paper reports that for 92 % of terms the average number of bursty
+rectangles per snapshot lies in [0, 1) — far below the worst-case n.
+Shape check: a clear majority of sampled terms land in the first
+bucket.
+"""
+
+from conftest import report
+
+from repro.eval import exp_figure5
+
+
+def test_figure5(benchmark, lab):
+    result = benchmark.pedantic(
+        exp_figure5, args=(lab,), kwargs={"sample": 60}, rounds=1, iterations=1
+    )
+    report("figure5", result.render())
+
+    assert result.fraction_below_one() >= 0.5
+    total = sum(fraction for _, fraction in result.buckets)
+    assert abs(total - 1.0) < 1e-9

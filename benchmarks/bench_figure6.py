@@ -1,0 +1,24 @@
+"""Figure 6 — Open spatiotemporal windows per term vs the n·i bound.
+
+The paper's measured count peaks around 10 open windows per term while
+the worst-case bound grows as 181·i.  Shape checks: the measured curve
+stays orders of magnitude below the bound and within the same small
+regime the paper reports.
+"""
+
+from conftest import report
+
+from repro.eval import exp_figure6
+
+
+def test_figure6(benchmark, lab):
+    result = benchmark.pedantic(
+        exp_figure6, args=(lab,), kwargs={"sample": 60}, rounds=1, iterations=1
+    )
+    report("figure6", result.render())
+
+    # Orders of magnitude below the worst case at the end of the stream.
+    assert result.open_windows[-1] < result.upper_bound[-1] / 50
+    # The per-term average stays in the paper's small regime.
+    assert result.peak() < 50
+    assert len(result.open_windows) == lab.collection.timeline

@@ -1,0 +1,30 @@
+"""Figure 8 — Scalability against the number of streams.
+
+distGen sweep (paper: 500…128,000 streams; default here: 100…3,200 —
+``REPRO_FULL=1`` extends the sweep).  Shape checks: both algorithms
+scale sub-quadratically (near-linear) in the stream count.
+"""
+
+from conftest import is_full_run, report
+
+from repro.eval import exp_figure8
+
+
+def run_figure8():
+    if is_full_run():
+        counts = (500, 1000, 2000, 4000, 8000, 16000)
+    else:
+        counts = (100, 200, 400, 800, 1600, 3200)
+    return exp_figure8(stream_counts=counts)
+
+
+def test_figure8(benchmark):
+    result = benchmark.pedantic(run_figure8, rounds=1, iterations=1)
+    report("figure8", result.render())
+
+    n_lo, n_hi = result.stream_counts[0], result.stream_counts[-1]
+    growth = n_hi / n_lo
+    for series in (result.stcomb_s, result.stlocal_s):
+        assert all(value >= 0.0 for value in series)
+        # Sub-quadratic scaling: time grows slower than growth².
+        assert series[-1] < max(series[0], 1e-4) * growth**2

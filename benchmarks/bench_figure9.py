@@ -1,0 +1,26 @@
+"""Figure 9 — Weibull pdf event-shape curves.
+
+Regenerates the pdf series for the (k, c) settings of the appendix.
+Shape checks: k=1 is monotone decreasing (sharp-onset events), k>1
+curves rise to an interior peak (slow build-ups).
+"""
+
+from conftest import report
+
+from repro.eval import exp_figure9
+
+
+def test_figure9(benchmark):
+    result = benchmark.pedantic(exp_figure9, rounds=1, iterations=1)
+    report("figure9", result.render())
+
+    curves = dict(result.curves)
+    exponential_like = curves["k=1.0,c=1.0"]
+    assert all(a >= b for a, b in zip(exponential_like, exponential_like[1:]))
+
+    humped = curves["k=5.0,c=3.0"]
+    peak = humped.index(max(humped))
+    assert 0 < peak < len(humped) - 1
+
+    for _, values in result.curves:
+        assert all(v >= 0.0 for v in values)

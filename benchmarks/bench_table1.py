@@ -1,0 +1,41 @@
+"""Table 1 — Top-Scoring Bursty Source Patterns.
+
+Regenerates the paper's Table 1: for each of the 18 Major-Events
+queries, the number of countries in the top STLocal pattern, the top
+STComb pattern, and the MBR of the STComb pattern's locations.
+
+Shape checks (the paper's qualitative claims):
+* tier-1 events cover far more countries than tier-3 events, for both
+  algorithms;
+* the MBR column dwarfs the STComb membership for localized events —
+  STComb's members are geographically scattered.
+"""
+
+from conftest import report
+
+from repro.eval import exp_table1
+
+
+def _tier_average(rows, ids, column):
+    values = [row[column] for row in rows if row[0] in ids]
+    return sum(values) / len(values)
+
+
+def test_table1(benchmark, lab):
+    result = benchmark.pedantic(exp_table1, args=(lab,), rounds=1, iterations=1)
+    report("table1", result.render())
+
+    tier1 = {1, 2, 3, 4, 5, 6}
+    tier3 = {13, 14, 15, 16, 17, 18}
+    # STLocal: global events >> localized events.
+    assert _tier_average(result.rows, tier1, 2) > 3 * _tier_average(
+        result.rows, tier3, 2
+    )
+    # STComb: same gradient.
+    assert _tier_average(result.rows, tier1, 3) > 3 * _tier_average(
+        result.rows, tier3, 3
+    )
+    # MBR >> STComb membership on tier-3 (scattered members).
+    assert _tier_average(result.rows, tier3, 4) > 2 * _tier_average(
+        result.rows, tier3, 3
+    )

@@ -1,0 +1,32 @@
+"""Table 3 — Precision in top-10 documents.
+
+Regenerates the retrieval-precision table for the TB, STLocal and
+STComb engines plus the pairwise top-k overlaps of Section 6.3.
+
+Shape checks: all engines achieve high precision on tier-1 queries,
+every engine's average stays well above chance, and the three top-10
+sets differ enough to be complementary (overlap < 1).
+"""
+
+from conftest import report
+
+from repro.eval import exp_table3
+
+
+def test_table3(benchmark, lab):
+    result = benchmark.pedantic(exp_table3, args=(lab,), rounds=1, iterations=1)
+    report("table3", result.render())
+
+    avg_tb, avg_local, avg_comb = result.averages()
+    assert avg_tb >= 0.5
+    assert avg_local >= 0.5
+    assert avg_comb >= 0.5
+
+    # Tier-1 rows (global events drown out the tangential decoys).
+    tier1 = [row for row in result.rows if row[0] in (1, 2, 5)]
+    for row in tier1:
+        assert min(row[2], row[3], row[4]) >= 0.7, row
+
+    # The engines are complementary: top-10 sets are not identical.
+    for value in result.overlaps.values():
+        assert 0.0 < value < 1.0

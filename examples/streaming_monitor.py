@@ -1,0 +1,77 @@
+"""Streaming usage of STLocal: a live spatiotemporal burst monitor.
+
+STLocal is an *online* algorithm (Algorithm 2): it consumes one
+snapshot per timestamp and maintains the set of maximal spatiotemporal
+windows incrementally.  This example feeds a tracker day by day,
+printing alerts the moment a region turns bursty and a summary of the
+maximal windows at the end — the workflow of the paper's trend-
+identification application.
+
+Run with:  python examples/streaming_monitor.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import STLocalConfig
+from repro.core.stlocal import STLocalTermTracker
+from repro.spatial import Point
+
+
+def main() -> None:
+    rng = random.Random(3)
+
+    # A 6x6 grid of sensor-city streams.
+    locations = {
+        f"city-{col}{row}": Point(col * 10.0, row * 10.0)
+        for col in range(6)
+        for row in range(6)
+    }
+    tracker = STLocalTermTracker(locations, STLocalConfig(warmup=3))
+
+    # Simulated term frequencies: light background chatter everywhere,
+    # an outbreak in the north-west block on days 20-28, and an echo in
+    # the south-east corner on days 24-26.
+    def snapshot(day: int) -> dict:
+        freq = {}
+        for sid in locations:
+            if rng.random() < 0.25:
+                freq[sid] = float(rng.randint(1, 2))
+        if 20 <= day <= 28:
+            for sid in ("city-00", "city-10", "city-01", "city-11"):
+                freq[sid] = freq.get(sid, 0.0) + rng.randint(6, 10)
+        if 24 <= day <= 26:
+            for sid in ("city-55", "city-45"):
+                freq[sid] = freq.get(sid, 0.0) + rng.randint(4, 7)
+        return freq
+
+    print("streaming 40 daily snapshots...\n")
+    for day in range(40):
+        rectangles = tracker.process(snapshot(day))
+        if rectangles:
+            print(
+                f"day {day:>2}: {rectangles} bursty rectangle(s), "
+                f"{tracker.open_sequences} open region sequence(s)"
+            )
+
+    print("\nmaximal spatiotemporal windows found:")
+    windows = sorted(tracker.windows(), key=lambda w: -w[3])[:5]
+    for region, streams, timeframe, score in windows:
+        bursty = tracker.bursty_members(streams, timeframe)
+        print(
+            f"  {region}  days {timeframe}  w-score {score:7.2f}  "
+            f"{len(bursty or streams)} bursty stream(s)"
+        )
+
+    peak_open = max(tracker.open_history)
+    worst_case = len(locations) * tracker.clock
+    print(
+        f"\nbookkeeping: open sequences peaked at {peak_open}, versus a "
+        f"worst-case bound of {worst_case} (n new windows per day — "
+        "the gap Figure 6 demonstrates)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Pattern retrieval on artificial data: the Table-2 workflow.
+
+Generates distGen and randGen datasets with injected ground-truth
+patterns (Appendix B), retrieves them with STLocal, STComb and the
+Base baseline, and reports JaccardSim / Start-Error / End-Error —
+a miniature of the paper's Table 2.
+
+Run with:  python examples/synthetic_retrieval.py
+"""
+
+from __future__ import annotations
+
+from repro.core import BaseDetector, STComb, STLocal
+from repro.datagen import GeneratorSettings, generate_dataset
+from repro.eval import end_error, jaccard_similarity, start_error
+
+
+def evaluate(mode: str) -> None:
+    settings = GeneratorSettings(
+        mode=mode,
+        timeline=180,
+        n_streams=40,
+        n_terms=400,
+        n_patterns=30,
+        seed=13,
+    )
+    data = generate_dataset(settings)
+    stlocal, stcomb, base = STLocal(), STComb(), BaseDetector()
+
+    def stlocal_answer(term):
+        pattern = stlocal.top_pattern(data, term, locations=data.locations)
+        if pattern is None:
+            return None
+        return (pattern.bursty_streams or pattern.streams), pattern.timeframe
+
+    def stcomb_answer(term):
+        pattern = stcomb.top_pattern(data, term)
+        return None if pattern is None else (pattern.streams, pattern.timeframe)
+
+    def base_answer(term):
+        pattern = base.top_pattern(data, term)
+        return None if pattern is None else (pattern.streams, pattern.timeframe)
+
+    print(f"--- {mode}Gen ({settings.n_patterns} injected patterns) ---")
+    print(f"{'method':<10} {'JaccardSim':>10} {'Start-Err':>10} {'End-Err':>10}")
+    for name, answer in (
+        ("STLocal", stlocal_answer),
+        ("STComb", stcomb_answer),
+        ("Base", base_answer),
+    ):
+        jaccards, starts, ends = [], [], []
+        for pattern in data.patterns:
+            found = answer(pattern.term)
+            if found is None:
+                jaccards.append(0.0)
+                starts.append(float(settings.timeline))
+                ends.append(float(settings.timeline))
+                continue
+            streams, timeframe = found
+            jaccards.append(jaccard_similarity(streams, pattern.streams))
+            starts.append(start_error(timeframe, pattern.timeframe))
+            ends.append(end_error(timeframe, pattern.timeframe))
+        n = len(data.patterns)
+        print(
+            f"{name:<10} {sum(jaccards) / n:>10.2f} "
+            f"{sum(starts) / n:>10.1f} {sum(ends) / n:>10.1f}"
+        )
+    print()
+
+
+def main() -> None:
+    evaluate("dist")
+    evaluate("rand")
+    print(
+        "distGen patterns are spatially local (streams near a seed), so the\n"
+        "region-aware STLocal shines there; randGen scatters streams\n"
+        "arbitrarily, which suits the geography-blind STComb."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Topix-style corpus walkthrough: the paper's Table-1 workflow.
+
+Generates the 181-country, 48-week synthetic news corpus with the 18
+Major Events of Table 9 injected, mines the top combinatorial and
+regional pattern for a few representative queries, and compares their
+spatial footprints — the global-vs-local contrast of Section 6.2.
+
+Run with:  python examples/topix_events.py          (a few minutes)
+           python examples/topix_events.py --small  (scaled, faster)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import STComb, STCombConfig, STLocal
+from repro.datagen import CorpusSettings, generate_topix_corpus
+from repro.spatial import mbr
+from repro.streams import FrequencyTensor, tokenize
+
+
+REPRESENTATIVE_QUERIES = [
+    "Obama",        # tier 1 — global impact
+    "swine",        # tier 1 — pandemic
+    "gaza",         # tier 2 — regional conflict
+    "piracy",       # tier 2 — Somali coast
+    "Tsvangirai",   # tier 3 — local politics
+    "Zelaya",       # tier 3 — local politics
+]
+
+
+def main() -> None:
+    small = "--small" in sys.argv
+    settings = CorpusSettings(background_rate=1.0 if small else 3.0)
+    print("generating Topix-style corpus "
+          f"({settings.n_countries} countries, {settings.timeline} weeks)...")
+    corpus = generate_topix_corpus(settings)
+    collection = corpus.collection
+    print(f"  {collection.document_count} documents generated\n")
+
+    tensor = FrequencyTensor(collection)
+    locations = collection.locations()
+    stcomb = STComb(config=STCombConfig(min_interval_score=0.2))
+    stlocal = STLocal()
+
+    header = f"{'query':<14} {'STLocal':>8} {'STComb':>8} {'MBR':>6}  timeframes"
+    print(header)
+    print("-" * len(header))
+    for query in REPRESENTATIVE_QUERIES:
+        term = tokenize(query)[0]
+        comb = stcomb.top_pattern(tensor, term)
+        local = stlocal.top_pattern(tensor, term, locations=locations)
+
+        local_members = local.bursty_streams or local.streams
+        box = mbr([locations[sid] for sid in comb.streams])
+        in_mbr = sum(
+            1 for point in locations.values() if box.contains_point(point)
+        )
+        print(
+            f"{query:<14} {len(local_members):>8} {len(comb.streams):>8} "
+            f"{in_mbr:>6}  STLocal {local.timeframe}, STComb {comb.timeframe}"
+        )
+
+    print(
+        "\nReading the table: tier-1 queries light up most of the world "
+        "under both\nminers; tier-3 queries stay local under STLocal while "
+        "STComb's members\nscatter (their MBR covers much of the map) — "
+        "the contrast of Table 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Usage::
+
+    python -m repro.cli table1            # Table 1 on the default corpus
+    python -m repro.cli table2 --patterns 60
+    python -m repro.cli figure8 --streams 100 200 400
+    python -m repro.cli all --background-rate 2.0
+
+Every subcommand prints the same rows/series the paper's table or
+figure reports (see EXPERIMENTS.md for the comparison).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional
+
+from repro.datagen.corpus import CorpusSettings
+from repro.eval.experiments import (
+    TopixLab,
+    exp_figure4,
+    exp_figure5,
+    exp_figure6,
+    exp_figure7,
+    exp_figure8,
+    exp_figure9,
+    exp_table1,
+    exp_table2,
+    exp_table3,
+)
+
+__all__ = ["main"]
+
+_CORPUS_EXPERIMENTS = {
+    "table1": exp_table1,
+    "figure4": exp_figure4,
+    "table3": exp_table3,
+    "figure5": exp_figure5,
+    "figure6": exp_figure6,
+    "figure7": exp_figure7,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the evaluation of 'On the Spatiotemporal "
+        "Burstiness of Terms' (VLDB 2012).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(
+            list(_CORPUS_EXPERIMENTS) + ["table2", "figure8", "figure9", "all"]
+        ),
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--background-rate",
+        type=float,
+        default=2.0,
+        help="corpus background documents per country per week "
+        "(paper-scale: 5.0)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="corpus / generator seed"
+    )
+    parser.add_argument(
+        "--patterns",
+        type=int,
+        default=120,
+        help="injected patterns for table2 (paper: 1000)",
+    )
+    parser.add_argument(
+        "--streams",
+        type=int,
+        nargs="+",
+        default=None,
+        help="stream counts for the figure8 sweep",
+    )
+    return parser
+
+
+def _corpus_lab(args: argparse.Namespace) -> TopixLab:
+    print(
+        f"building Topix-style corpus (181 countries, 48 weeks, "
+        f"background rate {args.background_rate}, seed {args.seed})...",
+        file=sys.stderr,
+    )
+    settings = CorpusSettings(
+        background_rate=args.background_rate, seed=args.seed
+    )
+    started = time.perf_counter()
+    lab = TopixLab(settings)
+    print(
+        f"corpus ready: {lab.collection.document_count} documents "
+        f"({time.perf_counter() - started:.1f}s)",
+        file=sys.stderr,
+    )
+    return lab
+
+
+def _run_one(name: str, args: argparse.Namespace, lab: Optional[TopixLab]) -> Optional[TopixLab]:
+    """Run one experiment, creating/reusing the corpus lab as needed."""
+    if name in _CORPUS_EXPERIMENTS:
+        if lab is None:
+            lab = _corpus_lab(args)
+        result = _CORPUS_EXPERIMENTS[name](lab)
+    elif name == "table2":
+        result = exp_table2(n_patterns=args.patterns, seed=args.seed)
+    elif name == "figure8":
+        if args.streams:
+            result = exp_figure8(stream_counts=args.streams, seed=args.seed)
+        else:
+            result = exp_figure8(seed=args.seed)
+    else:  # figure9
+        result = exp_figure9()
+    print(result.render())
+    print()
+    return lab
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    names = (
+        ["table1", "figure4", "table2", "table3", "figure5", "figure6",
+         "figure7", "figure8", "figure9"]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    lab: Optional[TopixLab] = None
+    for name in names:
+        started = time.perf_counter()
+        lab = _run_one(name, args, lab)
+        print(
+            f"[{name} finished in {time.perf_counter() - started:.1f}s]",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

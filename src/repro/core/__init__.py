@@ -1,0 +1,36 @@
+"""The paper's core contribution: spatiotemporal pattern mining.
+
+STComb (combinatorial patterns, Section 3), STLocal (regional patterns
+/ maximal windows, Section 4), R-Bursty (Algorithm 1), and the Base
+baseline of the evaluation (Section 6.2.2).
+"""
+
+from repro.core.patterns import (
+    CombinatorialPattern,
+    RegionalPattern,
+    SpatiotemporalWindow,
+    pattern_overlaps_document,
+)
+from repro.core.config import BaseConfig, STCombConfig, STLocalConfig
+from repro.core.rbursty import r_bursty
+from repro.core.stcomb import BurstDetector, STComb
+from repro.core.stlocal import RegionSequence, STLocal, STLocalTermTracker
+from repro.core.base import BaseDetector, BasePattern
+
+__all__ = [
+    "BaseConfig",
+    "BaseDetector",
+    "BasePattern",
+    "BurstDetector",
+    "CombinatorialPattern",
+    "RegionSequence",
+    "RegionalPattern",
+    "STComb",
+    "STCombConfig",
+    "STLocal",
+    "STLocalConfig",
+    "STLocalTermTracker",
+    "SpatiotemporalWindow",
+    "pattern_overlaps_document",
+    "r_bursty",
+]

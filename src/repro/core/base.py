@@ -1,0 +1,151 @@
+"""The ``Base`` baseline of Section 6.2.2.
+
+A deliberately simple spatiotemporal pattern detector the paper
+compares against:
+
+1. per stream, compute the per-timestamp burstiness (Eq. 7), binarise
+   (positive → 1, else 0) and take the maximal runs of ones as the
+   stream's bursty intervals, after filling interior zero-gaps shorter
+   than ℓ;
+2. visit the streams in random order; seed the pattern pool with the
+   first stream's intervals; for each later interval, merge it into a
+   pooled pattern when their Jaccard similarity reaches δ (the pooled
+   interval is replaced by the *intersection*, per the paper), else add
+   it to the pool as a new pattern.
+
+Both ℓ and δ are tunable (the paper "tunes both ... to yield the best
+results"); :mod:`repro.eval.experiments` grid-searches them for
+Table 2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Union
+
+from repro.core.config import BaseConfig
+from repro.errors import StreamError
+from repro.intervals.interval import Interval
+from repro.intervals.interval_set import fill_gaps, intervals_from_mask
+from repro.streams.collection import SpatiotemporalCollection
+from repro.streams.frequency import FrequencyTensor
+from repro.temporal.baselines import burstiness_series
+
+__all__ = ["BasePattern", "BaseDetector"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BasePattern:
+    """A pattern found by the Base baseline.
+
+    Attributes:
+        term: The term exhibiting the burst.
+        streams: Streams merged into the pattern.
+        timeframe: The (iteratively intersected) shared interval.
+        score: Crude strength proxy: #streams × interval length.  The
+            paper does not define a score for Base — it is only
+            evaluated on retrieval accuracy (Table 2) — so any monotone
+            tie-breaker works; this one prefers wide, long patterns.
+    """
+
+    term: str
+    streams: FrozenSet[Hashable]
+    timeframe: Interval
+    score: float
+
+
+@dataclasses.dataclass
+class _Pooled:
+    interval: Interval
+    streams: Set[Hashable]
+
+
+class BaseDetector:
+    """The Base baseline pattern miner.
+
+    Args:
+        config: ℓ / δ / seed settings.
+    """
+
+    def __init__(self, config: Optional[BaseConfig] = None) -> None:
+        self.config = config if config is not None else BaseConfig()
+
+    # ------------------------------------------------------------------
+    def stream_intervals(
+        self,
+        data: Union[SpatiotemporalCollection, FrequencyTensor],
+        term: str,
+    ) -> Dict[Hashable, List[Interval]]:
+        """Step 1: per-stream binarised, gap-filled bursty intervals."""
+        if isinstance(data, SpatiotemporalCollection):
+            tensor = FrequencyTensor(data)
+        else:
+            tensor = data
+        intervals: Dict[Hashable, List[Interval]] = {}
+        for sid in tensor.streams_with(term):
+            frequencies = tensor.sequence(term, sid)
+            scores = burstiness_series(frequencies)
+            mask = [value > 0.0 for value in scores]
+            runs = intervals_from_mask(mask)
+            runs = fill_gaps(runs, self.config.max_gap)
+            if runs:
+                intervals[sid] = runs
+        return intervals
+
+    # ------------------------------------------------------------------
+    def patterns_for_term(
+        self,
+        data: Union[SpatiotemporalCollection, FrequencyTensor],
+        term: str,
+    ) -> List[BasePattern]:
+        """Mine Base patterns for one term (step 2: random-order merging).
+
+        Returns:
+            Patterns sorted by score, best first.
+        """
+        per_stream = self.stream_intervals(data, term)
+        if not per_stream:
+            return []
+        rng = random.Random(self.config.seed)
+        order = list(per_stream)
+        rng.shuffle(order)
+
+        pool: List[_Pooled] = [
+            _Pooled(interval=interval, streams={order[0]})
+            for interval in per_stream[order[0]]
+        ]
+        for sid in order[1:]:
+            for interval in per_stream[sid]:
+                merged = False
+                for pooled in pool:
+                    if pooled.interval.jaccard(interval) >= self.config.jaccard_threshold:
+                        overlap = pooled.interval.intersection(interval)
+                        if overlap is not None:
+                            pooled.interval = overlap
+                            pooled.streams.add(sid)
+                            merged = True
+                            break
+                if not merged:
+                    pool.append(_Pooled(interval=interval, streams={sid}))
+
+        patterns = [
+            BasePattern(
+                term=term,
+                streams=frozenset(pooled.streams),
+                timeframe=pooled.interval,
+                score=float(len(pooled.streams) * pooled.interval.length),
+            )
+            for pooled in pool
+        ]
+        patterns.sort(key=lambda p: p.score, reverse=True)
+        return patterns
+
+    def top_pattern(
+        self,
+        data: Union[SpatiotemporalCollection, FrequencyTensor],
+        term: str,
+    ) -> Optional[BasePattern]:
+        """Highest-scoring Base pattern for a term, if any."""
+        patterns = self.patterns_for_term(data, term)
+        return patterns[0] if patterns else None

@@ -1,0 +1,97 @@
+"""Configuration dataclasses for the core algorithms.
+
+Collected in one module so that experiment scripts can construct, log
+and sweep configurations declaratively.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.temporal.baselines import ExpectedFrequencyModel, RunningMeanBaseline
+
+__all__ = ["STCombConfig", "STLocalConfig", "BaseConfig"]
+
+
+@dataclasses.dataclass
+class STCombConfig:
+    """Settings for :class:`repro.core.stcomb.STComb`.
+
+    Attributes:
+        max_patterns: Cap on the number of non-overlapping patterns
+            extracted per term (``None`` = until exhaustion).
+        min_interval_score: Minimum ``B_T`` for a per-stream interval to
+            enter the clique stage.
+        min_pattern_streams: Patterns with fewer member streams are
+            dropped (1 keeps single-stream bursts, the paper's setting).
+    """
+
+    max_patterns: Optional[int] = None
+    min_interval_score: float = 0.0
+    min_pattern_streams: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_pattern_streams < 1:
+            raise ConfigurationError("min_pattern_streams must be >= 1")
+        if self.max_patterns is not None and self.max_patterns < 1:
+            raise ConfigurationError("max_patterns must be >= 1 or None")
+
+
+@dataclasses.dataclass
+class STLocalConfig:
+    """Settings for :class:`repro.core.stlocal.STLocal`.
+
+    Attributes:
+        baseline_factory: Zero-argument callable producing a fresh
+            expected-frequency model per (term, stream); defaults to the
+            paper's running mean over all earlier snapshots.
+        key_by_geometry: Region-identity ablation switch — ``False``
+            (default) keys tracked regions by their member-stream set;
+            ``True`` keys them by the rectangle geometry.
+        min_window_score: Maximal windows below this w-score are not
+            reported as patterns.
+        warmup: Snapshots at the start of the stream during which
+            burstiness is forced to zero while the expectation models
+            learn.  A cold-started running mean makes every stream's
+            first activity look bursty; a short warm-up removes that
+            artifact without touching steady-state behaviour.
+        track_history: Keep per-stream burstiness history so reported
+            patterns can exclude non-bursty "false positive" streams
+            (the refinement the paper's Section-4 discussion describes).
+            Disable for very large stream counts to save memory.
+    """
+
+    baseline_factory: Callable[[], ExpectedFrequencyModel] = RunningMeanBaseline
+    key_by_geometry: bool = False
+    min_window_score: float = 0.0
+    warmup: int = 4
+    track_history: bool = True
+
+    def __post_init__(self) -> None:
+        if self.warmup < 0:
+            raise ConfigurationError("warmup must be non-negative")
+
+
+@dataclasses.dataclass
+class BaseConfig:
+    """Settings for the ``Base`` baseline (Section 6.2.2).
+
+    Attributes:
+        max_gap: The ℓ parameter — interior zero-runs shorter than this
+            are filled before intervals are formed.
+        jaccard_threshold: The δ parameter — minimum interval Jaccard
+            similarity for a cross-stream merge.
+        seed: RNG seed for the random stream processing order.
+    """
+
+    max_gap: int = 2
+    jaccard_threshold: float = 0.3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_gap < 0:
+            raise ConfigurationError("max_gap must be non-negative")
+        if not 0.0 < self.jaccard_threshold <= 1.0:
+            raise ConfigurationError("jaccard_threshold must lie in (0, 1]")

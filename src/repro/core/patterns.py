@@ -1,0 +1,158 @@
+"""Spatiotemporal burstiness patterns.
+
+The two pattern families of the paper share one shape — a set of
+streams plus a temporal interval plus a score — and the search engine
+(Section 5) deliberately consumes them through that common surface:
+"both types of spatiotemporal patterns discussed in this paper include
+a timeframe and a set of streams".
+
+* :class:`CombinatorialPattern` (Section 3) — an eligible subset of
+  per-stream bursty intervals; streams may come from anywhere on the
+  map.
+* :class:`RegionalPattern` (Section 4) — a maximal spatiotemporal
+  window: an axis-aligned rectangle and the timeframe over which it was
+  bursty.
+* :class:`SpatiotemporalWindow` — the geometric object of Definition 2,
+  with the sub-window / super-window relation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Hashable, Optional, Tuple
+
+from repro.intervals.interval import Interval
+from repro.spatial.geometry import Rectangle
+from repro.streams.document import Document
+
+__all__ = [
+    "CombinatorialPattern",
+    "RegionalPattern",
+    "SpatiotemporalWindow",
+    "pattern_overlaps_document",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class SpatiotemporalWindow:
+    """A window ``w = (R, [a : b])`` — a hyper-rectangle in 3-D space.
+
+    Attributes:
+        rectangle: The spatial region ``R``.
+        timeframe: The temporal extent ``[a : b]``.
+    """
+
+    rectangle: Rectangle
+    timeframe: Interval
+
+    def is_sub_window_of(self, other: "SpatiotemporalWindow") -> bool:
+        """Definition 2: contained in ``other`` in both space and time."""
+        return other.rectangle.contains_rectangle(self.rectangle) and (
+            other.timeframe.contains_interval(self.timeframe)
+        )
+
+    def is_super_window_of(self, other: "SpatiotemporalWindow") -> bool:
+        return other.is_sub_window_of(self)
+
+    @property
+    def volume(self) -> float:
+        """Spatial area × temporal length (for diagnostics)."""
+        return self.rectangle.area * self.timeframe.length
+
+
+@dataclasses.dataclass(frozen=True)
+class CombinatorialPattern:
+    """A combinatorial spatiotemporal pattern (Section 3).
+
+    Built from an eligible subset ``I' ⊆ I`` of per-stream bursty
+    intervals: the streams represented in ``I'`` form the pattern's
+    stream set, the common segment is its timeframe, and the score is
+    the cumulative temporal burstiness of the member intervals.
+
+    Attributes:
+        term: The term exhibiting the burst.
+        streams: Identifiers of the streams in the pattern.
+        timeframe: The common segment of all member intervals.
+        score: ``Σ_{I ∈ I'} B_T(I)``.
+        member_intervals: Per-stream bursty interval and its score.
+    """
+
+    term: str
+    streams: FrozenSet[Hashable]
+    timeframe: Interval
+    score: float
+    member_intervals: Tuple[Tuple[Hashable, Interval, float], ...] = ()
+
+    def overlaps(self, document: Document) -> bool:
+        """Pattern/document overlap per Section 5.
+
+        A document overlaps the pattern when its stream of origin is in
+        the pattern's stream set *and* its timestamp is inside the
+        member interval reported for that stream (falling back to the
+        common timeframe when member intervals are unavailable).
+        """
+        if document.stream_id not in self.streams:
+            return False
+        for stream_id, interval, _ in self.member_intervals:
+            if stream_id == document.stream_id:
+                return document.timestamp in interval
+        return document.timestamp in self.timeframe
+
+    def __len__(self) -> int:
+        return len(self.streams)
+
+
+@dataclasses.dataclass(frozen=True)
+class RegionalPattern:
+    """A regional spatiotemporal pattern — a maximal window (Section 4).
+
+    Attributes:
+        term: The term exhibiting the burst.
+        region: The axis-aligned rectangle on the map.
+        streams: The streams whose geostamps fall inside ``region``.
+        timeframe: The maximal window's temporal extent.
+        score: The w-score (Eq. 9) of the window.
+    """
+
+    term: str
+    region: Rectangle
+    streams: FrozenSet[Hashable]
+    timeframe: Interval
+    score: float
+    bursty_streams: Optional[FrozenSet[Hashable]] = None
+    """Member streams with positive net burstiness over the timeframe.
+
+    The paper's Section-4 discussion notes a bursty rectangle may
+    contain some non-bursty streams and that it is "computationally
+    trivial to remember, and ultimately exclude, such false positives";
+    this field holds the pattern's streams after that exclusion (``None``
+    when the miner did not track per-stream history).
+    """
+
+    @property
+    def window(self) -> SpatiotemporalWindow:
+        return SpatiotemporalWindow(rectangle=self.region, timeframe=self.timeframe)
+
+    def overlaps(self, document: Document) -> bool:
+        """Document overlap: stream inside the region, time in the frame.
+
+        When the miner recorded the pattern's bursty member streams,
+        the non-bursty "false positives" are excluded here too — a
+        document from a never-bursty stream inside the rectangle does
+        not inherit the pattern's burstiness.
+        """
+        members = (
+            self.bursty_streams if self.bursty_streams else self.streams
+        )
+        return (
+            document.stream_id in members
+            and document.timestamp in self.timeframe
+        )
+
+    def __len__(self) -> int:
+        return len(self.streams)
+
+
+def pattern_overlaps_document(pattern, document: Document) -> bool:
+    """Uniform overlap test for any pattern type (duck-typed)."""
+    return pattern.overlaps(document)

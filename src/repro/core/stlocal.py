@@ -1,0 +1,379 @@
+"""STLocal (Algorithm 2): streaming regional patterns / maximal windows.
+
+Per term, the tracker consumes one snapshot at a time:
+
+1. update each stream's expected-frequency model and compute the
+   discrepancy burstiness ``B(t, D_x[i]) = observed − expected`` (Eq. 7);
+2. run R-Bursty on the weighted stream locations, obtaining the
+   snapshot's non-overlapping bursty rectangles;
+3. start tracking a *region sequence* for every rectangle whose region
+   is not yet tracked (regions are canonicalised by their member-stream
+   set by default — geometry keying is the ablation switch);
+4. append the current r-score of every tracked region to its sequence
+   and update the region's maximal segments online (Ruzzo–Tompa
+   ``GetMax``) — each maximal segment is a maximal spatiotemporal
+   window (Definition 2);
+5. drop any sequence whose running total goes negative: it can no
+   longer contribute a new maximal window (Lines 11–12 of Algorithm 2),
+   archiving the windows it produced.
+
+The tracker also records the per-timestamp counts behind Figures 5
+(bursty rectangles per snapshot) and 6 (open windows per term).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import STLocalConfig
+from repro.core.patterns import RegionalPattern
+from repro.core.rbursty import r_bursty
+from repro.errors import StreamError
+from repro.intervals.interval import Interval
+from repro.spatial.discrepancy import WeightedPoint
+from repro.spatial.geometry import Point, Rectangle
+from repro.spatial.index import SpatialIndex
+from repro.streams.collection import SpatiotemporalCollection
+from repro.streams.frequency import FrequencyTensor
+from repro.temporal.baselines import ExpectedFrequencyModel
+from repro.temporal.max_segments import OnlineMaxSegments
+
+__all__ = ["RegionSequence", "STLocalTermTracker", "STLocal"]
+
+
+@dataclasses.dataclass
+class RegionSequence:
+    """The r-score sequence ``S`` of one tracked region ``R_S``.
+
+    Attributes:
+        region: The rectangle on the map.
+        stream_ids: The streams whose geostamps lie inside the region.
+        start: Global timestamp of the sequence's first value.
+        tracker: Online Ruzzo–Tompa state over the appended r-scores.
+    """
+
+    region: Rectangle
+    stream_ids: FrozenSet[Hashable]
+    start: int
+    tracker: OnlineMaxSegments = dataclasses.field(default_factory=OnlineMaxSegments)
+
+    def append(self, r_score: float) -> None:
+        self.tracker.add(r_score)
+
+    @property
+    def total(self) -> float:
+        """``S.total`` — the pruning statistic of Algorithm 2."""
+        return self.tracker.total
+
+    def windows(self) -> List[Tuple[Interval, float]]:
+        """Current maximal windows as (global timeframe, w-score) pairs."""
+        return [
+            (segment.interval.shift(self.start), segment.score)
+            for segment in self.tracker.segments()
+        ]
+
+
+class STLocalTermTracker:
+    """Streaming STLocal state for a single term.
+
+    Args:
+        locations: Geostamp of every stream on the projected plane.
+        config: Algorithm settings.
+    """
+
+    #: Stream counts above which rectangle membership is resolved with a
+    #: spatial index instead of a linear scan over all locations.
+    INDEX_THRESHOLD = 512
+
+    def __init__(
+        self,
+        locations: Dict[Hashable, Point],
+        config: Optional[STLocalConfig] = None,
+    ) -> None:
+        self.locations = dict(locations)
+        self.config = config if config is not None else STLocalConfig()
+        self._index: Optional[SpatialIndex] = None
+        if len(self.locations) > self.INDEX_THRESHOLD:
+            self._index = SpatialIndex(
+                [(sid, point) for sid, point in self.locations.items()]
+            )
+        self._models: Dict[Hashable, ExpectedFrequencyModel] = {}
+        self._sequences: Dict[Hashable, RegionSequence] = {}
+        self._archived: List[Tuple[Rectangle, FrozenSet[Hashable], Interval, float]] = []
+        self._clock = 0
+        self._history: Dict[Hashable, Dict[int, float]] = {}
+        self.rectangle_history: List[int] = []
+        self.open_history: List[int] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> int:
+        """Number of snapshots processed so far."""
+        return self._clock
+
+    @property
+    def open_sequences(self) -> int:
+        """Currently tracked (open) region sequences."""
+        return len(self._sequences)
+
+    # ------------------------------------------------------------------
+    def process(self, frequencies: Dict[Hashable, float]) -> int:
+        """Consume the next snapshot.
+
+        Args:
+            frequencies: Sparse map of stream → observed term frequency
+                at the current timestamp; absent streams observed zero.
+
+        Returns:
+            The number of bursty rectangles found in this snapshot.
+
+        Raises:
+            StreamError: if a frequency refers to an unknown stream.
+        """
+        timestamp = self._clock
+        burstiness = self._update_burstiness(timestamp, frequencies)
+
+        points = [
+            WeightedPoint(
+                point=self.locations[sid], weight=value, stream_id=sid
+            )
+            for sid, value in burstiness.items()
+        ]
+        rectangles = r_bursty(points)
+        self.rectangle_history.append(len(rectangles))
+
+        for result in rectangles:
+            members = self._members_of(result.rectangle)
+            key: Hashable
+            if self.config.key_by_geometry:
+                key = (
+                    result.rectangle.min_x,
+                    result.rectangle.min_y,
+                    result.rectangle.max_x,
+                    result.rectangle.max_y,
+                )
+            else:
+                key = members
+            if key not in self._sequences:
+                self._sequences[key] = RegionSequence(
+                    region=result.rectangle,
+                    stream_ids=members,
+                    start=timestamp,
+                )
+
+        # Append the current r-score to every tracked sequence and prune
+        # the ones whose totals went negative.
+        for key in list(self._sequences):
+            sequence = self._sequences[key]
+            r_score = sum(
+                burstiness.get(sid, 0.0) for sid in sequence.stream_ids
+            )
+            sequence.append(r_score)
+            if sequence.total < 0.0:
+                self._archive(sequence)
+                del self._sequences[key]
+
+        self.open_history.append(len(self._sequences))
+        self._clock += 1
+        return len(rectangles)
+
+    def _members_of(self, rectangle: Rectangle) -> FrozenSet[Hashable]:
+        """Streams whose geostamps lie inside a rectangle."""
+        if self._index is not None:
+            return frozenset(self._index.query_rectangle(rectangle))
+        return frozenset(
+            sid
+            for sid, location in self.locations.items()
+            if rectangle.contains_point(location)
+        )
+
+    # ------------------------------------------------------------------
+    def _update_burstiness(
+        self, timestamp: int, frequencies: Dict[Hashable, float]
+    ) -> Dict[Hashable, float]:
+        """Eq. 7 for every stream with history or a current observation."""
+        for sid in frequencies:
+            if sid not in self.locations:
+                raise StreamError(f"unknown stream {sid!r} in snapshot")
+        burstiness: Dict[Hashable, float] = {}
+        active = set(self._models) | {
+            sid for sid, value in frequencies.items() if value > 0.0
+        }
+        in_warmup = timestamp < self.config.warmup
+        for sid in active:
+            observed = float(frequencies.get(sid, 0.0))
+            model = self._models.get(sid)
+            if model is None:
+                model = self.config.baseline_factory()
+                self._prime(model, timestamp)
+                self._models[sid] = model
+            if in_warmup:
+                burstiness[sid] = 0.0
+            else:
+                burstiness[sid] = observed - model.expected(timestamp)
+            model.observe(timestamp, observed)
+        if self.config.track_history:
+            for sid, value in burstiness.items():
+                if value != 0.0:
+                    self._history.setdefault(sid, {})[timestamp] = value
+        return burstiness
+
+    @staticmethod
+    def _prime(model: ExpectedFrequencyModel, zeros: int) -> None:
+        """Feed the leading zero observations a lazily-created model missed.
+
+        The paper's default baseline averages over *all* snapshots before
+        ``i``, so the silent zeros before a term's first appearance in a
+        stream must count.
+        """
+        prime = getattr(model, "prime_zeros", None)
+        if prime is not None:
+            prime(zeros)
+            return
+        for j in range(zeros):
+            model.observe(j, 0.0)
+
+    def _archive(self, sequence: RegionSequence) -> None:
+        for timeframe, score in sequence.windows():
+            self._archived.append(
+                (sequence.region, sequence.stream_ids, timeframe, score)
+            )
+
+    # ------------------------------------------------------------------
+    def windows(self) -> List[Tuple[Rectangle, FrozenSet[Hashable], Interval, float]]:
+        """All maximal windows found so far (archived + live)."""
+        live = []
+        for sequence in self._sequences.values():
+            for timeframe, score in sequence.windows():
+                live.append(
+                    (sequence.region, sequence.stream_ids, timeframe, score)
+                )
+        return list(self._archived) + live
+
+    def bursty_members(
+        self, streams: FrozenSet[Hashable], timeframe: Interval
+    ) -> Optional[FrozenSet[Hashable]]:
+        """Member streams with positive net burstiness over a window.
+
+        Returns ``None`` when history tracking is disabled.
+        """
+        if not self.config.track_history:
+            return None
+        bursty = set()
+        for sid in streams:
+            history = self._history.get(sid)
+            if history is None:
+                continue
+            total = sum(
+                history.get(timestamp, 0.0) for timestamp in timeframe
+            )
+            if total > 0.0:
+                bursty.add(sid)
+        return frozenset(bursty)
+
+    def patterns(self, term: str) -> List[RegionalPattern]:
+        """All maximal windows as regional patterns, best first."""
+        patterns = [
+            RegionalPattern(
+                term=term,
+                region=region,
+                streams=streams,
+                timeframe=timeframe,
+                score=score,
+                bursty_streams=self.bursty_members(streams, timeframe),
+            )
+            for region, streams, timeframe, score in self.windows()
+            if score > self.config.min_window_score
+        ]
+        patterns.sort(key=lambda p: p.score, reverse=True)
+        return patterns
+
+
+class STLocal:
+    """Regional spatiotemporal pattern miner (batch façade).
+
+    Wraps :class:`STLocalTermTracker` with the paper's offline usage:
+    replay a collection one timestamp at a time per term.
+
+    Args:
+        config: Algorithm settings shared by all trackers.
+    """
+
+    def __init__(self, config: Optional[STLocalConfig] = None) -> None:
+        self.config = config if config is not None else STLocalConfig()
+
+    # ------------------------------------------------------------------
+    def tracker(self, locations: Dict[Hashable, Point]) -> STLocalTermTracker:
+        """Create a streaming tracker for one term."""
+        return STLocalTermTracker(locations, config=self.config)
+
+    def run_term(
+        self,
+        data: Union[SpatiotemporalCollection, FrequencyTensor],
+        term: str,
+        locations: Optional[Dict[Hashable, Point]] = None,
+    ) -> STLocalTermTracker:
+        """Replay the whole timeline for one term, returning the tracker."""
+        tensor, locations = _resolve(data, locations)
+        tracker = self.tracker(locations)
+        for timestamp in range(tensor.timeline):
+            tracker.process(tensor.slice_at(term, timestamp))
+        return tracker
+
+    def patterns_for_term(
+        self,
+        data: Union[SpatiotemporalCollection, FrequencyTensor],
+        term: str,
+        locations: Optional[Dict[Hashable, Point]] = None,
+    ) -> List[RegionalPattern]:
+        """All maximal windows of a term over the full timeline."""
+        return self.run_term(data, term, locations).patterns(term)
+
+    def top_pattern(
+        self,
+        data: Union[SpatiotemporalCollection, FrequencyTensor],
+        term: str,
+        locations: Optional[Dict[Hashable, Point]] = None,
+    ) -> Optional[RegionalPattern]:
+        """The highest-scoring maximal window of a term, if any."""
+        patterns = self.patterns_for_term(data, term, locations)
+        return patterns[0] if patterns else None
+
+    def mine(
+        self,
+        data: Union[SpatiotemporalCollection, FrequencyTensor],
+        terms: Optional[Sequence[str]] = None,
+        locations: Optional[Dict[Hashable, Point]] = None,
+    ) -> Dict[str, List[RegionalPattern]]:
+        """Mine regional patterns for many terms.
+
+        Returns:
+            Map of term → its maximal windows (terms with none omitted).
+        """
+        tensor, locations = _resolve(data, locations)
+        if terms is None:
+            terms = sorted(tensor.terms)
+        results: Dict[str, List[RegionalPattern]] = {}
+        for term in terms:
+            patterns = self.patterns_for_term(tensor, term, locations)
+            if patterns:
+                results[term] = patterns
+        return results
+
+
+def _resolve(
+    data: Union[SpatiotemporalCollection, FrequencyTensor],
+    locations: Optional[Dict[Hashable, Point]],
+) -> Tuple[FrequencyTensor, Dict[Hashable, Point]]:
+    """Normalise (data, locations) to a tensor + location map."""
+    if isinstance(data, SpatiotemporalCollection):
+        tensor = FrequencyTensor(data)
+        locations = data.locations()
+    else:
+        tensor = data
+        if locations is None:
+            raise StreamError(
+                "locations are required when mining from a FrequencyTensor"
+            )
+    return tensor, locations

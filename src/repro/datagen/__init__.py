@@ -1,0 +1,49 @@
+"""Data substrate: gazetteer, events, generators, Topix-style corpus."""
+
+from repro.datagen.world import Country, WORLD_COUNTRIES, default_countries
+from repro.datagen.weibull import (
+    FIGURE9_SETTINGS,
+    burst_profile,
+    weibull_mode,
+    weibull_pdf,
+)
+from repro.datagen.vocabulary import ZipfVocabulary
+from repro.datagen.events import (
+    EventIncident,
+    MAJOR_EVENTS,
+    MajorEvent,
+    events_by_tier,
+)
+from repro.datagen.generators import (
+    GeneratorSettings,
+    InjectedPattern,
+    SyntheticFrequencyData,
+    generate_dataset,
+)
+from repro.datagen.corpus import (
+    CorpusSettings,
+    TopixStyleCorpus,
+    generate_topix_corpus,
+)
+
+__all__ = [
+    "Country",
+    "CorpusSettings",
+    "EventIncident",
+    "FIGURE9_SETTINGS",
+    "GeneratorSettings",
+    "InjectedPattern",
+    "MAJOR_EVENTS",
+    "MajorEvent",
+    "SyntheticFrequencyData",
+    "TopixStyleCorpus",
+    "WORLD_COUNTRIES",
+    "ZipfVocabulary",
+    "burst_profile",
+    "default_countries",
+    "events_by_tier",
+    "generate_dataset",
+    "generate_topix_corpus",
+    "weibull_mode",
+    "weibull_pdf",
+]

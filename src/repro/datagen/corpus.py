@@ -1,0 +1,531 @@
+"""Topix-style geostamped news corpus with injected major events.
+
+The paper's real dataset — 305,641 Topix.com articles from 181
+countries, Sep-2008..Jul-2009, bucketed into 48 weekly timestamps — is
+not openly distributable, so this generator synthesises a corpus with
+the same observable structure (see DESIGN.md, substitutions):
+
+* one stream per country, locations = classical MDS of pairwise
+  geodesic distances (exactly the paper's projection);
+* exponential/Poisson background chatter per country per week over a
+  Zipfian vocabulary (the paper validated the exponential fit on the
+  real Topix data), with the event query terms present at ambient
+  rates — so query terms also occur in documents *not* about the
+  event, which is what makes the precision evaluation of Table 3
+  non-trivial;
+* the 18 Major Events (Table 9), each injected with a tier-dependent
+  spatial footprint: tier-1 events reach most countries everywhere,
+  tier-2/3 events concentrate around their sources with a scattered
+  long tail of remote coverage (diaspora/world-news effect) — the
+  structure responsible for the STComb-vs-STLocal contrasts of
+  Table 1.
+
+Every generated document carries provenance (``event_id``), giving the
+ground-truth relevance labels used in place of the human annotator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.datagen.events import MAJOR_EVENTS, MajorEvent
+from repro.datagen.vocabulary import ZipfVocabulary
+from repro.datagen.weibull import burst_profile
+from repro.datagen.world import Country, WORLD_COUNTRIES, default_countries
+from repro.errors import GenerationError
+from repro.spatial.geodesic import distance_matrix
+from repro.spatial.mds import mds_points
+from repro.streams.collection import SpatiotemporalCollection
+from repro.streams.document import Document, tokenize
+
+__all__ = ["CorpusSettings", "TopixStyleCorpus", "generate_topix_corpus"]
+
+
+@dataclasses.dataclass
+class CorpusSettings:
+    """Parameters of the Topix-style corpus generator.
+
+    Attributes:
+        n_countries: Number of country streams (181 = the paper).
+        timeline: Number of weekly timestamps (48 = Sep-08..Jul-09).
+        background_rate: Mean background documents per country per week.
+        doc_length: (min, max) tokens per document.
+        vocabulary_size: Distinct background terms.
+        event_scale: Multiplier on every event's document intensity.
+        remote_fraction: Share of a tier-2/3 event's footprint that is
+            scattered world-wide rather than near the source.
+        remote_intensity: Intensity multiplier for scattered coverage.
+        follower_coverage: Per-tier fraction of countries that mention
+            the event's terms at a low steady rate all year (world-news
+            desks) — the ambient signal that (a) gives the discrepancy
+            baselines history to learn and (b) supplies TB's
+            false-positive candidates in Table 3.
+        follower_rate: (min, max) weekly *base* mention rate of a
+            follower.
+        follower_surge: Per-tier fraction of an incident's intensity at
+            which followers surge during the incident window.  Tier-1
+            stories surge world-wide; tier-3 stories barely register at
+            world desks (their discrepancy signal stays local).  Half of
+            the surge documents are genuine event reports, half
+            tangential mentions.
+        context_size: Number of countries nearest each incident source
+            that discuss the event's terms all year (the local news
+            context, e.g. the Kivu conflict around an Nkunda story) —
+            these supply the TB baseline's false-positive documents and
+            give the discrepancy models local history.
+        context_rate: (min, max) weekly mention rate of a context
+            country.
+        context_crowding: Multiplier on the context rate during the
+            incident weeks — when the event breaks, routine regional
+            stories are crowded out by actual event reports.
+        context_repeats: (min, max) query-term occurrences in a context
+            document — passing mentions, lighter than event reports or
+            remote commentary.
+        query_repeats: (min, max) occurrences of the query terms inside
+            an event document (boosts their relevance over ambient
+            mentions).
+        seed: Master RNG seed.
+        events: The events to inject (Table 9 by default).
+    """
+
+    n_countries: int = 181
+    timeline: int = 48
+    background_rate: float = 5.0
+    doc_length: Tuple[int, int] = (8, 16)
+    vocabulary_size: int = 12_000
+    event_scale: float = 1.0
+    remote_fraction: float = 0.2
+    remote_intensity: float = 0.12
+    follower_coverage: Tuple[float, float, float] = (0.55, 0.25, 0.15)
+    follower_rate: Tuple[float, float] = (0.10, 0.40)
+    follower_surge: Tuple[float, float, float] = (0.35, 0.10, 0.0)
+    context_size: int = 5
+    context_rate: Tuple[float, float] = (0.5, 1.5)
+    context_crowding: float = 0.3
+    context_repeats: Tuple[int, int] = (1, 2)
+    query_repeats: Tuple[int, int] = (1, 6)
+    seed: int = 0
+    events: Tuple[MajorEvent, ...] = MAJOR_EVENTS
+
+    def __post_init__(self) -> None:
+        if self.timeline < 1:
+            raise GenerationError("timeline must be positive")
+        if self.n_countries < 2:
+            raise GenerationError("need at least two countries")
+        if not 0.0 <= self.remote_fraction <= 1.0:
+            raise GenerationError("remote_fraction must lie in [0, 1]")
+
+
+@dataclasses.dataclass
+class TopixStyleCorpus:
+    """The generated corpus plus its ground truth.
+
+    Attributes:
+        collection: The spatiotemporal document collection.
+        countries: The gazetteer entries used, in stream order.
+        events: The injected events.
+        event_footprints: event_id → the country names that received
+            event documents (ground-truth stream sets).
+        event_timeframes: event_id → (first, last) week with event
+            documents anywhere.
+    """
+
+    collection: SpatiotemporalCollection
+    countries: List[Country]
+    events: Tuple[MajorEvent, ...]
+    event_footprints: Dict[int, Set[str]]
+    event_timeframes: Dict[int, Tuple[int, int]]
+
+    def queries(self) -> List[Tuple[int, str]]:
+        """(event_id, query) pairs in Table-9 order."""
+        return [(event.event_id, event.query) for event in self.events]
+
+
+def _poisson(rng: random.Random, mean: float) -> int:
+    """Knuth's Poisson sampler (fine for the small means used here)."""
+    if mean <= 0.0:
+        return 0
+    limit = math.exp(-mean)
+    count = 0
+    product = rng.random()
+    while product > limit:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+def generate_topix_corpus(
+    settings: Optional[CorpusSettings] = None,
+) -> TopixStyleCorpus:
+    """Generate the corpus.  Deterministic in ``settings.seed``."""
+    settings = settings if settings is not None else CorpusSettings()
+    rng = random.Random(settings.seed)
+    countries = _countries_with_sources(settings)
+
+    # --- Project the sources onto the 2-D plane, as the paper does. ---
+    coordinates = [(country.lat, country.lon) for country in countries]
+    distances = distance_matrix(coordinates, method="haversine")
+    points = mds_points(distances)
+
+    collection = SpatiotemporalCollection(timeline=settings.timeline)
+    for country, point in zip(countries, points):
+        collection.add_stream(
+            country.name, point, latlon=(country.lat, country.lon)
+        )
+
+    # --- Vocabulary: background chatter only.  Query terms do *not*
+    # appear in random background documents — all ambient mentions come
+    # from the follower mechanism below, mirroring how rare proper
+    # nouns behave in a real corpus.
+    vocabulary = ZipfVocabulary(size=settings.vocabulary_size)
+
+    doc_counter = 0
+
+    # --- Background chatter. ------------------------------------------
+    for country in countries:
+        for week in range(settings.timeline):
+            for _ in range(_poisson(rng, settings.background_rate)):
+                length = rng.randint(*settings.doc_length)
+                collection.add_document(
+                    Document(
+                        doc_id=doc_counter,
+                        stream_id=country.name,
+                        timestamp=week,
+                        terms=vocabulary.sample_document(rng, length),
+                    )
+                )
+                doc_counter += 1
+
+    # --- Event injection. ----------------------------------------------
+    name_to_index = {country.name: i for i, country in enumerate(countries)}
+    event_footprints: Dict[int, Set[str]] = {}
+    event_timeframes: Dict[int, Tuple[int, int]] = {}
+    for event in settings.events:
+        footprint: Set[str] = set()
+        first_week, last_week = settings.timeline, -1
+        for incident in event.incidents:
+            if incident.source not in name_to_index:
+                raise GenerationError(
+                    f"event {event.event_id} source {incident.source!r} "
+                    "is not in the gazetteer slice"
+                )
+            affected = _affected_countries(
+                settings, rng, event, incident.source, countries, distances,
+                name_to_index,
+            )
+            # One Weibull shape per incident: world coverage of the same
+            # story is temporally synchronised, with per-country jitter.
+            incident_shape = rng.uniform(1.0, 5.0)
+            incident_scale_frac = rng.uniform(0.3, 1.0)
+            for country_name, relative_intensity in affected:
+                emitted = _emit_incident_documents(
+                    settings, rng, collection, vocabulary, event,
+                    country_name, incident.start_week,
+                    incident.duration_weeks,
+                    incident.intensity * relative_intensity,
+                    incident_shape, incident_scale_frac,
+                    doc_counter,
+                )
+                if emitted:
+                    doc_counter = emitted[0]
+                    footprint.add(country_name)
+                    first_week = min(first_week, emitted[1])
+                    last_week = max(last_week, emitted[2])
+        doc_counter, genuine = _emit_follower_documents(
+            settings, rng, collection, vocabulary, event, countries,
+            doc_counter,
+        )
+        footprint.update(genuine)
+        doc_counter = _emit_context_documents(
+            settings, rng, collection, vocabulary, event, countries,
+            distances, name_to_index, doc_counter,
+        )
+        event_footprints[event.event_id] = footprint
+        if last_week >= 0:
+            event_timeframes[event.event_id] = (first_week, last_week)
+
+    return TopixStyleCorpus(
+        collection=collection,
+        countries=countries,
+        events=settings.events,
+        event_footprints=event_footprints,
+        event_timeframes=event_timeframes,
+    )
+
+
+def _countries_with_sources(settings: CorpusSettings) -> List[Country]:
+    """The first ``n_countries`` gazetteer entries, source-complete.
+
+    Scaled-down corpora (``n_countries < 181``) must still contain every
+    injected event's source country; missing sources replace the
+    tail-most non-source entries of the slice.
+    """
+    countries = default_countries(settings.n_countries)
+    present = {country.name for country in countries}
+    required = []
+    for event in settings.events:
+        for incident in event.incidents:
+            if incident.source not in present and incident.source not in required:
+                required.append(incident.source)
+    if not required:
+        return countries
+    by_name = {country.name: country for country in WORLD_COUNTRIES}
+    source_names = {
+        incident.source
+        for event in settings.events
+        for incident in event.incidents
+    }
+    slot = len(countries) - 1
+    for name in required:
+        if name not in by_name:
+            raise GenerationError(f"event source {name!r} not in gazetteer")
+        while slot >= 0 and countries[slot].name in source_names:
+            slot -= 1
+        if slot < 0:
+            raise GenerationError("not enough room for all event sources")
+        countries[slot] = by_name[name]
+        slot -= 1
+    return countries
+
+
+def _affected_countries(
+    settings: CorpusSettings,
+    rng: random.Random,
+    event: MajorEvent,
+    source: str,
+    countries: Sequence[Country],
+    distances,
+    name_to_index: Dict[str, int],
+) -> List[Tuple[str, float]]:
+    """Countries reached by one incident and their intensity multipliers.
+
+    Tier 1 spreads uniformly world-wide; tiers 2 and 3 take the nearest
+    countries around the source for the local share of the footprint
+    and sample the remainder uniformly at reduced intensity.
+    """
+    total = max(1, round(event.footprint * len(countries)))
+    source_index = name_to_index[source]
+    order = sorted(
+        range(len(countries)), key=lambda j: distances[source_index][j]
+    )
+
+    result: List[Tuple[str, float]] = []
+    if event.tier == 1:
+        # Global: everybody in the footprint reports at comparable
+        # intensity, decaying only mildly with distance.
+        chosen = order[:1] + rng.sample(order[1:], min(total - 1, len(order) - 1))
+        max_distance = max(distances[source_index]) or 1.0
+        for j in chosen:
+            decay = 1.0 - 0.3 * distances[source_index][j] / max_distance
+            result.append((countries[j].name, decay))
+        return result
+
+    remote_count = int(round(settings.remote_fraction * (total - 1)))
+    local_count = total - remote_count
+    local = order[:local_count]
+    rest = order[local_count:]
+    remote = rng.sample(rest, min(remote_count, len(rest)))
+    if local:
+        # Distance-decayed intensity among the local cluster.
+        scale = distances[source_index][order[min(local_count, len(order) - 1)]]
+        scale = scale if scale > 0 else 1.0
+        for j in local:
+            decay = math.exp(-distances[source_index][j] / scale)
+            result.append((countries[j].name, max(decay, 0.6)))
+    for j in remote:
+        result.append(
+            (countries[j].name, settings.remote_intensity * rng.uniform(0.5, 1.5))
+        )
+    return result
+
+
+def _emit_incident_documents(
+    settings: CorpusSettings,
+    rng: random.Random,
+    collection: SpatiotemporalCollection,
+    vocabulary: ZipfVocabulary,
+    event: MajorEvent,
+    country_name: str,
+    start_week: int,
+    duration: int,
+    intensity: float,
+    incident_shape: float,
+    incident_scale_frac: float,
+    doc_counter: int,
+) -> Optional[Tuple[int, int, int]]:
+    """Emit one country's documents for one incident.
+
+    Returns:
+        ``(next_doc_id, first_week, last_week)`` of emitted documents,
+        or ``None`` when the profile produced no documents.
+    """
+    duration = min(duration, settings.timeline - start_week)
+    if duration < 1:
+        return None
+    # Incident-level Weibull shape with ±20 % per-country jitter: world
+    # coverage of one story is synchronised, not independently shaped.
+    shape = max(1.0, incident_shape * rng.uniform(0.8, 1.2))
+    scale = incident_scale_frac * duration * rng.uniform(0.8, 1.2)
+    peak = intensity * settings.event_scale
+    profile = burst_profile(duration, shape, scale, peak)
+
+    query_terms = tokenize(event.query)
+    first_week, last_week = None, None
+    for offset, rate in enumerate(profile):
+        week = start_week + offset
+        for _ in range(_poisson(rng, rate)):
+            repeats = rng.randint(*settings.query_repeats)
+            length = rng.randint(*settings.doc_length)
+            background = vocabulary.sample_document(
+                rng, max(1, length - repeats * len(query_terms))
+            )
+            collection.add_document(
+                Document(
+                    doc_id=doc_counter,
+                    stream_id=country_name,
+                    timestamp=week,
+                    terms=query_terms * repeats + background,
+                    event_id=event.event_id,
+                )
+            )
+            doc_counter += 1
+            if first_week is None:
+                first_week = week
+            last_week = week
+    if first_week is None:
+        return None
+    return doc_counter, first_week, last_week
+
+
+def _emit_follower_documents(
+    settings: CorpusSettings,
+    rng: random.Random,
+    collection: SpatiotemporalCollection,
+    vocabulary: ZipfVocabulary,
+    event: MajorEvent,
+    countries: Sequence[Country],
+    doc_counter: int,
+) -> Tuple[int, Set[str]]:
+    """World-news-desk coverage of the event's terms.
+
+    Followers mention the query terms at a low steady base rate all
+    year and *surge* during the incident windows (world coverage of a
+    story is synchronised).  Base-rate and half of the surge documents
+    carry ``event_id=None`` — they mention the terms without being
+    reports of the specific event, exactly the decoys that cost the TB
+    baseline precision on localized events (Table 3).  The other half
+    of the surge documents are genuine remote reports.
+
+    Returns:
+        ``(next_doc_id, genuine_reporters)`` — the advanced counter and
+        the follower countries that emitted at least one genuine
+        report.
+    """
+    coverage = settings.follower_coverage[event.tier - 1]
+    count = max(1, round(coverage * len(countries)))
+    followers = rng.sample(list(countries), count)
+    query_terms = tokenize(event.query)
+    genuine: Set[str] = set()
+
+    surge_factor = settings.follower_surge[event.tier - 1]
+    for country in followers:
+        base_rate = rng.uniform(*settings.follower_rate)
+        weekly = [base_rate] * settings.timeline
+        if surge_factor > 0.0:
+            for incident in event.incidents:
+                duration = min(
+                    incident.duration_weeks,
+                    settings.timeline - incident.start_week,
+                )
+                if duration < 1:
+                    continue
+                shape = rng.uniform(1.0, 5.0)
+                scale = rng.uniform(0.3 * duration, float(duration))
+                surge_peak = (
+                    surge_factor
+                    * incident.intensity
+                    * settings.event_scale
+                    * rng.uniform(0.5, 1.5)
+                )
+                profile = burst_profile(duration, shape, scale, surge_peak)
+                for offset, extra in enumerate(profile):
+                    weekly[incident.start_week + offset] += extra
+        for week, rate in enumerate(weekly):
+            for _ in range(_poisson(rng, rate)):
+                surging = rate > 2.0 * base_rate
+                is_report = surging and rng.random() < 0.5
+                repeats = rng.randint(*settings.query_repeats)
+                length = rng.randint(*settings.doc_length)
+                background = vocabulary.sample_document(
+                    rng, max(1, length - repeats * len(query_terms))
+                )
+                collection.add_document(
+                    Document(
+                        doc_id=doc_counter,
+                        stream_id=country.name,
+                        timestamp=week,
+                        terms=query_terms * repeats + background,
+                        event_id=event.event_id if is_report else None,
+                    )
+                )
+                doc_counter += 1
+                if is_report:
+                    genuine.add(country.name)
+    return doc_counter, genuine
+
+
+def _emit_context_documents(
+    settings: CorpusSettings,
+    rng: random.Random,
+    collection: SpatiotemporalCollection,
+    vocabulary: ZipfVocabulary,
+    event: MajorEvent,
+    countries: Sequence[Country],
+    distances,
+    name_to_index: Dict[str, int],
+    doc_counter: int,
+) -> int:
+    """Year-round local chatter around each incident source.
+
+    Context documents mention the query terms (``event_id=None``) at a
+    healthy steady rate in the countries nearest the source — the
+    ongoing regional storyline surrounding the event.  A temporal-only
+    engine (TB) cannot tell these apart from event reports inside its
+    burst window; that is the paper's tier-3 precision failure mode.
+    """
+    query_terms = tokenize(event.query)
+    sources = {incident.source for incident in event.incidents}
+    for source in sources:
+        source_index = name_to_index[source]
+        order = sorted(
+            range(len(countries)), key=lambda j: distances[source_index][j]
+        )
+        event_weeks = set()
+        for incident in event.incidents:
+            for offset in range(incident.duration_weeks):
+                event_weeks.add(incident.start_week + offset)
+        for j in order[: settings.context_size]:
+            rate = rng.uniform(*settings.context_rate)
+            for week in range(settings.timeline):
+                weekly_rate = rate
+                if week in event_weeks:
+                    weekly_rate *= settings.context_crowding
+                for _ in range(_poisson(rng, weekly_rate)):
+                    repeats = rng.randint(*settings.context_repeats)
+                    length = rng.randint(*settings.doc_length)
+                    background = vocabulary.sample_document(
+                        rng, max(1, length - repeats * len(query_terms))
+                    )
+                    collection.add_document(
+                        Document(
+                            doc_id=doc_counter,
+                            stream_id=countries[j].name,
+                            timestamp=week,
+                            terms=query_terms * repeats + background,
+                        )
+                    )
+                    doc_counter += 1
+    return doc_counter

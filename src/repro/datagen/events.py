@@ -1,0 +1,240 @@
+"""The Major Events List (Table 9 of the paper's appendix).
+
+Eighteen real-world events between September 2008 and July 2009, with
+the queries a human annotator chose for them.  The paper groups them
+into three loosely-defined tiers (Section 6.1):
+
+* tier 1 (events 1–6): significant global impact;
+* tier 2 (events 7–12): reported in a significant number of countries;
+* tier 3 (events 13–18): localized impact.
+
+For the synthetic Topix-style corpus each event additionally carries
+injection parameters — source countries, start week, duration and
+footprint — chosen to match the event's real geography and tier.  The
+timeline is 48 weeks, week 0 = first week of September 2008.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+__all__ = ["EventIncident", "MajorEvent", "MAJOR_EVENTS", "events_by_tier"]
+
+
+@dataclasses.dataclass(frozen=True)
+class EventIncident:
+    """One localized occurrence of an event.
+
+    Attributes:
+        source: Country name of the epicentre (must exist in the
+            gazetteer).
+        start_week: First week of the burst (0-based, weeks from
+            Sep-2008).
+        duration_weeks: Length of the burst window.
+        intensity: Peak extra event-document rate at the source.
+    """
+
+    source: str
+    start_week: int
+    duration_weeks: int
+    intensity: float
+
+
+@dataclasses.dataclass(frozen=True)
+class MajorEvent:
+    """One entry of the Major Events List.
+
+    Attributes:
+        event_id: 1-based index matching Table 9's numbering.
+        query: The annotator's search query.
+        description: Table 9's event description.
+        tier: Impact tier (1 = global, 2 = multi-country, 3 = local).
+        footprint: Fraction of the world's countries the event reaches.
+        incidents: The event's occurrences (several for recurring
+            topics like earthquakes or piracy).
+    """
+
+    event_id: int
+    query: str
+    description: str
+    tier: int
+    footprint: float
+    incidents: Tuple[EventIncident, ...]
+
+
+MAJOR_EVENTS: Tuple[MajorEvent, ...] = (
+    MajorEvent(
+        1, "Obama",
+        "Events regarding the actions of B. Obama, the new President of "
+        "the USA since January of 2009.",
+        1, 0.95,
+        (
+            EventIncident("United States", 8, 30, 14.0),
+        ),
+    ),
+    MajorEvent(
+        2, "financial crisis",
+        "Events regarding the global financial crisis.",
+        1, 0.90,
+        (
+            EventIncident("United States", 1, 40, 12.0),
+            EventIncident("United Kingdom", 2, 36, 10.0),
+        ),
+    ),
+    MajorEvent(
+        3, "Jackson",
+        "American entertainer Michael Jackson passes away.",
+        1, 0.85,
+        (
+            EventIncident("United States", 42, 6, 18.0),
+        ),
+    ),
+    MajorEvent(
+        4, "terrorists",
+        "Events regarding terrorism.",
+        1, 0.70,
+        (
+            EventIncident("India", 12, 8, 12.0),
+            EventIncident("Pakistan", 24, 10, 10.0),
+        ),
+    ),
+    MajorEvent(
+        5, "swine",
+        "Events regarding the 2009 swine flu pandemic.",
+        1, 0.92,
+        (
+            EventIncident("Mexico", 34, 12, 16.0),
+        ),
+    ),
+    MajorEvent(
+        6, "earthquake",
+        "Events regarding earthquakes.",
+        1, 0.55,
+        (
+            EventIncident("Costa Rica", 19, 3, 14.0),
+            EventIncident("China", 10, 3, 9.0),
+            EventIncident("Mexico", 36, 2, 8.0),
+            EventIncident("Italy", 31, 3, 10.0),
+            EventIncident("Bulgaria", 15, 2, 6.0),
+        ),
+    ),
+    MajorEvent(
+        7, "gaza",
+        "Events regarding the Israeli Palestinian conflict in the Gaza "
+        "Strip.",
+        2, 0.45,
+        (
+            EventIncident("Israel", 16, 10, 15.0),
+        ),
+    ),
+    MajorEvent(
+        8, "ceasefire",
+        "Israel announces a unilateral ceasefire in the Gaza War.",
+        2, 0.30,
+        (
+            EventIncident("Israel", 20, 4, 12.0),
+        ),
+    ),
+    MajorEvent(
+        9, "Yemenia",
+        "Yemenia Flight 626 crashes off the coast of Moroni, Comoros, "
+        "killing all but one of the 153 passengers and crew.",
+        2, 0.12,
+        (
+            EventIncident("Comoros", 43, 3, 12.0),
+            EventIncident("Yemen", 43, 3, 9.0),
+        ),
+    ),
+    MajorEvent(
+        10, "piracy",
+        "Events regarding incidents of Piracy off the Somali coast.",
+        2, 0.18,
+        (
+            EventIncident("Somalia", 6, 10, 10.0),
+            EventIncident("Kenya", 28, 8, 8.0),
+        ),
+    ),
+    MajorEvent(
+        11, "Air France",
+        "Air France Flight 447 from Rio de Janeiro to Paris crashes "
+        "into the Atlantic Ocean killing all 228 on board.",
+        2, 0.35,
+        (
+            EventIncident("France", 39, 4, 14.0),
+            EventIncident("Brazil", 39, 4, 12.0),
+        ),
+    ),
+    MajorEvent(
+        12, "bush fires",
+        "Deadly bush fires in Australia kill 173, injure 500 more, and "
+        "leave 7,500 homeless.",
+        2, 0.15,
+        (
+            EventIncident("Australia", 22, 4, 14.0),
+        ),
+    ),
+    MajorEvent(
+        13, "Nkunda",
+        "Congolese rebel leader L. Nkunda is captured by Rwandan "
+        "forces.",
+        3, 0.10,
+        (
+            EventIncident("DR Congo", 20, 3, 10.0),
+            EventIncident("Rwanda", 20, 3, 8.0),
+        ),
+    ),
+    MajorEvent(
+        14, "Vieira",
+        "The President of Guinea-Bissau, J. B. Vieira, is "
+        "assassinated.",
+        3, 0.07,
+        (
+            EventIncident("Guinea-Bissau", 26, 3, 10.0),
+        ),
+    ),
+    MajorEvent(
+        15, "Tsvangirai",
+        "M. Tsvangirai is sworn in as the new Prime Minister of "
+        "Zimbabwe.",
+        3, 0.05,
+        (
+            EventIncident("Zimbabwe", 23, 3, 10.0),
+        ),
+    ),
+    MajorEvent(
+        16, "Rajoelina",
+        "Andry Rajoelina becomes the new President of Madagascar after "
+        "a military coup d'etat.",
+        3, 0.05,
+        (
+            EventIncident("Madagascar", 28, 3, 10.0),
+        ),
+    ),
+    MajorEvent(
+        17, "Fujimori",
+        "Former Peruvian Pres. Fujimori is sentenced to 25 years in "
+        "prison for killings and kidnappings by security forces.",
+        3, 0.06,
+        (
+            EventIncident("Peru", 31, 2, 10.0),
+        ),
+    ),
+    MajorEvent(
+        18, "Zelaya",
+        "The Supreme Court of Honduras orders the arrest and exile of "
+        "President M. Zelaya.",
+        3, 0.12,
+        (
+            EventIncident("Honduras", 43, 4, 12.0),
+        ),
+    ),
+)
+"""The eighteen events, ordered as in Tables 1/9."""
+
+
+def events_by_tier(tier: int) -> List[MajorEvent]:
+    """Events of one impact tier (1, 2 or 3)."""
+    if tier not in (1, 2, 3):
+        raise ValueError("tier must be 1, 2 or 3")
+    return [event for event in MAJOR_EVENTS if event.tier == tier]

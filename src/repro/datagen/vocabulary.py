@@ -1,0 +1,68 @@
+"""Synthetic vocabularies and background text.
+
+The Topix-style corpus needs realistic background chatter: a Zipfian
+vocabulary from which background documents draw their tokens, with the
+event query terms embedded at low ambient rates so that the
+expected-frequency baselines have something to learn.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import List, Sequence, Tuple
+
+from repro.errors import GenerationError
+
+__all__ = ["ZipfVocabulary"]
+
+
+class ZipfVocabulary:
+    """A vocabulary with Zipf-distributed token probabilities.
+
+    Token ``i`` (0-based rank) is drawn with probability proportional to
+    ``1 / (i + 1)^exponent``.
+
+    Args:
+        size: Number of distinct background terms.
+        exponent: Zipf exponent (1.0 is the classic law).
+        extra_terms: Terms appended *after* the background ranks —
+            typically the event query terms — so they exist in the
+            vocabulary at the lowest ambient probabilities.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        exponent: float = 1.0,
+        extra_terms: Sequence[str] = (),
+    ) -> None:
+        if size < 1:
+            raise GenerationError("vocabulary size must be positive")
+        if exponent <= 0.0:
+            raise GenerationError("Zipf exponent must be positive")
+        self.terms: List[str] = [f"term{i:05d}" for i in range(size)]
+        self.terms.extend(extra_terms)
+        weights = [
+            1.0 / (rank + 1.0) ** exponent for rank in range(len(self.terms))
+        ]
+        self._cumulative = list(itertools.accumulate(weights))
+        self._total = self._cumulative[-1]
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def sample(self, rng: random.Random) -> str:
+        """Draw one token."""
+        probe = rng.random() * self._total
+        index = bisect.bisect_left(self._cumulative, probe)
+        return self.terms[min(index, len(self.terms) - 1)]
+
+    def sample_document(
+        self, rng: random.Random, length: int
+    ) -> Tuple[str, ...]:
+        """Draw a background document of ``length`` tokens."""
+        if length < 1:
+            raise GenerationError("document length must be positive")
+        return tuple(self.sample(rng) for _ in range(length))

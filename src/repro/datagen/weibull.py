@@ -1,0 +1,104 @@
+"""Weibull event-shape curves (Appendix B, Eq. 12 / Figure 9).
+
+The generators inject event bursts whose temporal profile follows the
+Weibull density
+
+    f(x; c, k) = (k/c) (x/c)^{k-1} exp(-(x/c)^k),   x ≥ 0
+
+"the density function of this distribution emulates the burstiness
+process": sharp-onset events (small k), slow build-ups (large k), long
+or short decays (scale c).  The curve is evaluated at the timestamp
+orders 1, 2, …, |T| and rescaled so its peak equals a chosen frequency
+``P`` — the paper's ``v/m`` renormalisation through the mode ``m``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.errors import GenerationError
+
+__all__ = ["weibull_pdf", "weibull_mode", "burst_profile", "FIGURE9_SETTINGS"]
+
+FIGURE9_SETTINGS: Tuple[Tuple[float, float], ...] = (
+    (1.0, 1.0),
+    (1.5, 1.0),
+    (5.0, 1.0),
+    (1.0, 2.0),
+    (1.5, 3.0),
+    (5.0, 3.0),
+)
+"""(k, c) pairs exercising the qualitative shapes of Figure 9."""
+
+
+def weibull_pdf(x: float, shape: float, scale: float) -> float:
+    """The Weibull density ``f(x; c, k)`` (Eq. 12).
+
+    Args:
+        x: Evaluation point (density is 0 for ``x < 0``).
+        shape: The ``k`` parameter (> 0).
+        scale: The ``c`` parameter (> 0).
+    """
+    if shape <= 0.0 or scale <= 0.0:
+        raise GenerationError("Weibull shape and scale must be positive")
+    if x < 0.0:
+        return 0.0
+    if x == 0.0:
+        # k < 1 diverges at 0; k == 1 gives 1/c; k > 1 gives 0.
+        if shape < 1.0:
+            return math.inf
+        if shape == 1.0:
+            return 1.0 / scale
+        return 0.0
+    ratio = x / scale
+    return (shape / scale) * ratio ** (shape - 1.0) * math.exp(-(ratio**shape))
+
+
+def weibull_mode(shape: float, scale: float) -> float:
+    """The mode ``m`` of the Weibull distribution.
+
+    ``c((k−1)/k)^{1/k}`` for ``k > 1``; 0 for ``k ≤ 1`` (monotone
+    density).
+    """
+    if shape <= 0.0 or scale <= 0.0:
+        raise GenerationError("Weibull shape and scale must be positive")
+    if shape <= 1.0:
+        return 0.0
+    return scale * ((shape - 1.0) / shape) ** (1.0 / shape)
+
+
+def burst_profile(
+    length: int,
+    shape: float,
+    scale: float,
+    peak: float,
+) -> List[float]:
+    """A burst's frequency profile over ``length`` timestamps.
+
+    Evaluates the pdf at ``x = 1 .. length`` and rescales so that the
+    largest sampled value equals ``peak``: "we can easily set the
+    frequency P at which the curve peaks to any given value v, by simply
+    multiplying all the values in the sequence with v/m".
+
+    Args:
+        length: Number of timestamps the burst spans (≥ 1).
+        shape: Weibull ``k``.
+        scale: Weibull ``c`` — expressed in the same timestamp units.
+        peak: The desired maximum frequency (> 0).
+
+    Returns:
+        ``length`` non-negative frequency values peaking at ``peak``.
+    """
+    if length < 1:
+        raise GenerationError("burst length must be at least 1")
+    if peak <= 0.0:
+        raise GenerationError("peak frequency must be positive")
+    values = [weibull_pdf(float(x), shape, scale) for x in range(1, length + 1)]
+    top = max(values)
+    if top <= 0.0 or math.isinf(top):
+        # Degenerate parameterisations (all-zero samples, or a k<1
+        # divergence sampled exactly at 0 — impossible here since x ≥ 1,
+        # but guarded anyway) fall back to a flat profile.
+        return [peak] * length
+    return [value * peak / top for value in values]

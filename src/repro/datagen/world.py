@@ -1,0 +1,247 @@
+"""Country gazetteer: the 181 geostamped news sources.
+
+The Topix dataset aggregates "local news sources from 181 different
+countries" (Section 6.1).  This module carries an offline gazetteer of
+countries with approximate capital-city coordinates, from which the
+corpus generator takes the first ``n`` entries (181 by default) and
+projects them to the 2-D plane via geodesic distances + classical MDS,
+exactly as the paper does.
+
+Coordinates are approximate (±1°), which is irrelevant for the
+algorithms: they only consume relative positions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+__all__ = ["Country", "WORLD_COUNTRIES", "default_countries"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Country:
+    """One news source: a country and its representative coordinates."""
+
+    name: str
+    iso: str
+    lat: float
+    lon: float
+
+
+_RAW: List[Tuple[str, str, float, float]] = [
+    ("United States", "US", 38.9, -77.0),
+    ("Canada", "CA", 45.4, -75.7),
+    ("Mexico", "MX", 19.4, -99.1),
+    ("Guatemala", "GT", 14.6, -90.5),
+    ("Belize", "BZ", 17.3, -88.8),
+    ("Honduras", "HN", 14.1, -87.2),
+    ("El Salvador", "SV", 13.7, -89.2),
+    ("Nicaragua", "NI", 12.1, -86.3),
+    ("Costa Rica", "CR", 9.9, -84.1),
+    ("Panama", "PA", 9.0, -79.5),
+    ("Cuba", "CU", 23.1, -82.4),
+    ("Jamaica", "JM", 18.0, -76.8),
+    ("Haiti", "HT", 18.5, -72.3),
+    ("Dominican Republic", "DO", 18.5, -69.9),
+    ("Bahamas", "BS", 25.1, -77.4),
+    ("Trinidad and Tobago", "TT", 10.7, -61.5),
+    ("Barbados", "BB", 13.1, -59.6),
+    ("Colombia", "CO", 4.7, -74.1),
+    ("Venezuela", "VE", 10.5, -66.9),
+    ("Guyana", "GY", 6.8, -58.2),
+    ("Suriname", "SR", 5.9, -55.2),
+    ("Ecuador", "EC", -0.2, -78.5),
+    ("Peru", "PE", -12.0, -77.0),
+    ("Brazil", "BR", -15.8, -47.9),
+    ("Bolivia", "BO", -16.5, -68.1),
+    ("Paraguay", "PY", -25.3, -57.6),
+    ("Chile", "CL", -33.4, -70.7),
+    ("Argentina", "AR", -34.6, -58.4),
+    ("Uruguay", "UY", -34.9, -56.2),
+    ("Iceland", "IS", 64.1, -21.9),
+    ("Ireland", "IE", 53.3, -6.2),
+    ("United Kingdom", "GB", 51.5, -0.1),
+    ("Portugal", "PT", 38.7, -9.1),
+    ("Spain", "ES", 40.4, -3.7),
+    ("France", "FR", 48.9, 2.4),
+    ("Belgium", "BE", 50.8, 4.4),
+    ("Netherlands", "NL", 52.4, 4.9),
+    ("Luxembourg", "LU", 49.6, 6.1),
+    ("Germany", "DE", 52.5, 13.4),
+    ("Switzerland", "CH", 46.9, 7.4),
+    ("Austria", "AT", 48.2, 16.4),
+    ("Italy", "IT", 41.9, 12.5),
+    ("Malta", "MT", 35.9, 14.5),
+    ("Denmark", "DK", 55.7, 12.6),
+    ("Norway", "NO", 59.9, 10.7),
+    ("Sweden", "SE", 59.3, 18.1),
+    ("Finland", "FI", 60.2, 24.9),
+    ("Estonia", "EE", 59.4, 24.8),
+    ("Latvia", "LV", 56.9, 24.1),
+    ("Lithuania", "LT", 54.7, 25.3),
+    ("Poland", "PL", 52.2, 21.0),
+    ("Czech Republic", "CZ", 50.1, 14.4),
+    ("Slovakia", "SK", 48.1, 17.1),
+    ("Hungary", "HU", 47.5, 19.0),
+    ("Slovenia", "SI", 46.1, 14.5),
+    ("Croatia", "HR", 45.8, 16.0),
+    ("Bosnia and Herzegovina", "BA", 43.9, 18.4),
+    ("Serbia", "RS", 44.8, 20.5),
+    ("Montenegro", "ME", 42.4, 19.3),
+    ("Albania", "AL", 41.3, 19.8),
+    ("North Macedonia", "MK", 42.0, 21.4),
+    ("Greece", "GR", 38.0, 23.7),
+    ("Bulgaria", "BG", 42.7, 23.3),
+    ("Romania", "RO", 44.4, 26.1),
+    ("Moldova", "MD", 47.0, 28.9),
+    ("Ukraine", "UA", 50.5, 30.5),
+    ("Belarus", "BY", 53.9, 27.6),
+    ("Russia", "RU", 55.8, 37.6),
+    ("Turkey", "TR", 39.9, 32.9),
+    ("Cyprus", "CY", 35.2, 33.4),
+    ("Georgia", "GE", 41.7, 44.8),
+    ("Armenia", "AM", 40.2, 44.5),
+    ("Azerbaijan", "AZ", 40.4, 49.9),
+    ("Morocco", "MA", 34.0, -6.8),
+    ("Algeria", "DZ", 36.8, 3.1),
+    ("Tunisia", "TN", 36.8, 10.2),
+    ("Libya", "LY", 32.9, 13.2),
+    ("Egypt", "EG", 30.0, 31.2),
+    ("Sudan", "SD", 15.6, 32.5),
+    ("Mauritania", "MR", 18.1, -15.9),
+    ("Mali", "ML", 12.6, -8.0),
+    ("Niger", "NE", 13.5, 2.1),
+    ("Chad", "TD", 12.1, 15.0),
+    ("Senegal", "SN", 14.7, -17.5),
+    ("Gambia", "GM", 13.5, -16.6),
+    ("Guinea-Bissau", "GW", 11.9, -15.6),
+    ("Guinea", "GN", 9.5, -13.7),
+    ("Sierra Leone", "SL", 8.5, -13.2),
+    ("Liberia", "LR", 6.3, -10.8),
+    ("Ivory Coast", "CI", 5.3, -4.0),
+    ("Ghana", "GH", 5.6, -0.2),
+    ("Togo", "TG", 6.1, 1.2),
+    ("Benin", "BJ", 6.4, 2.4),
+    ("Burkina Faso", "BF", 12.4, -1.5),
+    ("Nigeria", "NG", 9.1, 7.4),
+    ("Cameroon", "CM", 3.9, 11.5),
+    ("Central African Republic", "CF", 4.4, 18.6),
+    ("Equatorial Guinea", "GQ", 3.8, 8.8),
+    ("Gabon", "GA", 0.4, 9.5),
+    ("Republic of the Congo", "CG", -4.3, 15.3),
+    ("DR Congo", "CD", -4.3, 15.3),
+    ("Angola", "AO", -8.8, 13.2),
+    ("Namibia", "NA", -22.6, 17.1),
+    ("Botswana", "BW", -24.7, 25.9),
+    ("South Africa", "ZA", -25.7, 28.2),
+    ("Lesotho", "LS", -29.3, 27.5),
+    ("Eswatini", "SZ", -26.3, 31.1),
+    ("Zimbabwe", "ZW", -17.8, 31.1),
+    ("Zambia", "ZM", -15.4, 28.3),
+    ("Malawi", "MW", -14.0, 33.8),
+    ("Mozambique", "MZ", -25.9, 32.6),
+    ("Madagascar", "MG", -18.9, 47.5),
+    ("Mauritius", "MU", -20.2, 57.5),
+    ("Comoros", "KM", -11.7, 43.3),
+    ("Seychelles", "SC", -4.6, 55.5),
+    ("Tanzania", "TZ", -6.8, 39.3),
+    ("Kenya", "KE", -1.3, 36.8),
+    ("Uganda", "UG", 0.3, 32.6),
+    ("Rwanda", "RW", -1.9, 30.1),
+    ("Burundi", "BI", -3.4, 29.4),
+    ("Ethiopia", "ET", 9.0, 38.7),
+    ("Eritrea", "ER", 15.3, 38.9),
+    ("Djibouti", "DJ", 11.6, 43.1),
+    ("Somalia", "SO", 2.0, 45.3),
+    ("Israel", "IL", 31.8, 35.2),
+    ("Palestine", "PS", 31.5, 34.5),
+    ("Lebanon", "LB", 33.9, 35.5),
+    ("Syria", "SY", 33.5, 36.3),
+    ("Jordan", "JO", 31.9, 35.9),
+    ("Saudi Arabia", "SA", 24.7, 46.7),
+    ("Yemen", "YE", 15.4, 44.2),
+    ("Oman", "OM", 23.6, 58.6),
+    ("United Arab Emirates", "AE", 24.5, 54.4),
+    ("Qatar", "QA", 25.3, 51.5),
+    ("Bahrain", "BH", 26.2, 50.6),
+    ("Kuwait", "KW", 29.4, 48.0),
+    ("Iraq", "IQ", 33.3, 44.4),
+    ("Iran", "IR", 35.7, 51.4),
+    ("Afghanistan", "AF", 34.5, 69.2),
+    ("Pakistan", "PK", 33.7, 73.0),
+    ("India", "IN", 28.6, 77.2),
+    ("Nepal", "NP", 27.7, 85.3),
+    ("Bhutan", "BT", 27.5, 89.6),
+    ("Bangladesh", "BD", 23.8, 90.4),
+    ("Sri Lanka", "LK", 6.9, 79.9),
+    ("Maldives", "MV", 4.2, 73.5),
+    ("Kazakhstan", "KZ", 51.2, 71.4),
+    ("Uzbekistan", "UZ", 41.3, 69.2),
+    ("Turkmenistan", "TM", 37.9, 58.4),
+    ("Kyrgyzstan", "KG", 42.9, 74.6),
+    ("Tajikistan", "TJ", 38.6, 68.8),
+    ("China", "CN", 39.9, 116.4),
+    ("Mongolia", "MN", 47.9, 106.9),
+    ("North Korea", "KP", 39.0, 125.8),
+    ("South Korea", "KR", 37.6, 127.0),
+    ("Japan", "JP", 35.7, 139.7),
+    ("Taiwan", "TW", 25.0, 121.6),
+    ("Myanmar", "MM", 19.8, 96.2),
+    ("Thailand", "TH", 13.8, 100.5),
+    ("Laos", "LA", 17.9, 102.6),
+    ("Cambodia", "KH", 11.6, 104.9),
+    ("Vietnam", "VN", 21.0, 105.9),
+    ("Malaysia", "MY", 3.1, 101.7),
+    ("Singapore", "SG", 1.3, 103.8),
+    ("Indonesia", "ID", -6.2, 106.8),
+    ("Brunei", "BN", 4.9, 114.9),
+    ("Philippines", "PH", 14.6, 121.0),
+    ("East Timor", "TL", -8.6, 125.6),
+    ("Papua New Guinea", "PG", -9.4, 147.2),
+    ("Australia", "AU", -35.3, 149.1),
+    ("New Zealand", "NZ", -41.3, 174.8),
+    ("Fiji", "FJ", -18.1, 178.4),
+    ("Solomon Islands", "SB", -9.4, 160.0),
+    ("Vanuatu", "VU", -17.7, 168.3),
+    ("Samoa", "WS", -13.8, -171.8),
+    ("Tonga", "TO", -21.1, -175.2),
+    ("Cape Verde", "CV", 14.9, -23.5),
+    ("Sao Tome and Principe", "ST", 0.3, 6.7),
+    ("Andorra", "AD", 42.5, 1.5),
+    ("Monaco", "MC", 43.7, 7.4),
+    ("Liechtenstein", "LI", 47.1, 9.5),
+    ("San Marino", "SM", 43.9, 12.4),
+    ("Kosovo", "XK", 42.7, 21.2),
+    ("Grenada", "GD", 12.1, -61.8),
+    ("Saint Lucia", "LC", 14.0, -61.0),
+    ("Dominica", "DM", 15.3, -61.4),
+    ("Antigua and Barbuda", "AG", 17.1, -61.8),
+    ("Saint Vincent", "VC", 13.2, -61.2),
+    ("Saint Kitts and Nevis", "KN", 17.3, -62.7),
+    ("Kiribati", "KI", 1.3, 173.0),
+    ("Micronesia", "FM", 6.9, 158.2),
+    ("Palau", "PW", 7.5, 134.6),
+    ("Marshall Islands", "MH", 7.1, 171.4),
+    ("Nauru", "NR", -0.5, 166.9),
+    ("Tuvalu", "TV", -8.5, 179.2),
+]
+
+WORLD_COUNTRIES: Tuple[Country, ...] = tuple(
+    Country(name=name, iso=iso, lat=lat, lon=lon) for name, iso, lat, lon in _RAW
+)
+"""All gazetteer entries (more than 181; callers slice what they need)."""
+
+
+def default_countries(n: int = 181) -> List[Country]:
+    """The first ``n`` countries (181 matches the Topix dataset).
+
+    Raises:
+        ValueError: when more countries are requested than the
+            gazetteer holds.
+    """
+    if n > len(WORLD_COUNTRIES):
+        raise ValueError(
+            f"gazetteer has {len(WORLD_COUNTRIES)} countries, {n} requested"
+        )
+    return list(WORLD_COUNTRIES[:n])

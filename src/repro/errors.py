@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class InvalidIntervalError(ReproError, ValueError):
+    """Raised when an interval is constructed with ``end < start``."""
+
+
+class OverlapError(ReproError, ValueError):
+    """Raised when overlapping intervals are added to a non-overlapping set."""
+
+
+class EmptyInputError(ReproError, ValueError):
+    """Raised when an algorithm receives an empty input it cannot handle."""
+
+
+class InvalidGeometryError(ReproError, ValueError):
+    """Raised for degenerate geometric inputs (e.g. inverted rectangles)."""
+
+
+class StreamError(ReproError, ValueError):
+    """Raised for inconsistent document-stream operations."""
+
+
+class UnknownTermError(ReproError, KeyError):
+    """Raised when a term is looked up that the collection never observed."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised when an algorithm configuration is internally inconsistent."""
+
+
+class SearchError(ReproError, ValueError):
+    """Raised for invalid search-engine requests (e.g. empty query)."""
+
+
+class GenerationError(ReproError, ValueError):
+    """Raised when a data generator is given unsatisfiable parameters."""

@@ -1,0 +1,47 @@
+"""Evaluation harness: metrics, annotator, experiment runners."""
+
+from repro.eval.metrics import (
+    end_error,
+    jaccard_similarity,
+    precision_at_k,
+    start_error,
+    topk_overlap,
+)
+from repro.eval.annotator import GroundTruthAnnotator
+from repro.eval.reporting import render_histogram, render_series, render_table
+from repro.eval.experiments import (
+    TopixLab,
+    build_topix_lab,
+    exp_figure4,
+    exp_figure5,
+    exp_figure6,
+    exp_figure7,
+    exp_figure8,
+    exp_figure9,
+    exp_table1,
+    exp_table2,
+    exp_table3,
+)
+
+__all__ = [
+    "GroundTruthAnnotator",
+    "TopixLab",
+    "build_topix_lab",
+    "end_error",
+    "exp_figure4",
+    "exp_figure5",
+    "exp_figure6",
+    "exp_figure7",
+    "exp_figure8",
+    "exp_figure9",
+    "exp_table1",
+    "exp_table2",
+    "exp_table3",
+    "jaccard_similarity",
+    "precision_at_k",
+    "render_histogram",
+    "render_series",
+    "render_table",
+    "start_error",
+    "topk_overlap",
+]

@@ -1,0 +1,33 @@
+"""Ground-truth relevance annotation.
+
+The paper's Table-3 evaluation shows each retrieved document to "a
+human annotator, who marks each of them as relevant or not relevant to
+the event".  Our synthetic corpus carries provenance on every document
+(``Document.event_id``), so the annotator is exact and deterministic:
+a document is relevant to an event iff the event generated it.
+Follower/context documents that merely *mention* the query terms carry
+``event_id=None`` and are judged non-relevant — precisely the judgement
+the human annotator made for tangential articles.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Sequence
+
+from repro.streams.document import Document
+
+__all__ = ["GroundTruthAnnotator"]
+
+
+class GroundTruthAnnotator:
+    """Provenance-based relevance judge."""
+
+    def is_relevant(self, document: Document, event_id: Hashable) -> bool:
+        """Relevance of one document to one event."""
+        return document.event_id == event_id
+
+    def judge(
+        self, documents: Sequence[Document], event_id: Hashable
+    ) -> List[bool]:
+        """Relevance flags for a ranked result list."""
+        return [self.is_relevant(document, event_id) for document in documents]

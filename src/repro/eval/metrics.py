@@ -1,0 +1,84 @@
+"""Evaluation metrics (Section 6).
+
+* JaccardSim — stream-set recovery quality (Table 2);
+* Start-Error / End-Error — timeframe recovery (Table 2);
+* precision@k — retrieval quality against relevance labels (Table 3);
+* top-k overlap — pairwise result-list similarity (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional, Sequence, Set
+
+from repro.errors import EmptyInputError
+from repro.intervals.interval import Interval
+
+__all__ = [
+    "jaccard_similarity",
+    "start_error",
+    "end_error",
+    "precision_at_k",
+    "topk_overlap",
+]
+
+
+def jaccard_similarity(
+    retrieved: Iterable[Hashable], actual: Iterable[Hashable]
+) -> float:
+    """``|Y ∩ Y'| / |Y ∪ Y'|`` over stream sets (Section 6.2.2).
+
+    Both sets empty → 1.0 (perfect agreement on "nothing").
+    """
+    retrieved_set: Set[Hashable] = set(retrieved)
+    actual_set: Set[Hashable] = set(actual)
+    union = retrieved_set | actual_set
+    if not union:
+        return 1.0
+    return len(retrieved_set & actual_set) / len(union)
+
+
+def start_error(retrieved: Interval, actual: Interval) -> int:
+    """``|i − i'|`` for the timeframes' first timestamps."""
+    return abs(retrieved.start - actual.start)
+
+
+def end_error(retrieved: Interval, actual: Interval) -> int:
+    """``|i − i'|`` for the timeframes' last timestamps."""
+    return abs(retrieved.end - actual.end)
+
+
+def precision_at_k(
+    relevant_flags: Sequence[bool], k: Optional[int] = None
+) -> float:
+    """Fraction of the first ``k`` results marked relevant.
+
+    Args:
+        relevant_flags: Relevance of each returned document, in rank
+            order.
+        k: Cut-off; defaults to the full list.
+
+    Raises:
+        EmptyInputError: when no results were returned at all.
+    """
+    if k is None:
+        k = len(relevant_flags)
+    if k == 0 or not relevant_flags:
+        raise EmptyInputError("precision@k of an empty result list")
+    top = relevant_flags[:k]
+    return sum(1 for flag in top if flag) / len(top)
+
+
+def topk_overlap(
+    first: Sequence[Hashable], second: Sequence[Hashable]
+) -> float:
+    """Top-k set similarity: ``|A ∩ B| / max(|A|, |B|)``.
+
+    Section 6.3 defines it as "the size of the overlap divided by 10"
+    for two top-10 lists; the denominator generalises to the longer
+    list when the engines returned fewer than k documents.
+    """
+    first_set, second_set = set(first), set(second)
+    denominator = max(len(first_set), len(second_set))
+    if denominator == 0:
+        return 1.0
+    return len(first_set & second_set) / denominator

@@ -1,0 +1,69 @@
+"""ASCII rendering of tables and series, in the paper's layout.
+
+The benchmark harness prints the same rows/columns the paper's tables
+report, so a side-by-side comparison with the PDF is a plain visual
+diff.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["render_table", "render_series", "render_histogram"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+) -> str:
+    """Render an aligned monospace table with a title rule."""
+    materialised: List[List[str]] = [
+        [_format_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    body = [title, rule, line(headers), rule]
+    body.extend(line(row) for row in materialised)
+    body.append(rule)
+    return "\n".join(body)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    series: Sequence[Tuple[str, Sequence[float]]],
+    x_values: Sequence,
+) -> str:
+    """Render one or more y-series against shared x values."""
+    headers = [x_label] + [name for name, _ in series]
+    rows = []
+    for index, x in enumerate(x_values):
+        row = [x] + [values[index] for _, values in series]
+        rows.append(row)
+    return render_table(title, headers, rows)
+
+
+def render_histogram(
+    title: str,
+    buckets: Sequence[Tuple[str, float]],
+) -> str:
+    """Render labelled fractions with proportional bars (Figure 5 style)."""
+    lines = [title]
+    for label, fraction in buckets:
+        bar = "#" * int(round(fraction * 50))
+        lines.append(f"  {label:>12}  {fraction * 100:5.1f}%  {bar}")
+    return "\n".join(lines)

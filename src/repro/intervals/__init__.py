@@ -1,0 +1,46 @@
+"""Interval algebra substrate.
+
+Closed integer intervals, disjoint interval sets, interval graphs, and
+the maximum-weight-clique machinery that powers STComb (Section 3 of the
+paper).
+"""
+
+from repro.intervals.interval import (
+    Interval,
+    common_segment,
+    pairwise_intersecting,
+)
+from repro.intervals.interval_set import (
+    IntervalSet,
+    fill_gaps,
+    intervals_from_mask,
+    merge_touching,
+)
+from repro.intervals.graph import (
+    IntervalGraph,
+    WeightedInterval,
+    build_interval_graph,
+)
+from repro.intervals.max_clique import (
+    CliqueResult,
+    iterated_max_cliques,
+    max_weight_clique,
+)
+from repro.intervals.enumerate_cliques import enumerate_maximal_cliques
+
+__all__ = [
+    "Interval",
+    "IntervalSet",
+    "IntervalGraph",
+    "WeightedInterval",
+    "CliqueResult",
+    "build_interval_graph",
+    "common_segment",
+    "enumerate_maximal_cliques",
+    "fill_gaps",
+    "intervals_from_mask",
+    "iterated_max_cliques",
+    "max_weight_clique",
+    "merge_touching",
+    "pairwise_intersecting",
+]

@@ -1,0 +1,127 @@
+"""Interval graphs over per-stream bursty intervals.
+
+Section 3 reduces the Highest-Scoring-Subset (HSS) problem to
+Maximum-Weight Clique on the *intersection graph* of the bursty
+intervals: one vertex per interval, an edge between every pair of
+intersecting intervals, and vertex weight equal to the interval's
+temporal burstiness ``B_T``.  This module builds that graph explicitly
+(useful for inspection, testing and the maximal-clique enumerator) —
+the production MWCI solver in :mod:`repro.intervals.max_clique` never
+materialises it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.intervals.interval import Interval
+
+__all__ = ["WeightedInterval", "IntervalGraph", "build_interval_graph"]
+
+
+@dataclasses.dataclass(frozen=True)
+class WeightedInterval:
+    """A bursty interval tagged with its origin stream and its score.
+
+    Attributes:
+        interval: The temporal extent of the burst.
+        weight: The burstiness score ``B_T(interval)`` (Eq. 1).
+        stream_id: Identifier of the document stream the burst came from.
+            ``None`` for synthetic/abstract instances (e.g. unit tests).
+    """
+
+    interval: Interval
+    weight: float
+    stream_id: Optional[Hashable] = None
+
+    @property
+    def start(self) -> int:
+        return self.interval.start
+
+    @property
+    def end(self) -> int:
+        return self.interval.end
+
+
+class IntervalGraph:
+    """Explicit intersection graph of a family of weighted intervals.
+
+    The graph is stored both as an adjacency structure (via
+    :mod:`networkx`) and as the original interval list, so cliques can be
+    mapped back to interval subsets.
+
+    Args:
+        intervals: The weighted intervals; vertex ``i`` corresponds to
+            ``intervals[i]``.
+    """
+
+    def __init__(self, intervals: Sequence[WeightedInterval]) -> None:
+        self._intervals: Tuple[WeightedInterval, ...] = tuple(intervals)
+        self._graph = nx.Graph()
+        for index, witem in enumerate(self._intervals):
+            self._graph.add_node(index, weight=witem.weight)
+        # Sort-and-sweep edge construction: O(n log n + |E|).
+        order = sorted(range(len(self._intervals)), key=lambda i: self._intervals[i].start)
+        active: List[int] = []
+        for index in order:
+            current = self._intervals[index]
+            still_active = []
+            for other in active:
+                if self._intervals[other].end >= current.start:
+                    self._graph.add_edge(other, index)
+                    still_active.append(other)
+            active = still_active
+            active.append(index)
+
+    @property
+    def intervals(self) -> Tuple[WeightedInterval, ...]:
+        return self._intervals
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying :class:`networkx.Graph` (vertices are indices)."""
+        return self._graph
+
+    def vertex_count(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def edge_count(self) -> int:
+        return self._graph.number_of_edges()
+
+    def weight(self, vertex: int) -> float:
+        """Weight of a vertex (the burstiness of its interval)."""
+        return self._intervals[vertex].weight
+
+    def clique_weight(self, vertices: Sequence[int]) -> float:
+        """Total weight of a vertex subset."""
+        return sum(self._intervals[v].weight for v in vertices)
+
+    def is_clique(self, vertices: Sequence[int]) -> bool:
+        """Check that every pair of the given vertices is adjacent."""
+        items = list(vertices)
+        for i, u in enumerate(items):
+            for v in items[i + 1 :]:
+                if not self._graph.has_edge(u, v):
+                    return False
+        return True
+
+    def subset(self, vertices: Sequence[int]) -> List[WeightedInterval]:
+        """Map vertex indices back to their weighted intervals."""
+        return [self._intervals[v] for v in vertices]
+
+    def degrees(self) -> Dict[int, int]:
+        """Vertex degree map — handy for inspecting burst co-occurrence."""
+        return dict(self._graph.degree())
+
+
+def build_interval_graph(intervals: Sequence[WeightedInterval]) -> IntervalGraph:
+    """Construct the interval graph for a family of weighted intervals.
+
+    This is the "From CB to MWCI" direction of the Proposition 1 proof
+    (Appendix A.1): vertices for intervals, edges for intersections,
+    vertex weights from ``B_T``.
+    """
+    return IntervalGraph(intervals)

@@ -1,0 +1,170 @@
+"""Collections of non-overlapping intervals.
+
+Per-stream burst detectors (:mod:`repro.temporal.lappas`,
+:mod:`repro.temporal.kleinberg`) report *strictly non-overlapping* bursty
+intervals — a property STComb depends on, because it means overlap can
+only exist between intervals of *different* streams.  This module
+provides the container that enforces the invariant, plus the merge and
+gap-filling helpers used by the ``Base`` baseline.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import OverlapError
+from repro.intervals.interval import Interval
+
+__all__ = ["IntervalSet", "merge_touching", "fill_gaps", "intervals_from_mask"]
+
+
+class IntervalSet:
+    """An ordered set of pairwise-disjoint closed intervals.
+
+    The set keeps its members sorted by start; insertion is
+    ``O(log n + n)`` (bisect + list insert), membership queries are
+    ``O(log n)``.
+
+    Args:
+        intervals: Optional initial intervals; they must be pairwise
+            disjoint or :class:`~repro.errors.OverlapError` is raised.
+    """
+
+    def __init__(self, intervals: Optional[Iterable[Interval]] = None) -> None:
+        self._items: List[Interval] = []
+        if intervals is not None:
+            for interval in sorted(intervals):
+                self.add(interval)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, interval: Interval) -> None:
+        """Insert ``interval``, preserving sortedness and disjointness.
+
+        Raises:
+            OverlapError: if the new interval intersects an existing one.
+        """
+        index = bisect.bisect_left(self._items, interval)
+        if index > 0 and self._items[index - 1].intersects(interval):
+            raise OverlapError(
+                f"{interval} overlaps existing {self._items[index - 1]}"
+            )
+        if index < len(self._items) and self._items[index].intersects(interval):
+            raise OverlapError(f"{interval} overlaps existing {self._items[index]}")
+        self._items.insert(index, interval)
+
+    def discard(self, interval: Interval) -> bool:
+        """Remove ``interval`` if present; return whether it was removed."""
+        index = bisect.bisect_left(self._items, interval)
+        if index < len(self._items) and self._items[index] == interval:
+            del self._items[index]
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def covering(self, timestamp: int) -> Optional[Interval]:
+        """Return the member interval containing ``timestamp``, if any."""
+        index = bisect.bisect_right(self._items, Interval(timestamp, timestamp))
+        # The candidate can only be the interval starting at or before the
+        # probe position.
+        for candidate_index in (index - 1, index):
+            if 0 <= candidate_index < len(self._items):
+                candidate = self._items[candidate_index]
+                if timestamp in candidate:
+                    return candidate
+        return None
+
+    def overlapping(self, interval: Interval) -> List[Interval]:
+        """Return all member intervals intersecting ``interval``."""
+        return [item for item in self._items if item.intersects(interval)]
+
+    def total_length(self) -> int:
+        """Total number of timestamps covered by the set."""
+        return sum(item.length for item in self._items)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, interval: Interval) -> bool:
+        index = bisect.bisect_left(self._items, interval)
+        return index < len(self._items) and self._items[index] == interval
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._items == other._items
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(str(item) for item in self._items)
+        return f"IntervalSet({body})"
+
+
+def merge_touching(intervals: Iterable[Interval]) -> List[Interval]:
+    """Coalesce intervals that overlap *or are adjacent* into maximal runs.
+
+    Adjacent means ``a.end + 1 == b.start`` on the discrete timeline.
+    The result is sorted and pairwise disjoint.
+    """
+    ordered = sorted(intervals)
+    merged: List[Interval] = []
+    for interval in ordered:
+        if merged and interval.start <= merged[-1].end + 1:
+            merged[-1] = merged[-1].union_span(interval)
+        else:
+            merged.append(interval)
+    return merged
+
+
+def fill_gaps(intervals: Sequence[Interval], max_gap: int) -> List[Interval]:
+    """Merge consecutive intervals separated by gaps shorter than ``max_gap``.
+
+    This is the gap-tolerance step of the ``Base`` baseline (Section
+    6.2.2): "replace any contiguous segment of zeros that has length less
+    than ℓ ... with an equal segment of ones".  Interior gaps of length
+    ``< max_gap`` are absorbed; gaps at the sequence boundaries are, per
+    the paper, never filled (they are simply not between two intervals).
+
+    Args:
+        intervals: Sorted or unsorted disjoint intervals.
+        max_gap: Strict upper bound on the gap lengths to absorb.
+
+    Returns:
+        A new sorted list of disjoint intervals.
+    """
+    ordered = sorted(intervals)
+    if not ordered:
+        return []
+    result = [ordered[0]]
+    for interval in ordered[1:]:
+        gap = interval.start - result[-1].end - 1
+        if 0 <= gap < max_gap:
+            result[-1] = result[-1].union_span(interval)
+        else:
+            result.append(interval)
+    return result
+
+
+def intervals_from_mask(mask: Sequence[bool]) -> List[Interval]:
+    """Convert a boolean activity mask into the list of maximal runs of 1s.
+
+    Example:
+        ``[0, 1, 1, 0, 1]`` becomes ``[Interval(1, 2), Interval(4, 4)]``.
+    """
+    runs: List[Interval] = []
+    run_start: Optional[int] = None
+    for index, active in enumerate(mask):
+        if active and run_start is None:
+            run_start = index
+        elif not active and run_start is not None:
+            runs.append(Interval(run_start, index - 1))
+            run_start = None
+    if run_start is not None:
+        runs.append(Interval(run_start, len(mask) - 1))
+    return runs

@@ -1,0 +1,40 @@
+"""Bursty-document search (Section 5): index, TA, engines."""
+
+from repro.search.relevance import (
+    RelevanceFunction,
+    binary_relevance,
+    log_relevance,
+    raw_relevance,
+)
+from repro.search.inverted_index import InvertedIndex, Posting, PostingList
+from repro.search.threshold_algorithm import (
+    TopKResult,
+    exhaustive_topk,
+    threshold_topk,
+)
+from repro.search.engine import (
+    BurstySearchEngine,
+    SearchResult,
+    TemporalPattern,
+    TemporalSearchEngine,
+)
+from repro.search.ensemble import EnsembleResult, EnsembleSearchEngine
+
+__all__ = [
+    "BurstySearchEngine",
+    "EnsembleResult",
+    "EnsembleSearchEngine",
+    "InvertedIndex",
+    "Posting",
+    "PostingList",
+    "RelevanceFunction",
+    "SearchResult",
+    "TemporalPattern",
+    "TemporalSearchEngine",
+    "TopKResult",
+    "binary_relevance",
+    "exhaustive_topk",
+    "log_relevance",
+    "raw_relevance",
+    "threshold_topk",
+]

@@ -1,0 +1,106 @@
+"""Ensemble retrieval over the three engines.
+
+Section 6.3 observes that TB, STLocal and STComb "report diverse
+results and complement each other.  Depending on the occasional
+application, one may choose to focus on a particular approach, or
+consider the rankings of all three approaches toward an ensemble
+method."  This module implements that suggestion with a Borda-count
+fusion: each engine contributes rank points for its top-k documents and
+the ensemble returns the documents with the highest total.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Hashable, List, Sequence
+
+from repro.errors import SearchError
+from repro.search.engine import SearchResult
+from repro.search.inverted_index import rank_tiebreak
+from repro.streams.document import Document
+
+__all__ = ["EnsembleResult", "EnsembleSearchEngine"]
+
+
+@dataclasses.dataclass(frozen=True)
+class EnsembleResult:
+    """A fused ranking entry.
+
+    Attributes:
+        document: The retrieved document.
+        points: Total Borda points across the member engines.
+        supporters: Names of the engines that returned the document.
+    """
+
+    document: Document
+    points: float
+    supporters: Sequence[str]
+
+
+class EnsembleSearchEngine:
+    """Borda-count fusion of several bursty-document engines.
+
+    Args:
+        engines: Mapping of engine name → engine; each member must
+            expose ``search(query, k) -> list[SearchResult]`` (both
+            :class:`~repro.search.BurstySearchEngine` and
+            :class:`~repro.search.TemporalSearchEngine` qualify).
+        weights: Optional per-engine vote weights (default 1.0 each).
+    """
+
+    def __init__(
+        self,
+        engines: Dict[str, object],
+        weights: Dict[str, float] | None = None,
+    ) -> None:
+        if not engines:
+            raise SearchError("the ensemble needs at least one engine")
+        self.engines = dict(engines)
+        self.weights = dict(weights) if weights is not None else {}
+        for name in self.weights:
+            if name not in self.engines:
+                raise SearchError(f"weight given for unknown engine {name!r}")
+
+    def search(
+        self, query: str, k: int = 10, pool: int | None = None
+    ) -> List[EnsembleResult]:
+        """Fused top-k for a query.
+
+        Args:
+            query: The text query, handed to every member engine.
+            k: Number of fused results.
+            pool: How many results to request from each member engine
+                (defaults to ``2 * k`` for a healthy candidate pool).
+
+        Returns:
+            Fused results sorted by Borda points (deterministic hash
+            tie-break).
+        """
+        if k < 1:
+            raise SearchError("k must be positive")
+        pool = pool if pool is not None else 2 * k
+        points: Dict[Hashable, float] = {}
+        supporters: Dict[Hashable, List[str]] = {}
+        documents: Dict[Hashable, Document] = {}
+        for name, engine in self.engines.items():
+            weight = self.weights.get(name, 1.0)
+            hits: List[SearchResult] = engine.search(query, k=pool)
+            for rank, hit in enumerate(hits):
+                doc_id = hit.document.doc_id
+                documents[doc_id] = hit.document
+                points[doc_id] = points.get(doc_id, 0.0) + weight * (
+                    pool - rank
+                )
+                supporters.setdefault(doc_id, []).append(name)
+        fused = [
+            EnsembleResult(
+                document=documents[doc_id],
+                points=total,
+                supporters=tuple(supporters[doc_id]),
+            )
+            for doc_id, total in points.items()
+        ]
+        fused.sort(
+            key=lambda r: (-r.points, rank_tiebreak(r.document.doc_id))
+        )
+        return fused[:k]

@@ -1,0 +1,108 @@
+"""Inverted index: term → postings ranked by per-term score.
+
+Section 5: "An inverted index is first built, mapping each term to the
+documents that include it, ranked by their respective scores.  The
+popular Threshold Algorithm (TA) for top-k evaluation can then be
+applied."  The per-term score here is the *product*
+``relevance(d,t) × burstiness(d,t)``; documents whose burstiness is
+``−∞`` (no overlapping pattern) are simply absent from the posting
+list, which realises the exclusion semantics of Eq. 11.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+__all__ = ["Posting", "PostingList", "InvertedIndex", "rank_tiebreak"]
+
+
+def rank_tiebreak(doc_id: Hashable) -> int:
+    """Deterministic but unbiased ordering key for equal scores.
+
+    Insertion order or lexicographic ids would systematically favour
+    some documents (e.g. the earliest generated); hashing removes that
+    bias while keeping rankings reproducible across runs.
+    """
+    return zlib.crc32(repr(doc_id).encode())
+
+
+@dataclasses.dataclass(frozen=True)
+class Posting:
+    """One document's entry in a term's posting list.
+
+    Attributes:
+        doc_id: The document.
+        score: The per-term score (relevance × burstiness).
+    """
+
+    doc_id: Hashable
+    score: float
+
+
+class PostingList:
+    """A term's postings, sorted by score descending.
+
+    Supports both access modes TA needs: *sorted access* (iteration in
+    score order) and *random access* (score lookup by document).
+    """
+
+    def __init__(self, postings: Sequence[Posting]) -> None:
+        self._sorted: List[Posting] = sorted(
+            postings, key=lambda p: (-p.score, rank_tiebreak(p.doc_id))
+        )
+        self._by_doc: Dict[Hashable, float] = {
+            posting.doc_id: posting.score for posting in self._sorted
+        }
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+    def __iter__(self):
+        return iter(self._sorted)
+
+    def sorted_access(self, rank: int) -> Optional[Posting]:
+        """The posting at a given rank, or ``None`` past the end."""
+        if rank < len(self._sorted):
+            return self._sorted[rank]
+        return None
+
+    def random_access(self, doc_id: Hashable) -> Optional[float]:
+        """Score of a document in this list, or ``None`` if absent."""
+        return self._by_doc.get(doc_id)
+
+    def top(self, k: int) -> List[Posting]:
+        """The ``k`` best postings."""
+        return self._sorted[:k]
+
+
+class InvertedIndex:
+    """Term → :class:`PostingList` map with lazy insertion.
+
+    The search engines build posting lists per query term on demand and
+    register them here, so repeated queries reuse the work.
+    """
+
+    def __init__(self) -> None:
+        self._lists: Dict[str, PostingList] = {}
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._lists
+
+    def add(self, term: str, postings: Sequence[Posting]) -> PostingList:
+        """Register (or replace) a term's posting list."""
+        posting_list = PostingList(postings)
+        self._lists[term] = posting_list
+        return posting_list
+
+    def get(self, term: str) -> Optional[PostingList]:
+        """The posting list of a term, or ``None`` if not indexed."""
+        return self._lists.get(term)
+
+    def terms(self) -> List[str]:
+        """All indexed terms."""
+        return list(self._lists)
+
+    def __len__(self) -> int:
+        return len(self._lists)

@@ -1,0 +1,39 @@
+"""Relevance functions ``relevance(d, t)``.
+
+Section 5: "relevance(d,t) ... can be implemented as any normalized
+version of freq(t,d) ... In our own experiments, we found that using
+log(freq(t,d)+1) yielded the best results."  The log form is the
+default; raw and binary forms are provided for the ablation bench.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.streams.document import Document
+
+__all__ = [
+    "RelevanceFunction",
+    "log_relevance",
+    "raw_relevance",
+    "binary_relevance",
+]
+
+RelevanceFunction = Callable[[Document, str], float]
+"""Signature of a relevance function: (document, term) → score."""
+
+
+def log_relevance(document: Document, term: str) -> float:
+    """``log(freq(t, d) + 1)`` — the paper's choice."""
+    return math.log(document.frequency(term) + 1.0)
+
+
+def raw_relevance(document: Document, term: str) -> float:
+    """Plain term frequency ``freq(t, d)``."""
+    return float(document.frequency(term))
+
+
+def binary_relevance(document: Document, term: str) -> float:
+    """1 when the term occurs at all, else 0."""
+    return 1.0 if document.frequency(term) > 0 else 0.0

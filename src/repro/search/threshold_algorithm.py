@@ -1,0 +1,150 @@
+"""Fagin's Threshold Algorithm (TA) for top-k aggregation [6].
+
+Given one score-sorted posting list per query term and random access
+into each, TA interleaves sorted accesses across the lists, computes
+each newly-seen document's full aggregate score by random access, and
+stops as soon as the k-th best aggregate reaches the *threshold* — the
+aggregate of the scores at the current sorted-access frontier, which
+upper-bounds every unseen document.
+
+The aggregation here is the sum of Eq. 10; a document missing from any
+query term's list has per-term score ``−∞`` there (Eq. 11) and is
+excluded, which preserves TA's correctness (missing documents can never
+beat the threshold).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SearchError
+from repro.search.inverted_index import PostingList, rank_tiebreak
+
+__all__ = ["TopKResult", "threshold_topk", "exhaustive_topk"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TopKResult:
+    """One ranked answer.
+
+    Attributes:
+        doc_id: The document.
+        score: Its aggregate (summed) score.
+    """
+
+    doc_id: Hashable
+    score: float
+
+
+def threshold_topk(
+    lists: Sequence[PostingList],
+    k: int,
+) -> Tuple[List[TopKResult], int]:
+    """Run TA over per-term posting lists.
+
+    Args:
+        lists: One posting list per query term (sorted access order =
+            score descending; random access by document id).
+        k: Number of results wanted.
+
+    Returns:
+        ``(results, sorted_accesses)`` — the top-k documents by summed
+        score (ties broken by document id for determinism) and the
+        number of sorted accesses performed, for the efficiency
+        analyses.
+
+    Raises:
+        SearchError: when ``k < 1`` or no lists are given.
+    """
+    if k < 1:
+        raise SearchError("k must be positive")
+    if not lists:
+        raise SearchError("at least one posting list is required")
+
+    seen: Set[Hashable] = set()
+    # Min-heap of (score, -tiebreak, doc_id) keeps the current best k;
+    # the negated tiebreak makes the heap minimum the *worst* entry
+    # under the final (-score, tiebreak) ordering.
+    heap: List[Tuple[float, int, Hashable]] = []
+    accesses = 0
+    depth = 0
+    exhausted = [False] * len(lists)
+
+    while not all(exhausted):
+        frontier: List[Optional[float]] = []
+        for index, posting_list in enumerate(lists):
+            posting = posting_list.sorted_access(depth)
+            if posting is None:
+                exhausted[index] = True
+                frontier.append(None)
+                continue
+            accesses += 1
+            frontier.append(posting.score)
+            doc_id = posting.doc_id
+            if doc_id in seen:
+                continue
+            seen.add(doc_id)
+            total = _full_score(lists, doc_id)
+            if total is None:
+                continue  # missing from some list → −∞ aggregate
+            entry = (total, -rank_tiebreak(doc_id), doc_id)
+            if len(heap) < k:
+                heapq.heappush(heap, entry)
+            elif entry > heap[0]:
+                heapq.heapreplace(heap, entry)
+
+        # Threshold: the best aggregate any unseen document could have.
+        live = [score for score in frontier if score is not None]
+        if not live:
+            break
+        threshold = sum(live)
+        if len(heap) == k and heap[0][0] >= threshold:
+            break
+        depth += 1
+
+    ranked = sorted(heap, key=lambda entry: (-entry[0], -entry[1]))
+    return (
+        [TopKResult(doc_id=doc_id, score=score) for score, _, doc_id in ranked],
+        accesses,
+    )
+
+
+def _full_score(
+    lists: Sequence[PostingList], doc_id: Hashable
+) -> Optional[float]:
+    """Aggregate score across all lists; ``None`` when absent anywhere."""
+    total = 0.0
+    for posting_list in lists:
+        score = posting_list.random_access(doc_id)
+        if score is None:
+            return None
+        total += score
+    return total
+
+
+def exhaustive_topk(
+    lists: Sequence[PostingList],
+    k: int,
+) -> List[TopKResult]:
+    """Reference top-k: scan every document of every list.
+
+    Used by the property tests to verify TA returns exactly the same
+    ranking.
+    """
+    if k < 1:
+        raise SearchError("k must be positive")
+    if not lists:
+        raise SearchError("at least one posting list is required")
+    candidates: Set[Hashable] = set()
+    for posting_list in lists:
+        for posting in posting_list:
+            candidates.add(posting.doc_id)
+    scored = []
+    for doc_id in candidates:
+        total = _full_score(lists, doc_id)
+        if total is not None:
+            scored.append(TopKResult(doc_id=doc_id, score=total))
+    scored.sort(key=lambda result: (-result.score, rank_tiebreak(result.doc_id)))
+    return scored[:k]

@@ -1,0 +1,38 @@
+"""Spatial substrate: geometry, geodesics, MDS, grids, discrepancy."""
+
+from repro.spatial.geometry import Point, Rectangle, mbr
+from repro.spatial.geodesic import (
+    EARTH_RADIUS_KM,
+    distance_matrix,
+    haversine,
+    vincenty,
+)
+from repro.spatial.mds import classical_mds, mds_points, stress
+from repro.spatial.grid import GridCell, UniformGrid
+from repro.spatial.discrepancy import (
+    MaxRectangleResult,
+    WeightedPoint,
+    max_weight_rectangle,
+    max_weight_rectangle_bruteforce,
+)
+from repro.spatial.index import SpatialIndex
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "GridCell",
+    "MaxRectangleResult",
+    "Point",
+    "Rectangle",
+    "SpatialIndex",
+    "UniformGrid",
+    "WeightedPoint",
+    "classical_mds",
+    "distance_matrix",
+    "haversine",
+    "max_weight_rectangle",
+    "max_weight_rectangle_bruteforce",
+    "mbr",
+    "mds_points",
+    "stress",
+    "vincenty",
+]

@@ -1,0 +1,153 @@
+"""Geodesic distances on the Earth ellipsoid / sphere.
+
+The Topix evaluation projects the 181 country sources onto the 2-D
+plane by Multidimensional Scaling of their *pairwise geographical
+distances* (Section 6.1, citing Vincenty [30]).  This module supplies
+the two distance kernels:
+
+* :func:`haversine` — great-circle distance on a sphere, fast and
+  adequate for the MDS input;
+* :func:`vincenty` — Vincenty's inverse solution on the WGS-84
+  ellipsoid, the method the paper cites; iterative, falls back to
+  haversine for the rare antipodal non-convergence.
+
+Plus :func:`distance_matrix` for building the MDS input in one call.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["EARTH_RADIUS_KM", "haversine", "vincenty", "distance_matrix"]
+
+EARTH_RADIUS_KM = 6371.0088
+"""Mean Earth radius (IUGG), kilometres."""
+
+_WGS84_A = 6378.137  # semi-major axis, km
+_WGS84_F = 1.0 / 298.257223563  # flattening
+_WGS84_B = _WGS84_A * (1.0 - _WGS84_F)  # semi-minor axis, km
+
+
+def haversine(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two (degree) coordinates, in km."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = phi2 - phi1
+    dlam = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2.0) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+def vincenty(
+    lat1: float,
+    lon1: float,
+    lat2: float,
+    lon2: float,
+    tolerance: float = 1e-12,
+    max_iterations: int = 200,
+) -> float:
+    """Vincenty inverse geodesic distance on WGS-84, in km.
+
+    Iterates the classic lambda recurrence; on the (antipodal) inputs
+    where the recurrence fails to converge, falls back to
+    :func:`haversine`, which is within ~0.5 % there.
+    """
+    if (lat1, lon1) == (lat2, lon2):
+        return 0.0
+    u1 = math.atan((1.0 - _WGS84_F) * math.tan(math.radians(lat1)))
+    u2 = math.atan((1.0 - _WGS84_F) * math.tan(math.radians(lat2)))
+    big_l = math.radians(lon2 - lon1)
+    sin_u1, cos_u1 = math.sin(u1), math.cos(u1)
+    sin_u2, cos_u2 = math.sin(u2), math.cos(u2)
+
+    lam = big_l
+    for _ in range(max_iterations):
+        sin_lam, cos_lam = math.sin(lam), math.cos(lam)
+        sin_sigma = math.sqrt(
+            (cos_u2 * sin_lam) ** 2
+            + (cos_u1 * sin_u2 - sin_u1 * cos_u2 * cos_lam) ** 2
+        )
+        if sin_sigma == 0.0:
+            return 0.0  # coincident points
+        cos_sigma = sin_u1 * sin_u2 + cos_u1 * cos_u2 * cos_lam
+        sigma = math.atan2(sin_sigma, cos_sigma)
+        sin_alpha = cos_u1 * cos_u2 * sin_lam / sin_sigma
+        cos_sq_alpha = 1.0 - sin_alpha**2
+        if cos_sq_alpha == 0.0:
+            cos_2sigma_m = 0.0  # equatorial line
+        else:
+            cos_2sigma_m = cos_sigma - 2.0 * sin_u1 * sin_u2 / cos_sq_alpha
+        c = _WGS84_F / 16.0 * cos_sq_alpha * (4.0 + _WGS84_F * (4.0 - 3.0 * cos_sq_alpha))
+        lam_prev = lam
+        lam = big_l + (1.0 - c) * _WGS84_F * sin_alpha * (
+            sigma
+            + c
+            * sin_sigma
+            * (cos_2sigma_m + c * cos_sigma * (-1.0 + 2.0 * cos_2sigma_m**2))
+        )
+        if abs(lam - lam_prev) < tolerance:
+            break
+    else:
+        # Vincenty fails near antipodal points; haversine is a safe
+        # approximation there.
+        return haversine(lat1, lon1, lat2, lon2)
+
+    u_sq = cos_sq_alpha * (_WGS84_A**2 - _WGS84_B**2) / _WGS84_B**2
+    a_coef = 1.0 + u_sq / 16384.0 * (
+        4096.0 + u_sq * (-768.0 + u_sq * (320.0 - 175.0 * u_sq))
+    )
+    b_coef = u_sq / 1024.0 * (256.0 + u_sq * (-128.0 + u_sq * (74.0 - 47.0 * u_sq)))
+    delta_sigma = (
+        b_coef
+        * sin_sigma
+        * (
+            cos_2sigma_m
+            + b_coef
+            / 4.0
+            * (
+                cos_sigma * (-1.0 + 2.0 * cos_2sigma_m**2)
+                - b_coef
+                / 6.0
+                * cos_2sigma_m
+                * (-3.0 + 4.0 * sin_sigma**2)
+                * (-3.0 + 4.0 * cos_2sigma_m**2)
+            )
+        )
+    )
+    return _WGS84_B * a_coef * (sigma - delta_sigma)
+
+
+def distance_matrix(
+    coordinates: Sequence[Tuple[float, float]],
+    method: str = "haversine",
+) -> np.ndarray:
+    """Pairwise geodesic distance matrix for ``(lat, lon)`` coordinates.
+
+    Args:
+        coordinates: Latitude/longitude pairs in degrees.
+        method: ``"haversine"`` (default) or ``"vincenty"``.
+
+    Returns:
+        Symmetric ``(n, n)`` array of distances in km with zero diagonal.
+    """
+    if method == "haversine":
+        kernel = haversine
+    elif method == "vincenty":
+        kernel = vincenty
+    else:
+        raise ValueError(f"unknown distance method: {method!r}")
+    n = len(coordinates)
+    matrix = np.zeros((n, n), dtype=float)
+    for i in range(n):
+        lat1, lon1 = coordinates[i]
+        for j in range(i + 1, n):
+            lat2, lon2 = coordinates[j]
+            d = kernel(lat1, lon1, lat2, lon2)
+            matrix[i, j] = d
+            matrix[j, i] = d
+    return matrix

@@ -1,0 +1,175 @@
+"""2-D points and axis-aligned rectangles.
+
+STLocal restricts regions to axis-oriented rectangles of arbitrary size
+(Section 4) — the shape family that keeps the max-discrepancy problem
+polynomial.  This module provides the geometric value types, plus the
+minimum-bounding-rectangle helper that Table 1 uses to quantify how
+geographically scattered STComb's combinatorial patterns are.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import EmptyInputError, InvalidGeometryError
+
+__all__ = ["Point", "Rectangle", "mbr"]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Point:
+    """A point on the 2-D map plane.
+
+    Attributes:
+        x: Horizontal coordinate.
+        y: Vertical coordinate.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance on the projected plane."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+
+@dataclasses.dataclass(frozen=True)
+class Rectangle:
+    """A closed axis-aligned rectangle ``[min_x, max_x] × [min_y, max_y]``.
+
+    Degenerate rectangles (zero width and/or height) are allowed — a
+    bursty region can consist of a single stream, in which case its
+    rectangle collapses to that stream's location.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x < self.min_x or self.max_y < self.min_y:
+            raise InvalidGeometryError(
+                f"inverted rectangle: [{self.min_x}, {self.max_x}] x "
+                f"[{self.min_y}, {self.max_y}]"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    # ------------------------------------------------------------------
+    def contains_point(self, point: Point) -> bool:
+        """Closed containment test (boundary points are inside)."""
+        return (
+            self.min_x <= point.x <= self.max_x
+            and self.min_y <= point.y <= self.max_y
+        )
+
+    def contains_rectangle(self, other: "Rectangle") -> bool:
+        """Return ``True`` if ``other`` lies entirely within ``self``.
+
+        Used by Definition 2 (sub-window test): ``R' ⊆ R``.
+        """
+        return (
+            self.min_x <= other.min_x
+            and other.max_x <= self.max_x
+            and self.min_y <= other.min_y
+            and other.max_y <= self.max_y
+        )
+
+    def intersects(self, other: "Rectangle") -> bool:
+        """Closed-rectangle overlap test."""
+        return (
+            self.min_x <= other.max_x
+            and other.min_x <= self.max_x
+            and self.min_y <= other.max_y
+            and other.min_y <= self.max_y
+        )
+
+    def intersection(self, other: "Rectangle") -> Optional["Rectangle"]:
+        """Overlap rectangle, or ``None`` when disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rectangle(
+            max(self.min_x, other.min_x),
+            max(self.min_y, other.min_y),
+            min(self.max_x, other.max_x),
+            min(self.max_y, other.max_y),
+        )
+
+    def union_span(self, other: "Rectangle") -> "Rectangle":
+        """Smallest rectangle covering both inputs."""
+        return Rectangle(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def expanded(self, margin: float) -> "Rectangle":
+        """Return a copy grown by ``margin`` on every side."""
+        return Rectangle(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def points_inside(self, points: Iterable[Point]) -> List[Point]:
+        """Filter an iterable of points down to those the rectangle covers."""
+        return [point for point in points if self.contains_point(point)]
+
+    def corners(self) -> Tuple[Point, Point, Point, Point]:
+        """The four corners, counter-clockwise from the lower-left."""
+        return (
+            Point(self.min_x, self.min_y),
+            Point(self.max_x, self.min_y),
+            Point(self.max_x, self.max_y),
+            Point(self.min_x, self.max_y),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"R[({self.min_x:.2f},{self.min_y:.2f})-"
+            f"({self.max_x:.2f},{self.max_y:.2f})]"
+        )
+
+
+def mbr(points: Sequence[Point]) -> Rectangle:
+    """Minimum bounding rectangle of a non-empty point set.
+
+    Table 1 reports, for each STComb pattern, the number of streams
+    falling inside the MBR of the pattern's stream locations — a measure
+    of how much territory a combinatorial pattern implicitly spans.
+
+    Raises:
+        EmptyInputError: if ``points`` is empty.
+    """
+    if not points:
+        raise EmptyInputError("mbr() requires at least one point")
+    return Rectangle(
+        min(point.x for point in points),
+        min(point.y for point in points),
+        max(point.x for point in points),
+        max(point.y for point in points),
+    )

@@ -1,0 +1,78 @@
+"""Classical (Torgerson) Multidimensional Scaling.
+
+Section 6.1: "To project the sources' locations on the 2-D plane, we
+use Multidimensional Scaling given the pair-wise geographical distances
+of sources."  Classical MDS double-centres the squared distance matrix
+and embeds with the top eigenvectors of the resulting Gram matrix.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import InvalidGeometryError
+from repro.spatial.geometry import Point
+
+__all__ = ["classical_mds", "mds_points", "stress"]
+
+
+def classical_mds(distances: np.ndarray, dimensions: int = 2) -> np.ndarray:
+    """Embed a distance matrix into ``dimensions``-D Euclidean space.
+
+    Args:
+        distances: Symmetric non-negative ``(n, n)`` matrix with a zero
+            diagonal.
+        dimensions: Target dimensionality (2 for the paper's map plane).
+
+    Returns:
+        ``(n, dimensions)`` coordinate array.  Axes are ordered by
+        explained variance; negative eigenvalues (non-Euclidean input)
+        are clipped to zero, which is the standard Torgerson treatment.
+
+    Raises:
+        InvalidGeometryError: for non-square or asymmetric input.
+    """
+    matrix = np.asarray(distances, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise InvalidGeometryError("distance matrix must be square")
+    if not np.allclose(matrix, matrix.T, atol=1e-8):
+        raise InvalidGeometryError("distance matrix must be symmetric")
+    n = matrix.shape[0]
+    if dimensions < 1:
+        raise InvalidGeometryError("dimensions must be positive")
+
+    squared = matrix**2
+    centering = np.eye(n) - np.ones((n, n)) / n
+    gram = -0.5 * centering @ squared @ centering
+    eigenvalues, eigenvectors = np.linalg.eigh(gram)
+    # eigh returns ascending order; take the top `dimensions`.
+    order = np.argsort(eigenvalues)[::-1][:dimensions]
+    top_values = np.clip(eigenvalues[order], 0.0, None)
+    top_vectors = eigenvectors[:, order]
+    return top_vectors * np.sqrt(top_values)
+
+
+def mds_points(distances: np.ndarray) -> List[Point]:
+    """Convenience wrapper: 2-D classical MDS returning :class:`Point` s."""
+    coords = classical_mds(distances, dimensions=2)
+    return [Point(float(x), float(y)) for x, y in coords]
+
+
+def stress(distances: np.ndarray, embedding: np.ndarray) -> float:
+    """Kruskal stress-1 of an embedding against the target distances.
+
+    Used in tests to verify that the MDS projection preserves the
+    geodesic distance structure well enough for STLocal's locality
+    assumptions to hold.
+    """
+    matrix = np.asarray(distances, dtype=float)
+    coords = np.asarray(embedding, dtype=float)
+    diffs = coords[:, None, :] - coords[None, :, :]
+    embedded = np.sqrt((diffs**2).sum(axis=2))
+    numerator = ((matrix - embedded) ** 2).sum()
+    denominator = (matrix**2).sum()
+    if denominator == 0.0:
+        return 0.0
+    return float(np.sqrt(numerator / denominator))

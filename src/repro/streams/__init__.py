@@ -1,0 +1,14 @@
+"""Document-stream substrate: documents, streams, collections."""
+
+from repro.streams.document import Document, tokenize
+from repro.streams.stream import DocumentStream
+from repro.streams.collection import SpatiotemporalCollection
+from repro.streams.frequency import FrequencyTensor
+
+__all__ = [
+    "Document",
+    "DocumentStream",
+    "FrequencyTensor",
+    "SpatiotemporalCollection",
+    "tokenize",
+]

@@ -1,0 +1,181 @@
+"""The spatiotemporal collection ``D = {D_1[·], …, D_n[·]}``.
+
+The top-level data structure of the paper (Figure 1): a set of
+geostamped document streams sharing one discrete timeline.  It provides
+snapshot access ``D[i]`` for STLocal, per-stream frequency sequences for
+STComb, and whole-collection views for the search engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import StreamError, UnknownTermError
+from repro.spatial.geometry import Point
+from repro.streams.document import Document
+from repro.streams.stream import DocumentStream
+
+__all__ = ["SpatiotemporalCollection"]
+
+
+class SpatiotemporalCollection:
+    """A set of document streams over a common timeline.
+
+    Args:
+        timeline: Number of timestamps (documents must satisfy
+            ``0 <= timestamp < timeline``).
+
+    Streams are registered with :meth:`add_stream`; documents are routed
+    to their stream with :meth:`add_document`.
+    """
+
+    def __init__(self, timeline: int) -> None:
+        if timeline < 1:
+            raise StreamError("timeline must cover at least one timestamp")
+        self.timeline = timeline
+        self._streams: Dict[Hashable, DocumentStream] = {}
+        self._vocabulary: Set[str] = set()
+        self._document_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_stream(
+        self,
+        stream_id: Hashable,
+        location: Point,
+        latlon: Optional[Tuple[float, float]] = None,
+    ) -> DocumentStream:
+        """Register a new stream at a map location.
+
+        Raises:
+            StreamError: on duplicate stream identifiers.
+        """
+        if stream_id in self._streams:
+            raise StreamError(f"stream {stream_id!r} already registered")
+        stream = DocumentStream(stream_id, location, latlon=latlon)
+        self._streams[stream_id] = stream
+        return stream
+
+    def add_document(self, document: Document) -> None:
+        """Route a document to its stream.
+
+        Raises:
+            StreamError: when the stream is unknown or the timestamp is
+                outside the timeline.
+        """
+        if document.stream_id not in self._streams:
+            raise StreamError(f"unknown stream {document.stream_id!r}")
+        if not 0 <= document.timestamp < self.timeline:
+            raise StreamError(
+                f"timestamp {document.timestamp} outside timeline "
+                f"[0, {self.timeline})"
+            )
+        self._streams[document.stream_id].add(document)
+        self._vocabulary.update(document.terms)
+        self._document_count += 1
+
+    # ------------------------------------------------------------------
+    # Stream access
+    # ------------------------------------------------------------------
+    @property
+    def stream_ids(self) -> List[Hashable]:
+        """Registered stream identifiers, in registration order."""
+        return list(self._streams)
+
+    @property
+    def vocabulary(self) -> Set[str]:
+        """Every term observed anywhere in the collection."""
+        return set(self._vocabulary)
+
+    def stream(self, stream_id: Hashable) -> DocumentStream:
+        """Look up one stream."""
+        if stream_id not in self._streams:
+            raise StreamError(f"unknown stream {stream_id!r}")
+        return self._streams[stream_id]
+
+    def streams(self) -> List[DocumentStream]:
+        """All streams, in registration order."""
+        return list(self._streams.values())
+
+    def locations(self) -> Dict[Hashable, Point]:
+        """Map of stream id → projected location."""
+        return {sid: stream.location for sid, stream in self._streams.items()}
+
+    def __len__(self) -> int:
+        """Number of streams (the paper's ``n = |D|``)."""
+        return len(self._streams)
+
+    @property
+    def document_count(self) -> int:
+        """Total documents across all streams."""
+        return self._document_count
+
+    # ------------------------------------------------------------------
+    # Snapshot / frequency access
+    # ------------------------------------------------------------------
+    def snapshot(self, timestamp: int) -> Dict[Hashable, List[Document]]:
+        """``D[i]`` — the document sets of every stream at ``timestamp``."""
+        return {
+            sid: stream.documents_at(timestamp)
+            for sid, stream in self._streams.items()
+        }
+
+    def frequency(self, stream_id: Hashable, timestamp: int, term: str) -> int:
+        """``D_x[i][t]`` for a specific stream."""
+        return self.stream(stream_id).frequency(timestamp, term)
+
+    def frequency_sequence(self, stream_id: Hashable, term: str) -> List[float]:
+        """One stream's full frequency sequence for a term."""
+        return self.stream(stream_id).frequency_sequence(term, self.timeline)
+
+    def frequency_matrix(self, term: str) -> np.ndarray:
+        """``(n_streams, timeline)`` matrix of a term's frequencies.
+
+        Row order follows :attr:`stream_ids`.
+
+        Raises:
+            UnknownTermError: when the term never occurs anywhere.
+        """
+        if term not in self._vocabulary:
+            raise UnknownTermError(term)
+        matrix = np.zeros((len(self._streams), self.timeline), dtype=float)
+        for row, stream in enumerate(self._streams.values()):
+            for timestamp in stream.timestamps():
+                matrix[row, timestamp] = stream.frequency(timestamp, term)
+        return matrix
+
+    def merged_frequency_sequence(self, term: str) -> List[float]:
+        """The term's sequence with all streams merged into one.
+
+        This is the single-stream view that the TB baseline (temporal-
+        burstiness-only search, Section 6.3) operates on.
+        """
+        totals = [0.0] * self.timeline
+        for stream in self._streams.values():
+            for timestamp in stream.timestamps():
+                totals[timestamp] += stream.frequency(timestamp, term)
+        return totals
+
+    def terms_at(self, timestamp: int) -> Set[str]:
+        """Every distinct term observed anywhere at one timestamp."""
+        terms: Set[str] = set()
+        for stream in self._streams.values():
+            terms.update(stream.terms_at(timestamp))
+        return terms
+
+    # ------------------------------------------------------------------
+    # Document access
+    # ------------------------------------------------------------------
+    def documents(self) -> Iterator[Document]:
+        """Iterate every document in (stream, time) order."""
+        for stream in self._streams.values():
+            yield from stream
+
+    def documents_matching(self, terms: Sequence[str]) -> Iterator[Document]:
+        """Documents containing at least one of the given terms."""
+        for document in self.documents():
+            if document.contains_any(terms):
+                yield document

@@ -1,0 +1,91 @@
+"""Documents: the atomic items of a spatiotemporal stream.
+
+Every document arrives from exactly one stream at exactly one timestamp
+(Section 5: "each document d arrives from a single stream at a specific
+point in time") — that pair is what decides whether the document
+overlaps a mined pattern.  Documents optionally carry *provenance*: the
+identifier of the synthetic event that generated them, which the
+ground-truth annotator uses in place of the paper's human judge.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from collections import Counter
+from typing import Dict, Hashable, Optional, Sequence, Tuple
+
+from repro.errors import StreamError
+
+__all__ = ["Document", "tokenize"]
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> Tuple[str, ...]:
+    """Lowercase alphanumeric tokenisation.
+
+    Multi-word query terms like ``"air france"`` are handled at the
+    query layer (each word is matched separately), so the document side
+    only needs simple unigram tokens.
+    """
+    return tuple(_TOKEN_PATTERN.findall(text.lower()))
+
+
+@dataclasses.dataclass(frozen=True)
+class Document:
+    """One geostamped, timestamped document.
+
+    Attributes:
+        doc_id: Unique identifier within the collection.
+        stream_id: The stream (location) the document was posted from.
+        timestamp: Discrete arrival time.
+        terms: The document's token sequence.
+        event_id: Provenance — identifier of the generating event, or
+            ``None`` for background documents.
+    """
+
+    doc_id: Hashable
+    stream_id: Hashable
+    timestamp: int
+    terms: Tuple[str, ...]
+    event_id: Optional[Hashable] = None
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise StreamError(f"negative timestamp {self.timestamp}")
+
+    @classmethod
+    def from_text(
+        cls,
+        doc_id: Hashable,
+        stream_id: Hashable,
+        timestamp: int,
+        text: str,
+        event_id: Optional[Hashable] = None,
+    ) -> "Document":
+        """Build a document by tokenising raw text."""
+        return cls(
+            doc_id=doc_id,
+            stream_id=stream_id,
+            timestamp=timestamp,
+            terms=tokenize(text),
+            event_id=event_id,
+        )
+
+    # ------------------------------------------------------------------
+    def term_counts(self) -> Dict[str, int]:
+        """Frequency of every term in the document."""
+        return dict(Counter(self.terms))
+
+    def frequency(self, term: str) -> int:
+        """``freq(t, d)`` — occurrences of ``term`` in this document."""
+        return sum(1 for token in self.terms if token == term)
+
+    def contains_any(self, terms: Sequence[str]) -> bool:
+        """True if the document contains at least one of ``terms``."""
+        wanted = set(terms)
+        return any(token in wanted for token in self.terms)
+
+    def __len__(self) -> int:
+        return len(self.terms)

@@ -1,0 +1,87 @@
+"""Sparse per-term frequency tensors.
+
+STComb and STLocal only ever need, for one term at a time, either a
+per-stream frequency sequence or a per-timestamp cross-stream slice.
+Building the dense ``(streams × timeline)`` matrix per term is wasteful
+for large vocabularies, so this module provides a sparse view —
+``term → stream → {timestamp: count}`` — built in one pass over the
+collection, that both algorithms read from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Set, Tuple
+
+from repro.streams.collection import SpatiotemporalCollection
+
+__all__ = ["FrequencyTensor"]
+
+
+class FrequencyTensor:
+    """One-pass sparse index of term frequencies by stream and time.
+
+    Args:
+        collection: The source collection; frequencies are copied, so
+            later mutation of the collection is not reflected.
+    """
+
+    def __init__(self, collection: SpatiotemporalCollection) -> None:
+        self.timeline = collection.timeline
+        self.stream_ids: List[Hashable] = collection.stream_ids
+        # term -> stream_id -> {timestamp: count}
+        self._data: Dict[str, Dict[Hashable, Dict[int, float]]] = {}
+        self._term_totals: Dict[str, float] = {}
+        for stream in collection.streams():
+            sid = stream.stream_id
+            for timestamp in stream.timestamps():
+                for term in stream.terms_at(timestamp):
+                    count = float(stream.frequency(timestamp, term))
+                    per_stream = self._data.setdefault(term, {})
+                    per_stream.setdefault(sid, {})[timestamp] = count
+                    self._term_totals[term] = (
+                        self._term_totals.get(term, 0.0) + count
+                    )
+
+    # ------------------------------------------------------------------
+    @property
+    def terms(self) -> Set[str]:
+        """All indexed terms."""
+        return set(self._data)
+
+    def total(self, term: str) -> float:
+        """Total mass of a term across the whole collection."""
+        return self._term_totals.get(term, 0.0)
+
+    def streams_with(self, term: str) -> List[Hashable]:
+        """Streams in which the term occurs at least once."""
+        return list(self._data.get(term, {}))
+
+    def sequence(self, term: str, stream_id: Hashable) -> List[float]:
+        """The term's dense frequency sequence for one stream."""
+        sparse = self._data.get(term, {}).get(stream_id, {})
+        dense = [0.0] * self.timeline
+        for timestamp, count in sparse.items():
+            dense[timestamp] = count
+        return dense
+
+    def slice_at(self, term: str, timestamp: int) -> Dict[Hashable, float]:
+        """Non-zero frequencies of a term across streams at one time."""
+        result: Dict[Hashable, float] = {}
+        for sid, sparse in self._data.get(term, {}).items():
+            count = sparse.get(timestamp)
+            if count:
+                result[sid] = count
+        return result
+
+    def nonzero(self, term: str) -> Iterator[Tuple[Hashable, int, float]]:
+        """Iterate ``(stream, timestamp, count)`` entries of a term."""
+        for sid, sparse in self._data.get(term, {}).items():
+            for timestamp, count in sparse.items():
+                yield sid, timestamp, count
+
+    def top_terms(self, k: int) -> List[Tuple[str, float]]:
+        """The ``k`` heaviest terms by total mass (descending)."""
+        ranked = sorted(
+            self._term_totals.items(), key=lambda item: (-item[1], item[0])
+        )
+        return ranked[:k]

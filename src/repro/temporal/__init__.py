@@ -1,0 +1,47 @@
+"""Temporal-burstiness substrate.
+
+Discrepancy scoring (Eq. 1), Ruzzo–Tompa maximal segments (GetMax),
+the Lappas KDD'09 burst detector, Kleinberg's automaton, and the
+expected-frequency models of Section 4.
+"""
+
+from repro.temporal.burstiness import (
+    discrepancy_transform,
+    interval_score,
+    temporal_burstiness,
+)
+from repro.temporal.max_segments import (
+    OnlineMaxSegments,
+    ScoredSegment,
+    maximal_segments,
+    maximal_segments_bruteforce,
+)
+from repro.temporal.lappas import LappasBurstDetector, extract_bursty_intervals
+from repro.temporal.kleinberg import KleinbergBurstDetector
+from repro.temporal.baselines import (
+    EWMABaseline,
+    ExpectedFrequencyModel,
+    MovingAverageBaseline,
+    RunningMeanBaseline,
+    SeasonalBaseline,
+    burstiness_series,
+)
+
+__all__ = [
+    "EWMABaseline",
+    "ExpectedFrequencyModel",
+    "KleinbergBurstDetector",
+    "LappasBurstDetector",
+    "MovingAverageBaseline",
+    "OnlineMaxSegments",
+    "RunningMeanBaseline",
+    "ScoredSegment",
+    "SeasonalBaseline",
+    "burstiness_series",
+    "discrepancy_transform",
+    "extract_bursty_intervals",
+    "interval_score",
+    "maximal_segments",
+    "maximal_segments_bruteforce",
+    "temporal_burstiness",
+]

@@ -1,0 +1,209 @@
+"""Expected-frequency models ``E_x[i][t]`` for the discrepancy burstiness.
+
+Section 4 defines the per-snapshot burstiness of a term as
+
+    B(t, D_x[i]) = D_x[i][t] − E_x[i][t]        (Eq. 7)
+
+and leaves the choice of baseline ``E`` open: "E can be taken to be
+equal to the average observed frequency of t in D_x, taken over all the
+snapshots collected before timestamp i.  Alternatively, one can focus
+only on the most recent measurements.  Finally, data from previous
+timeframes can also serve as a baseline".  This module implements all
+three families plus an exponentially-weighted variant, behind a common
+online protocol:
+
+    ``expected(i)``  — the expectation *before* observing timestamp ``i``;
+    ``observe(i, value)`` — feed the observation so later expectations
+    can incorporate it.
+
+All models are causal: ``expected(i)`` never uses the observation at
+``i`` or later, so burstiness is well-defined in the streaming setting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Protocol, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ExpectedFrequencyModel",
+    "RunningMeanBaseline",
+    "MovingAverageBaseline",
+    "EWMABaseline",
+    "SeasonalBaseline",
+    "burstiness_series",
+]
+
+
+class ExpectedFrequencyModel(Protocol):
+    """Protocol all expectation models implement."""
+
+    def expected(self, timestamp: int) -> float:
+        """Expected frequency at ``timestamp``, before observing it."""
+        ...
+
+    def observe(self, timestamp: int, value: float) -> None:
+        """Incorporate the observation made at ``timestamp``."""
+        ...
+
+
+class RunningMeanBaseline:
+    """Mean of *all* snapshots observed so far (the paper's default).
+
+    Args:
+        prior: Expectation returned before any observation arrives.
+            Zero (the default) means the first observation of a term is
+            entirely "unexpected" — its burstiness equals its frequency.
+    """
+
+    def __init__(self, prior: float = 0.0) -> None:
+        self._prior = prior
+        self._count = 0
+        self._total = 0.0
+
+    def expected(self, timestamp: int) -> float:
+        if self._count == 0:
+            return self._prior
+        return self._total / self._count
+
+    def observe(self, timestamp: int, value: float) -> None:
+        self._count += 1
+        self._total += value
+
+    def prime_zeros(self, count: int) -> None:
+        """Account for ``count`` earlier snapshots in which the term was absent.
+
+        Lazily-created models (a term's first appearance in a stream)
+        must still average over the leading zero observations; this is
+        the O(1) shortcut for doing so.
+        """
+        self._count += count
+
+
+class MovingAverageBaseline:
+    """Mean of the ``window`` most recent snapshots.
+
+    The paper's "focus only on the most recent measurements" option.
+
+    Args:
+        window: Number of trailing snapshots to average over.
+        prior: Expectation before any observation.
+    """
+
+    def __init__(self, window: int = 8, prior: float = 0.0) -> None:
+        if window < 1:
+            raise ConfigurationError("window must be at least 1")
+        self._window = window
+        self._prior = prior
+        self._values: Deque[float] = deque(maxlen=window)
+
+    def expected(self, timestamp: int) -> float:
+        if not self._values:
+            return self._prior
+        return sum(self._values) / len(self._values)
+
+    def observe(self, timestamp: int, value: float) -> None:
+        self._values.append(value)
+
+
+class EWMABaseline:
+    """Exponentially-weighted moving average.
+
+    A smooth interpolation between the running-mean and moving-average
+    options; included for the baseline ablation.
+
+    Args:
+        alpha: Smoothing factor in ``(0, 1]``; larger values react
+            faster to recent observations.
+        prior: Expectation before any observation.
+    """
+
+    def __init__(self, alpha: float = 0.3, prior: float = 0.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError("alpha must lie in (0, 1]")
+        self._alpha = alpha
+        self._prior = prior
+        self._mean: Optional[float] = None
+
+    def expected(self, timestamp: int) -> float:
+        if self._mean is None:
+            return self._prior
+        return self._mean
+
+    def observe(self, timestamp: int, value: float) -> None:
+        if self._mean is None:
+            self._mean = value
+        else:
+            self._mean = self._alpha * value + (1.0 - self._alpha) * self._mean
+
+
+class SeasonalBaseline:
+    """Historical same-phase baseline ("the Dec-25 of previous years").
+
+    Expectation at timestamp ``i`` is the mean of observations made at
+    timestamps congruent to ``i`` modulo ``period`` in earlier cycles,
+    falling back to ``fallback`` (another model or a constant prior)
+    when no history exists for that phase yet.
+
+    Args:
+        period: Season length in timestamps (e.g. 365 for daily data
+            with a yearly season).
+        fallback: Model consulted when a phase has no history; when
+            ``None`` a zero prior is used.
+    """
+
+    def __init__(
+        self,
+        period: int,
+        fallback: Optional[ExpectedFrequencyModel] = None,
+    ) -> None:
+        if period < 1:
+            raise ConfigurationError("period must be at least 1")
+        self._period = period
+        self._fallback = fallback
+        self._sums: Dict[int, float] = {}
+        self._counts: Dict[int, int] = {}
+
+    def expected(self, timestamp: int) -> float:
+        phase = timestamp % self._period
+        count = self._counts.get(phase, 0)
+        if count == 0:
+            if self._fallback is not None:
+                return self._fallback.expected(timestamp)
+            return 0.0
+        return self._sums[phase] / count
+
+    def observe(self, timestamp: int, value: float) -> None:
+        phase = timestamp % self._period
+        self._sums[phase] = self._sums.get(phase, 0.0) + value
+        self._counts[phase] = self._counts.get(phase, 0) + 1
+        if self._fallback is not None:
+            self._fallback.observe(timestamp, value)
+
+
+def burstiness_series(
+    frequencies: Sequence[float],
+    model: Optional[ExpectedFrequencyModel] = None,
+) -> list:
+    """Compute the per-timestamp burstiness ``B(t, D_x[i])`` of a sequence.
+
+    Convenience helper: walks the sequence once, emitting
+    ``observed − expected`` (Eq. 7) at each step and feeding the model.
+
+    Args:
+        frequencies: The observed per-timestamp frequencies.
+        model: The expectation model; a fresh
+            :class:`RunningMeanBaseline` when omitted.
+
+    Returns:
+        List of burstiness values, same length as ``frequencies``.
+    """
+    if model is None:
+        model = RunningMeanBaseline()
+    series = []
+    for timestamp, value in enumerate(frequencies):
+        series.append(value - model.expected(timestamp))
+        model.observe(timestamp, value)
+    return series

@@ -1,0 +1,100 @@
+"""Temporal burstiness score ``B_T`` (Eq. 1 of the paper).
+
+Given a term's frequency sequence ``Y = y_1 .. y_N`` with total mass
+``W = Σ y_j``, the temporal burstiness of an interval ``I = Y[l:r]`` is
+
+    B_T(I) = Σ_{i∈I} y_i / W  −  |I| / N
+
+i.e. the discrepancy between the fraction of the term's mass inside the
+interval and the fraction of the timeline the interval covers.  The
+score lies in ``(-1, 1)``; it is positive exactly when the term is
+over-represented inside the interval.
+
+The key algebraic fact the whole of Section 3 rests on: ``B_T`` is an
+*additive* segment score.  Defining the transformed sequence
+
+    z_i = y_i / W − 1 / N
+
+we have ``B_T(Y[l:r]) = Σ_{i=l..r} z_i``, so the non-overlapping bursty
+intervals of maximal score are exactly the Ruzzo–Tompa maximal segments
+of ``z`` — which is how :mod:`repro.temporal.lappas` extracts them in
+linear time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import EmptyInputError, InvalidIntervalError
+from repro.intervals.interval import Interval
+
+__all__ = ["temporal_burstiness", "discrepancy_transform", "interval_score"]
+
+
+def discrepancy_transform(frequencies: Sequence[float]) -> List[float]:
+    """Map a frequency sequence to its additive discrepancy scores.
+
+    Returns the sequence ``z_i = y_i / W − 1/N`` whose segment sums equal
+    ``B_T`` of the corresponding interval.  When the sequence has zero
+    total mass (the term never occurs), every ``z_i`` is ``−1/N`` so no
+    interval can ever be bursty — matching the intuition that an unseen
+    term has no bursts.
+
+    Raises:
+        EmptyInputError: for an empty sequence.
+    """
+    if len(frequencies) == 0:
+        raise EmptyInputError("cannot transform an empty frequency sequence")
+    values = np.asarray(frequencies, dtype=float)
+    if np.any(values < 0):
+        raise InvalidIntervalError("frequencies must be non-negative")
+    total = float(values.sum())
+    length = len(values)
+    if total == 0.0:
+        return [-1.0 / length] * length
+    return list(values / total - 1.0 / length)
+
+
+def temporal_burstiness(frequencies: Sequence[float], interval: Interval) -> float:
+    """Evaluate ``B_T(I)`` (Eq. 1) for an interval of a frequency sequence.
+
+    Args:
+        frequencies: The term's frequency measurements ``y_1 .. y_N``.
+        interval: The closed index interval to score; must lie within
+            ``[0, N-1]``.
+
+    Raises:
+        InvalidIntervalError: when the interval exceeds the sequence.
+        EmptyInputError: for an empty sequence.
+    """
+    if len(frequencies) == 0:
+        raise EmptyInputError("cannot score an interval of an empty sequence")
+    if interval.start < 0 or interval.end >= len(frequencies):
+        raise InvalidIntervalError(
+            f"{interval} is out of bounds for a sequence of length "
+            f"{len(frequencies)}"
+        )
+    values = np.asarray(frequencies, dtype=float)
+    total = float(values.sum())
+    length = len(values)
+    if total == 0.0:
+        return -interval.length / length
+    inside = float(values[interval.start : interval.end + 1].sum())
+    return inside / total - interval.length / length
+
+
+def interval_score(transformed: Sequence[float], interval: Interval) -> float:
+    """Sum the transformed scores over an interval.
+
+    Equivalent to :func:`temporal_burstiness` when ``transformed`` came
+    from :func:`discrepancy_transform` of the same sequence; kept
+    separate because detectors pass the transformed sequence around.
+    """
+    if interval.start < 0 or interval.end >= len(transformed):
+        raise InvalidIntervalError(
+            f"{interval} is out of bounds for a sequence of length "
+            f"{len(transformed)}"
+        )
+    return float(sum(transformed[interval.start : interval.end + 1]))

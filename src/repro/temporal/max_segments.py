@@ -1,0 +1,236 @@
+"""All maximal scoring subsequences (Ruzzo–Tompa ``GetMax``).
+
+STLocal needs, for every tracked region, the set of *maximal* contiguous
+subsequences of the region's r-score sequence — each maximal segment is
+a maximal spatiotemporal window (Definition 2).  The paper employs the
+linear-time online algorithm of Ruzzo and Tompa [21], whose pseudocode
+is reproduced in Appendix C; this module implements it twice:
+
+* :func:`maximal_segments` — the offline form, for whole sequences;
+* :class:`OnlineMaxSegments` — the incremental form, where values are
+  appended one at a time and the current maximal segments can be read
+  off between appends.  This is the exact usage pattern of Algorithm 2
+  ("the algorithm is not re-applied to the entire sequence every time a
+  new score is appended").
+
+A quadratic reference implementation
+(:func:`maximal_segments_bruteforce`) is provided for property tests:
+it recursively extracts the shortest-leftmost maximum-sum segment and
+recurses on both flanks, which characterises the Ruzzo–Tompa segment
+set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.intervals.interval import Interval
+
+__all__ = [
+    "ScoredSegment",
+    "OnlineMaxSegments",
+    "maximal_segments",
+    "maximal_segments_bruteforce",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ScoredSegment:
+    """A contiguous subsequence together with its score.
+
+    Attributes:
+        interval: Index interval ``[start, end]`` of the segment.
+        score: Sum of the sequence values over the segment.
+    """
+
+    interval: Interval
+    score: float
+
+    @property
+    def start(self) -> int:
+        return self.interval.start
+
+    @property
+    def end(self) -> int:
+        return self.interval.end
+
+
+@dataclasses.dataclass
+class _Candidate:
+    """Internal Ruzzo–Tompa candidate segment.
+
+    ``left_sum`` is the cumulative total of all scores strictly before
+    the segment's leftmost element (the paper's ``l_j``); ``right_sum``
+    is the cumulative total through the rightmost element (``r_j``).
+    The segment's score is therefore ``right_sum - left_sum``.
+    """
+
+    start: int
+    end: int
+    left_sum: float
+    right_sum: float
+
+    @property
+    def score(self) -> float:
+        return self.right_sum - self.left_sum
+
+
+class OnlineMaxSegments:
+    """Incrementally maintain all maximal scoring subsequences.
+
+    Values are appended with :meth:`add`; at any time :meth:`segments`
+    returns the current maximal segments (the surviving Ruzzo–Tompa
+    candidates).  Each ``add`` runs in amortised ``O(1)``.
+
+    This object also tracks ``total`` — the running sum of all values —
+    which Algorithm 2 uses for its pruning rule (a region whose sequence
+    total goes negative can never seed a new maximal window and is
+    dropped).
+    """
+
+    def __init__(self) -> None:
+        self._cumulative = 0.0
+        self._length = 0
+        self._candidates: List[_Candidate] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> float:
+        """Running sum of every value appended so far."""
+        return self._cumulative
+
+    def __len__(self) -> int:
+        """Number of values appended so far."""
+        return self._length
+
+    @property
+    def candidate_count(self) -> int:
+        """Number of live candidate segments (for Figure-6 style stats)."""
+        return len(self._candidates)
+
+    # ------------------------------------------------------------------
+    def add(self, value: float) -> None:
+        """Append the next score of the sequence.
+
+        Non-positive scores only advance the cumulative total.  A
+        positive score becomes a fresh single-element candidate which is
+        then merged leftward per the Ruzzo–Tompa rules (Appendix C,
+        steps 1–2).
+        """
+        position = self._length
+        if value > 0.0:
+            candidate = _Candidate(
+                start=position,
+                end=position,
+                left_sum=self._cumulative,
+                right_sum=self._cumulative + value,
+            )
+            self._integrate(candidate)
+        self._cumulative += value
+        self._length += 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Append several scores in order."""
+        for value in values:
+            self.add(value)
+
+    def _integrate(self, candidate: _Candidate) -> None:
+        """Merge a new candidate into the list (the Appendix-C loop)."""
+        candidates = self._candidates
+        while True:
+            # Step 1: rightmost j with l_j < l_k.
+            j = len(candidates) - 1
+            while j >= 0 and candidates[j].left_sum >= candidate.left_sum:
+                j -= 1
+            if j < 0 or candidates[j].right_sum >= candidate.right_sum:
+                # Step 2a: no such j, or it dominates — append.
+                candidates.append(candidate)
+                return
+            # Step 2b: extend the candidate left over I_j .. I_{k-1}.
+            candidate = _Candidate(
+                start=candidates[j].start,
+                end=candidate.end,
+                left_sum=candidates[j].left_sum,
+                right_sum=candidate.right_sum,
+            )
+            del candidates[j:]
+
+    # ------------------------------------------------------------------
+    def segments(self) -> List[ScoredSegment]:
+        """Current maximal segments, in left-to-right order."""
+        return [
+            ScoredSegment(
+                interval=Interval(c.start, c.end),
+                score=c.score,
+            )
+            for c in self._candidates
+        ]
+
+    def best(self) -> Optional[ScoredSegment]:
+        """The highest-scoring maximal segment, or ``None`` if none exist."""
+        if not self._candidates:
+            return None
+        top = max(self._candidates, key=lambda c: c.score)
+        return ScoredSegment(interval=Interval(top.start, top.end), score=top.score)
+
+
+def maximal_segments(values: Sequence[float]) -> List[ScoredSegment]:
+    """All maximal scoring subsequences of ``values`` (offline GetMax).
+
+    Runs the online algorithm over the whole sequence; linear time.
+
+    Returns:
+        Maximal segments in left-to-right order (possibly empty when the
+        sequence has no positive value).
+    """
+    tracker = OnlineMaxSegments()
+    tracker.extend(values)
+    return tracker.segments()
+
+
+def _max_subarray(values: Sequence[float], lo: int, hi: int) -> Optional[Tuple[int, int, float]]:
+    """Shortest-leftmost maximum-sum subarray of ``values[lo:hi]``.
+
+    Quadratic scan used only by the brute-force reference.  Returns
+    ``None`` when no positive-sum subarray exists.
+    """
+    best: Optional[Tuple[int, int, float]] = None
+    for start in range(lo, hi):
+        running = 0.0
+        for end in range(start, hi):
+            running += values[end]
+            if running <= 0.0:
+                continue
+            length = end - start
+            if best is None:
+                best = (start, end, running)
+                continue
+            best_length = best[1] - best[0]
+            if running > best[2] or (
+                running == best[2]
+                and (length, start) < (best_length, best[0])
+            ):
+                best = (start, end, running)
+    return best
+
+
+def maximal_segments_bruteforce(values: Sequence[float]) -> List[ScoredSegment]:
+    """Reference implementation: recursive max-segment extraction.
+
+    Extract the shortest-leftmost maximum-sum segment, then recurse on
+    the flanks.  Quadratic; used to validate :func:`maximal_segments`
+    in property tests.
+    """
+
+    def recurse(lo: int, hi: int) -> List[ScoredSegment]:
+        found = _max_subarray(values, lo, hi)
+        if found is None:
+            return []
+        start, end, score = found
+        left = recurse(lo, start)
+        right = recurse(end + 1, hi)
+        middle = ScoredSegment(interval=Interval(start, end), score=score)
+        return left + [middle] + right
+
+    return recurse(0, len(values))

@@ -1,0 +1,101 @@
+"""The Base baseline of Section 6.2.2."""
+
+import pytest
+
+from repro.core import BaseConfig, BaseDetector
+from repro.errors import ConfigurationError
+from repro.intervals import Interval
+from repro.spatial import Point
+from repro.streams import Document, SpatiotemporalCollection
+
+
+def build_collection(bursts, timeline=20, n_streams=4):
+    """bursts: list of (stream, start, end) for term 'x' at rate 4/step."""
+    coll = SpatiotemporalCollection(timeline=timeline)
+    for i in range(n_streams):
+        coll.add_stream(f"s{i}", Point(float(i), 0.0))
+    doc_id = 0
+    for sid, start, end in bursts:
+        for t in range(start, end + 1):
+            for _ in range(4):
+                coll.add_document(Document(doc_id, sid, t, ("x",)))
+                doc_id += 1
+    return coll
+
+
+class TestBaseConfig:
+    def test_invalid_gap(self):
+        with pytest.raises(ConfigurationError):
+            BaseConfig(max_gap=-1)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ConfigurationError):
+            BaseConfig(jaccard_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            BaseConfig(jaccard_threshold=1.5)
+
+
+class TestStreamIntervals:
+    def test_binarised_runs(self):
+        coll = build_collection([("s0", 5, 8)])
+        intervals = BaseDetector().stream_intervals(coll, "x")
+        assert "s0" in intervals
+        runs = intervals["s0"]
+        assert any(run.start == 5 for run in runs)
+
+    def test_gap_filling(self):
+        # Bursts at 3-4 and 7-8: interior gap of 2 zeros.
+        coll = build_collection([("s0", 3, 4), ("s0", 7, 8)])
+        wide = BaseDetector(BaseConfig(max_gap=4)).stream_intervals(coll, "x")
+        narrow = BaseDetector(BaseConfig(max_gap=1)).stream_intervals(coll, "x")
+        assert len(wide["s0"]) < len(narrow["s0"]) or (
+            wide["s0"][0].length > narrow["s0"][0].length
+        )
+
+    def test_absent_term(self):
+        coll = build_collection([("s0", 5, 8)])
+        assert BaseDetector().stream_intervals(coll, "zzz") == {}
+
+
+class TestBasePatterns:
+    def test_aligned_bursts_merge(self):
+        coll = build_collection(
+            [("s0", 5, 9), ("s1", 5, 9), ("s2", 6, 9)]
+        )
+        pattern = BaseDetector(BaseConfig(jaccard_threshold=0.3)).top_pattern(
+            coll, "x"
+        )
+        assert pattern is not None
+        assert {"s0", "s1", "s2"} <= set(pattern.streams)
+
+    def test_merged_interval_is_intersection(self):
+        coll = build_collection([("s0", 5, 10), ("s1", 7, 10)])
+        detector = BaseDetector(BaseConfig(jaccard_threshold=0.3, seed=1))
+        pattern = detector.top_pattern(coll, "x")
+        # The pooled interval shrinks toward the overlap of the merged runs.
+        assert pattern.timeframe.start >= 5
+        assert pattern.timeframe.end <= 10
+
+    def test_disjoint_bursts_stay_separate(self):
+        coll = build_collection([("s0", 2, 4), ("s1", 14, 16)])
+        patterns = BaseDetector().patterns_for_term(coll, "x")
+        assert len(patterns) >= 2
+
+    def test_deterministic_given_seed(self):
+        coll = build_collection([("s0", 5, 9), ("s1", 6, 9), ("s2", 2, 3)])
+        a = BaseDetector(BaseConfig(seed=42)).patterns_for_term(coll, "x")
+        b = BaseDetector(BaseConfig(seed=42)).patterns_for_term(coll, "x")
+        assert [(p.streams, p.timeframe) for p in a] == [
+            (p.streams, p.timeframe) for p in b
+        ]
+
+    def test_scores_sorted(self):
+        coll = build_collection([("s0", 5, 9), ("s1", 5, 9), ("s2", 15, 16)])
+        patterns = BaseDetector().patterns_for_term(coll, "x")
+        scores = [p.score for p in patterns]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_empty_for_absent_term(self):
+        coll = build_collection([("s0", 5, 9)])
+        assert BaseDetector().patterns_for_term(coll, "none") == []
+        assert BaseDetector().top_pattern(coll, "none") is None

@@ -1,0 +1,141 @@
+"""Expected-frequency models (Eq. 7 baselines)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.temporal import (
+    EWMABaseline,
+    MovingAverageBaseline,
+    RunningMeanBaseline,
+    SeasonalBaseline,
+    burstiness_series,
+)
+
+
+class TestRunningMean:
+    def test_prior_before_data(self):
+        model = RunningMeanBaseline(prior=2.5)
+        assert model.expected(0) == 2.5
+
+    def test_mean_of_history(self):
+        model = RunningMeanBaseline()
+        model.observe(0, 2.0)
+        model.observe(1, 4.0)
+        assert model.expected(2) == pytest.approx(3.0)
+
+    def test_causality(self):
+        """expected(i) must not include the observation at i."""
+        model = RunningMeanBaseline()
+        model.observe(0, 10.0)
+        before = model.expected(1)
+        model.observe(1, 100.0)
+        assert before == pytest.approx(10.0)
+
+    def test_prime_zeros(self):
+        model = RunningMeanBaseline()
+        model.prime_zeros(9)
+        model.observe(9, 10.0)
+        assert model.expected(10) == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=30))
+    def test_matches_numpy_mean(self, values):
+        model = RunningMeanBaseline()
+        for timestamp, value in enumerate(values):
+            model.observe(timestamp, value)
+        assert model.expected(len(values)) == pytest.approx(
+            sum(values) / len(values)
+        )
+
+
+class TestMovingAverage:
+    def test_window_limits_history(self):
+        model = MovingAverageBaseline(window=2)
+        for timestamp, value in enumerate([100.0, 1.0, 3.0]):
+            model.observe(timestamp, value)
+        assert model.expected(3) == pytest.approx(2.0)
+
+    def test_prior(self):
+        assert MovingAverageBaseline(window=3, prior=7.0).expected(0) == 7.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            MovingAverageBaseline(window=0)
+
+    def test_partial_window(self):
+        model = MovingAverageBaseline(window=5)
+        model.observe(0, 4.0)
+        assert model.expected(1) == pytest.approx(4.0)
+
+
+class TestEWMA:
+    def test_first_observation_becomes_mean(self):
+        model = EWMABaseline(alpha=0.5)
+        model.observe(0, 8.0)
+        assert model.expected(1) == pytest.approx(8.0)
+
+    def test_smoothing(self):
+        model = EWMABaseline(alpha=0.5)
+        model.observe(0, 0.0)
+        model.observe(1, 10.0)
+        assert model.expected(2) == pytest.approx(5.0)
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ConfigurationError):
+            EWMABaseline(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            EWMABaseline(alpha=1.5)
+
+    def test_alpha_one_tracks_last(self):
+        model = EWMABaseline(alpha=1.0)
+        model.observe(0, 3.0)
+        model.observe(1, 9.0)
+        assert model.expected(2) == pytest.approx(9.0)
+
+
+class TestSeasonal:
+    def test_same_phase_history(self):
+        model = SeasonalBaseline(period=7)
+        model.observe(0, 10.0)   # phase 0
+        model.observe(7, 20.0)   # phase 0
+        model.observe(3, 99.0)   # phase 3 — must not affect phase 0
+        assert model.expected(14) == pytest.approx(15.0)
+
+    def test_fallback_used_for_unseen_phase(self):
+        fallback = RunningMeanBaseline()
+        model = SeasonalBaseline(period=7, fallback=fallback)
+        model.observe(0, 10.0)
+        # Phase 3 has no history; the fallback running mean covers it.
+        assert model.expected(3) == pytest.approx(10.0)
+
+    def test_no_fallback_zero(self):
+        model = SeasonalBaseline(period=7)
+        assert model.expected(5) == 0.0
+
+    def test_invalid_period(self):
+        with pytest.raises(ConfigurationError):
+            SeasonalBaseline(period=0)
+
+
+class TestBurstinessSeries:
+    def test_default_model(self):
+        series = burstiness_series([2.0, 2.0, 8.0])
+        # t0: 2-0; t1: 2-2; t2: 8-2.
+        assert series == [pytest.approx(2.0), pytest.approx(0.0), pytest.approx(6.0)]
+
+    def test_custom_model(self):
+        series = burstiness_series([4.0, 4.0], model=MovingAverageBaseline(window=1))
+        assert series == [pytest.approx(4.0), pytest.approx(0.0)]
+
+    @given(st.lists(st.floats(0, 50, allow_nan=False), max_size=30))
+    def test_length_preserved(self, values):
+        assert len(burstiness_series(values)) == len(values)
+
+    @given(st.lists(st.floats(0, 50, allow_nan=False), min_size=1, max_size=30))
+    def test_stationary_sequence_small_late_burstiness(self, values):
+        """For a constant sequence, burstiness collapses to zero."""
+        constant = [values[0]] * len(values)
+        series = burstiness_series(constant)
+        for value in series[1:]:
+            assert value == pytest.approx(0.0, abs=1e-9)

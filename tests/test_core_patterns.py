@@ -1,0 +1,120 @@
+"""Pattern types and the window relations of Definition 2."""
+
+import pytest
+
+from repro.core import (
+    CombinatorialPattern,
+    RegionalPattern,
+    SpatiotemporalWindow,
+    pattern_overlaps_document,
+)
+from repro.intervals import Interval
+from repro.spatial import Rectangle
+from repro.streams import Document
+
+
+def _window(x0, y0, x1, y1, a, b):
+    return SpatiotemporalWindow(Rectangle(x0, y0, x1, y1), Interval(a, b))
+
+
+class TestSpatiotemporalWindow:
+    def test_sub_window_true(self):
+        outer = _window(0, 0, 10, 10, 0, 9)
+        inner = _window(2, 2, 5, 5, 3, 4)
+        assert inner.is_sub_window_of(outer)
+        assert outer.is_super_window_of(inner)
+
+    def test_same_rectangle_different_time(self):
+        w2 = _window(0, 0, 5, 5, 0, 4)
+        w3 = _window(0, 0, 5, 5, 6, 9)
+        assert not w2.is_sub_window_of(w3)
+        assert not w3.is_sub_window_of(w2)
+
+    def test_spatial_containment_not_enough(self):
+        outer = _window(0, 0, 10, 10, 5, 6)
+        inner = _window(2, 2, 3, 3, 0, 9)
+        assert not inner.is_sub_window_of(outer)
+
+    def test_self_is_sub_window(self):
+        w = _window(0, 0, 1, 1, 0, 1)
+        assert w.is_sub_window_of(w)
+
+    def test_volume(self):
+        assert _window(0, 0, 2, 3, 0, 4).volume == pytest.approx(30.0)
+
+
+class TestCombinatorialPattern:
+    def _pattern(self):
+        return CombinatorialPattern(
+            term="quake",
+            streams=frozenset({"us", "mx"}),
+            timeframe=Interval(5, 8),
+            score=1.5,
+            member_intervals=(
+                ("us", Interval(4, 9), 0.9),
+                ("mx", Interval(5, 8), 0.6),
+            ),
+        )
+
+    def test_overlap_in_member_interval(self):
+        doc = Document(1, "us", 4, ("quake",))
+        assert self._pattern().overlaps(doc)
+
+    def test_no_overlap_wrong_stream(self):
+        doc = Document(1, "fr", 6, ("quake",))
+        assert not self._pattern().overlaps(doc)
+
+    def test_no_overlap_outside_interval(self):
+        doc = Document(1, "mx", 4, ("quake",))
+        assert not self._pattern().overlaps(doc)
+
+    def test_fallback_to_common_timeframe(self):
+        pattern = CombinatorialPattern(
+            term="quake",
+            streams=frozenset({"us"}),
+            timeframe=Interval(5, 8),
+            score=1.0,
+        )
+        assert pattern.overlaps(Document(1, "us", 5, ()))
+        assert not pattern.overlaps(Document(1, "us", 4, ()))
+
+    def test_len(self):
+        assert len(self._pattern()) == 2
+
+    def test_duck_typed_helper(self):
+        doc = Document(1, "us", 6, ())
+        assert pattern_overlaps_document(self._pattern(), doc)
+
+
+class TestRegionalPattern:
+    def _pattern(self, bursty=None):
+        return RegionalPattern(
+            term="quake",
+            region=Rectangle(0, 0, 10, 10),
+            streams=frozenset({"us", "mx", "ca"}),
+            timeframe=Interval(3, 6),
+            score=12.0,
+            bursty_streams=bursty,
+        )
+
+    def test_overlap_inside(self):
+        assert self._pattern().overlaps(Document(1, "mx", 4, ()))
+
+    def test_no_overlap_outside_time(self):
+        assert not self._pattern().overlaps(Document(1, "mx", 7, ()))
+
+    def test_no_overlap_outside_region(self):
+        assert not self._pattern().overlaps(Document(1, "jp", 4, ()))
+
+    def test_bursty_streams_restrict_overlap(self):
+        pattern = self._pattern(bursty=frozenset({"us"}))
+        assert pattern.overlaps(Document(1, "us", 4, ()))
+        assert not pattern.overlaps(Document(1, "mx", 4, ()))
+
+    def test_window_property(self):
+        window = self._pattern().window
+        assert window.rectangle == Rectangle(0, 0, 10, 10)
+        assert window.timeframe == Interval(3, 6)
+
+    def test_len_counts_all_members(self):
+        assert len(self._pattern(bursty=frozenset({"us"}))) == 3

@@ -1,0 +1,324 @@
+"""Generators: gazetteer, Weibull, vocabulary, distGen/randGen, corpus."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import (
+    CorpusSettings,
+    GeneratorSettings,
+    MAJOR_EVENTS,
+    WORLD_COUNTRIES,
+    ZipfVocabulary,
+    burst_profile,
+    default_countries,
+    events_by_tier,
+    generate_dataset,
+    generate_topix_corpus,
+    weibull_mode,
+    weibull_pdf,
+)
+from repro.errors import GenerationError
+
+
+class TestWorld:
+    def test_enough_countries(self):
+        assert len(WORLD_COUNTRIES) >= 181
+
+    def test_default_slice(self):
+        assert len(default_countries()) == 181
+
+    def test_unique_names(self):
+        names = [c.name for c in WORLD_COUNTRIES]
+        assert len(set(names)) == len(names)
+
+    def test_coordinates_in_range(self):
+        for country in WORLD_COUNTRIES:
+            assert -90 <= country.lat <= 90
+            assert -180 <= country.lon <= 180
+
+    def test_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            default_countries(10_000)
+
+
+class TestEvents:
+    def test_eighteen_events(self):
+        assert len(MAJOR_EVENTS) == 18
+
+    def test_table9_numbering(self):
+        assert [e.event_id for e in MAJOR_EVENTS] == list(range(1, 19))
+
+    def test_tier_partition(self):
+        assert [e.event_id for e in events_by_tier(1)] == [1, 2, 3, 4, 5, 6]
+        assert [e.event_id for e in events_by_tier(2)] == [7, 8, 9, 10, 11, 12]
+        assert [e.event_id for e in events_by_tier(3)] == [13, 14, 15, 16, 17, 18]
+
+    def test_invalid_tier(self):
+        with pytest.raises(ValueError):
+            events_by_tier(4)
+
+    def test_known_queries(self):
+        queries = {e.query for e in MAJOR_EVENTS}
+        for expected in ("Obama", "financial crisis", "Tsvangirai", "Air France"):
+            assert expected in queries
+
+    def test_sources_in_gazetteer(self):
+        names = {c.name for c in WORLD_COUNTRIES}
+        for event in MAJOR_EVENTS:
+            for incident in event.incidents:
+                assert incident.source in names
+
+    def test_incidents_within_timeline(self):
+        for event in MAJOR_EVENTS:
+            for incident in event.incidents:
+                assert 0 <= incident.start_week < 48
+
+
+class TestWeibull:
+    def test_pdf_integrates_to_one(self):
+        shape, scale = 2.0, 3.0
+        step = 0.01
+        total = sum(
+            weibull_pdf(x * step, shape, scale) * step for x in range(1, 5000)
+        )
+        assert total == pytest.approx(1.0, abs=0.01)
+
+    def test_mode_formula(self):
+        assert weibull_mode(1.0, 2.0) == 0.0
+        mode = weibull_mode(3.0, 2.0)
+        # pdf at the mode beats its neighbours.
+        assert weibull_pdf(mode, 3.0, 2.0) >= weibull_pdf(mode - 0.05, 3.0, 2.0)
+        assert weibull_pdf(mode, 3.0, 2.0) >= weibull_pdf(mode + 0.05, 3.0, 2.0)
+
+    def test_pdf_invalid_params(self):
+        with pytest.raises(GenerationError):
+            weibull_pdf(1.0, 0.0, 1.0)
+        with pytest.raises(GenerationError):
+            weibull_mode(1.0, -1.0)
+
+    def test_pdf_negative_x_zero(self):
+        assert weibull_pdf(-1.0, 2.0, 1.0) == 0.0
+
+    @given(
+        st.integers(1, 50),
+        st.floats(0.5, 5.0),
+        st.floats(0.5, 50.0),
+        st.floats(0.5, 30.0),
+    )
+    def test_profile_peaks_at_requested_value(self, length, shape, scale, peak):
+        profile = burst_profile(length, shape, scale, peak)
+        assert len(profile) == length
+        assert max(profile) == pytest.approx(peak)
+        assert all(value >= 0.0 for value in profile)
+
+    def test_profile_bad_args(self):
+        with pytest.raises(GenerationError):
+            burst_profile(0, 1.0, 1.0, 1.0)
+        with pytest.raises(GenerationError):
+            burst_profile(5, 1.0, 1.0, 0.0)
+
+
+class TestZipfVocabulary:
+    def test_size(self):
+        vocab = ZipfVocabulary(size=100, extra_terms=["quake"])
+        assert len(vocab) == 101
+        assert "quake" in vocab.terms
+
+    def test_head_terms_more_frequent(self):
+        vocab = ZipfVocabulary(size=200)
+        rng = random.Random(0)
+        counts = {}
+        for _ in range(20_000):
+            token = vocab.sample(rng)
+            counts[token] = counts.get(token, 0) + 1
+        assert counts.get("term00000", 0) > counts.get("term00150", 0)
+
+    def test_sample_document_length(self):
+        vocab = ZipfVocabulary(size=50)
+        doc = vocab.sample_document(random.Random(1), 12)
+        assert len(doc) == 12
+
+    def test_invalid_args(self):
+        with pytest.raises(GenerationError):
+            ZipfVocabulary(size=0)
+        with pytest.raises(GenerationError):
+            ZipfVocabulary(size=10, exponent=0.0)
+        with pytest.raises(GenerationError):
+            ZipfVocabulary(size=10).sample_document(random.Random(0), 0)
+
+
+class TestGeneratorSettings:
+    def test_bad_mode(self):
+        with pytest.raises(GenerationError):
+            GeneratorSettings(mode="bogus")
+
+    def test_more_patterns_than_terms(self):
+        with pytest.raises(GenerationError):
+            GeneratorSettings(n_terms=5, n_patterns=6)
+
+    def test_effective_support(self):
+        assert GeneratorSettings(n_streams=100).effective_support == 5
+        assert GeneratorSettings(n_streams=10_000).effective_support == 40
+        assert GeneratorSettings(support_size=7).effective_support == 7
+
+
+def small_settings(mode="dist", seed=5):
+    return GeneratorSettings(
+        mode=mode,
+        timeline=60,
+        n_streams=30,
+        n_terms=100,
+        n_patterns=12,
+        seed=seed,
+    )
+
+
+class TestGenerateDataset:
+    def test_deterministic(self):
+        a = generate_dataset(small_settings())
+        b = generate_dataset(small_settings())
+        assert [p.term for p in a.patterns] == [p.term for p in b.patterns]
+        term = a.patterns[0].term
+        sid = next(iter(a.patterns[0].streams))
+        assert a.sequence(term, sid) == b.sequence(term, sid)
+
+    def test_pattern_terms_distinct(self):
+        data = generate_dataset(small_settings())
+        terms = [p.term for p in data.patterns]
+        assert len(set(terms)) == len(terms)
+
+    def test_injection_visible_in_sequences(self):
+        data = generate_dataset(small_settings())
+        for pattern in data.patterns[:5]:
+            for sid in pattern.streams:
+                seq = data.sequence(pattern.term, sid)
+                inside = max(
+                    seq[pattern.timeframe.start : pattern.timeframe.end + 1]
+                )
+                assert inside >= 1.0
+
+    def test_timeframe_within_timeline(self):
+        data = generate_dataset(small_settings())
+        for pattern in data.patterns:
+            assert 0 <= pattern.timeframe.start
+            assert pattern.timeframe.end < data.timeline
+
+    def test_stream_counts_in_bounds(self):
+        settings = small_settings()
+        data = generate_dataset(settings)
+        lo, hi = settings.pattern_streams
+        for pattern in data.patterns:
+            assert lo <= len(pattern.streams) <= hi
+
+    def test_distgen_patterns_more_local_than_randgen(self):
+        """distGen's locality: mean pairwise member distance is smaller."""
+
+        def mean_spread(data):
+            spreads = []
+            for pattern in data.patterns:
+                pts = [data.locations[sid] for sid in pattern.streams]
+                if len(pts) < 2:
+                    continue
+                total, pairs = 0.0, 0
+                for i, a in enumerate(pts):
+                    for b in pts[i + 1 :]:
+                        total += a.distance_to(b)
+                        pairs += 1
+                spreads.append(total / pairs)
+            return sum(spreads) / len(spreads)
+
+        dist_data = generate_dataset(small_settings(mode="dist"))
+        rand_data = generate_dataset(small_settings(mode="rand"))
+        assert mean_spread(dist_data) < mean_spread(rand_data)
+
+    def test_slice_at_consistent_with_sequence(self):
+        data = generate_dataset(small_settings())
+        term = data.patterns[0].term
+        for t in range(0, data.timeline, 7):
+            snapshot = data.slice_at(term, t)
+            for sid, value in snapshot.items():
+                assert data.sequence(term, sid)[t] == value
+
+    def test_unknown_stream_sequence_zero(self):
+        data = generate_dataset(small_settings())
+        term = data.patterns[0].term
+        assert data.sequence(term, "not-a-stream") == [0.0] * data.timeline
+
+    def test_literal_mode_runs(self):
+        data = generate_dataset(small_settings(mode="dist-literal"))
+        assert data.patterns
+
+
+class TestTopixCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_topix_corpus(
+            CorpusSettings(
+                n_countries=40,
+                timeline=48,
+                background_rate=1.0,
+                events=MAJOR_EVENTS[:4],
+                seed=2,
+            )
+        )
+
+    def test_stream_count(self, corpus):
+        assert len(corpus.collection) == 40
+
+    def test_documents_exist(self, corpus):
+        assert corpus.collection.document_count > 0
+
+    def test_event_docs_tagged(self, corpus):
+        tagged = [d for d in corpus.collection.documents() if d.event_id is not None]
+        assert tagged
+        for doc in tagged:
+            assert doc.event_id in {e.event_id for e in corpus.events}
+
+    def test_event_docs_contain_query_terms(self, corpus):
+        from repro.streams import tokenize
+
+        queries = {e.event_id: tokenize(e.query) for e in corpus.events}
+        for doc in corpus.collection.documents():
+            if doc.event_id is not None:
+                for token in queries[doc.event_id]:
+                    assert doc.frequency(token) >= 1
+
+    def test_footprints_recorded(self, corpus):
+        for event in corpus.events:
+            assert corpus.event_footprints[event.event_id]
+
+    def test_timeframes_cover_incidents(self, corpus):
+        for event in corpus.events:
+            first, last = corpus.event_timeframes[event.event_id]
+            assert 0 <= first <= last < 48
+
+    def test_queries_listing(self, corpus):
+        assert corpus.queries()[0] == (1, "Obama")
+
+    def test_deterministic(self):
+        settings = CorpusSettings(
+            n_countries=25, timeline=12, background_rate=0.5,
+            events=MAJOR_EVENTS[:2], seed=9,
+        )
+        a = generate_topix_corpus(settings)
+        b = generate_topix_corpus(settings)
+        assert a.collection.document_count == b.collection.document_count
+
+    def test_unknown_source_rejected(self):
+        from repro.datagen.events import EventIncident, MajorEvent
+
+        bad = MajorEvent(
+            99, "bogus", "x", 3, 0.05,
+            (EventIncident("Atlantis", 1, 2, 5.0),),
+        )
+        with pytest.raises(GenerationError):
+            generate_topix_corpus(
+                CorpusSettings(
+                    n_countries=20, timeline=12, background_rate=0.1,
+                    events=(bad,), seed=1,
+                )
+            )

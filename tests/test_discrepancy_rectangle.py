@@ -1,0 +1,184 @@
+"""Max-weight rectangle: exact grid/Kadane vs brute force; R-Bursty."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import r_bursty
+from repro.spatial import (
+    Point,
+    WeightedPoint,
+    max_weight_rectangle,
+    max_weight_rectangle_bruteforce,
+)
+
+# Integer grid coordinates + half-integer weights: exact arithmetic.
+weighted_points = st.lists(
+    st.builds(
+        lambda x, y, w: WeightedPoint(Point(float(x), float(y)), w / 2.0),
+        st.integers(0, 8),
+        st.integers(0, 8),
+        st.integers(-10, 10),
+    ),
+    max_size=14,
+)
+
+
+class TestMaxWeightRectangle:
+    def test_empty(self):
+        assert max_weight_rectangle([]) is None
+
+    def test_all_negative(self):
+        pts = [WeightedPoint(Point(0, 0), -1.0), WeightedPoint(Point(1, 1), -2.0)]
+        assert max_weight_rectangle(pts) is None
+
+    def test_all_zero(self):
+        assert max_weight_rectangle([WeightedPoint(Point(0, 0), 0.0)]) is None
+
+    def test_single_positive(self):
+        result = max_weight_rectangle([WeightedPoint(Point(3, 4), 2.5, "s")])
+        assert result is not None
+        assert result.score == pytest.approx(2.5)
+        assert result.rectangle.contains_point(Point(3, 4))
+        assert [wp.stream_id for wp in result.members] == ["s"]
+
+    def test_negative_point_excluded(self):
+        pts = [
+            WeightedPoint(Point(0, 0), 3.0, "a"),
+            WeightedPoint(Point(1, 0), -5.0, "b"),
+            WeightedPoint(Point(2, 0), 3.0, "c"),
+        ]
+        result = max_weight_rectangle(pts)
+        # Including b costs more than it gains: pick one side.
+        assert result.score == pytest.approx(3.0)
+
+    def test_negative_point_worth_bridging(self):
+        pts = [
+            WeightedPoint(Point(0, 0), 3.0, "a"),
+            WeightedPoint(Point(1, 0), -1.0, "b"),
+            WeightedPoint(Point(2, 0), 3.0, "c"),
+        ]
+        result = max_weight_rectangle(pts)
+        assert result.score == pytest.approx(5.0)
+        assert len(result.members) == 3
+
+    def test_stacked_points_same_cell(self):
+        pts = [
+            WeightedPoint(Point(0, 0), 1.0, "a"),
+            WeightedPoint(Point(0, 0), 2.0, "b"),
+        ]
+        result = max_weight_rectangle(pts)
+        assert result.score == pytest.approx(3.0)
+        assert len(result.members) == 2
+
+    def test_rectangle_is_tight(self):
+        pts = [
+            WeightedPoint(Point(1, 1), 1.0),
+            WeightedPoint(Point(4, 5), 1.0),
+            WeightedPoint(Point(9, 9), -7.0),
+        ]
+        result = max_weight_rectangle(pts)
+        assert result.rectangle.min_x == 1.0
+        assert result.rectangle.max_x == 4.0
+        assert result.rectangle.min_y == 1.0
+        assert result.rectangle.max_y == 5.0
+
+    @settings(max_examples=120)
+    @given(weighted_points)
+    def test_matches_bruteforce_score(self, pts):
+        fast = max_weight_rectangle(pts)
+        slow = max_weight_rectangle_bruteforce(pts)
+        if slow is None:
+            assert fast is None
+        else:
+            assert fast is not None
+            assert fast.score == pytest.approx(slow.score)
+
+    @settings(max_examples=80)
+    @given(weighted_points)
+    def test_score_equals_member_sum(self, pts):
+        result = max_weight_rectangle(pts)
+        if result is not None:
+            assert result.score == pytest.approx(
+                sum(wp.weight for wp in result.members)
+            )
+
+    @settings(max_examples=80)
+    @given(weighted_points)
+    def test_members_exactly_the_nonzero_inside(self, pts):
+        result = max_weight_rectangle(pts)
+        if result is not None:
+            expected = [
+                wp
+                for wp in pts
+                if wp.weight != 0.0 and result.rectangle.contains_point(wp.point)
+            ]
+            assert list(result.members) == expected
+
+
+class TestRBursty:
+    def test_empty(self):
+        assert r_bursty([]) == []
+
+    def test_all_negative(self):
+        pts = [WeightedPoint(Point(0, 0), -1.0)]
+        assert r_bursty(pts) == []
+
+    def test_two_separate_clusters(self):
+        pts = [
+            WeightedPoint(Point(0, 0), 2.0, "a"),
+            WeightedPoint(Point(1, 0), 2.0, "b"),
+            WeightedPoint(Point(50, 50), -3.0, "gap"),
+            WeightedPoint(Point(100, 100), 1.5, "c"),
+        ]
+        rects = r_bursty(pts)
+        assert len(rects) == 2
+        assert rects[0].score == pytest.approx(4.0)
+        assert rects[1].score == pytest.approx(1.5)
+
+    def test_scores_non_increasing(self):
+        pts = [
+            WeightedPoint(Point(float(i * 10), 0.0), float(5 - i), str(i))
+            for i in range(5)
+        ]
+        rects = r_bursty(pts)
+        scores = [r.score for r in rects]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_streams_never_shared(self):
+        """The −∞ trick: no stream appears in two reported rectangles."""
+        pts = [
+            WeightedPoint(Point(float(x), float(y)), 1.0, (x, y))
+            for x in range(4)
+            for y in range(4)
+        ]
+        rects = r_bursty(pts)
+        seen = set()
+        for rect in rects:
+            ids = {wp.stream_id for wp in rect.members}
+            assert not (ids & seen)
+            seen |= ids
+
+    def test_zero_weight_swallowed_and_retired(self):
+        pts = [
+            WeightedPoint(Point(0, 0), 2.0, "a"),
+            WeightedPoint(Point(0.5, 0), 0.0, "passive"),
+            WeightedPoint(Point(1, 0), 2.0, "b"),
+        ]
+        rects = r_bursty(pts)
+        assert len(rects) == 1
+        member_ids = {wp.stream_id for wp in rects[0].members}
+        assert member_ids == {"a", "passive", "b"}
+
+    def test_termination_bound(self):
+        pts = [
+            WeightedPoint(Point(float(i), float(i % 3)), 0.5, i) for i in range(30)
+        ]
+        rects = r_bursty(pts)
+        assert len(rects) <= len(pts)
+
+    @settings(max_examples=50)
+    @given(weighted_points)
+    def test_all_rects_positive(self, pts):
+        for rect in r_bursty(pts):
+            assert rect.score > 0.0

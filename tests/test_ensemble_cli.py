@@ -1,0 +1,117 @@
+"""Ensemble engine (Section 6.3's suggestion) and the CLI."""
+
+import pytest
+
+from repro.core import STComb, STLocal
+from repro.errors import SearchError
+from repro.eval import exp_figure9
+from repro.search import BurstySearchEngine, TemporalSearchEngine
+from repro.search.ensemble import EnsembleSearchEngine
+from repro.spatial import Point
+from repro.streams import Document, SpatiotemporalCollection
+
+
+@pytest.fixture(scope="module")
+def setting():
+    coll = SpatiotemporalCollection(timeline=12)
+    for i, sid in enumerate(("a", "b", "c")):
+        coll.add_stream(sid, Point(float(i), 0.0))
+    doc_id = 0
+    for sid in ("a", "b", "c"):
+        for t in range(12):
+            coll.add_document(Document(doc_id, sid, t, ("filler",)))
+            doc_id += 1
+    for sid in ("a", "b"):
+        for t in (5, 6, 7):
+            for _ in range(4):
+                coll.add_document(
+                    Document(doc_id, sid, t, ("quake", "quake"), event_id=1)
+                )
+                doc_id += 1
+    comb_engine = BurstySearchEngine(coll, STComb().mine(coll, ["quake"]))
+    local_engine = BurstySearchEngine(coll, STLocal().mine(coll, ["quake"]))
+    tb_engine = TemporalSearchEngine(coll)
+    return coll, comb_engine, local_engine, tb_engine
+
+
+class TestEnsemble:
+    def test_fused_results(self, setting):
+        _, comb, local, tb = setting
+        ensemble = EnsembleSearchEngine(
+            {"STComb": comb, "STLocal": local, "TB": tb}
+        )
+        results = ensemble.search("quake", k=5)
+        assert results
+        points = [r.points for r in results]
+        assert points == sorted(points, reverse=True)
+        for result in results:
+            assert result.document.frequency("quake") > 0
+            assert set(result.supporters) <= {"STComb", "STLocal", "TB"}
+
+    def test_unanimous_document_ranks_first(self, setting):
+        _, comb, local, tb = setting
+        ensemble = EnsembleSearchEngine(
+            {"STComb": comb, "STLocal": local, "TB": tb}
+        )
+        results = ensemble.search("quake", k=3)
+        assert len(results[0].supporters) >= 2
+
+    def test_weights_respected(self, setting):
+        _, comb, local, _ = setting
+        heavy = EnsembleSearchEngine(
+            {"STComb": comb, "STLocal": local},
+            weights={"STComb": 5.0},
+        )
+        results = heavy.search("quake", k=3)
+        assert results
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(SearchError):
+            EnsembleSearchEngine({})
+
+    def test_unknown_weight_rejected(self, setting):
+        _, comb, _, _ = setting
+        with pytest.raises(SearchError):
+            EnsembleSearchEngine({"STComb": comb}, weights={"bogus": 1.0})
+
+    def test_invalid_k(self, setting):
+        _, comb, _, _ = setting
+        ensemble = EnsembleSearchEngine({"STComb": comb})
+        with pytest.raises(SearchError):
+            ensemble.search("quake", k=0)
+
+    def test_single_engine_preserves_order(self, setting):
+        _, comb, _, _ = setting
+        ensemble = EnsembleSearchEngine({"STComb": comb})
+        fused = [r.document.doc_id for r in ensemble.search("quake", k=4)]
+        direct = [h.document.doc_id for h in comb.search("quake", k=4)]
+        assert fused == direct
+
+
+class TestCLI:
+    def test_figure9_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["figure9"]) == 0
+        output = capsys.readouterr().out
+        assert "Weibull pdf curves" in output
+
+    def test_invalid_subcommand(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["bogus-experiment"])
+
+    def test_parser_defaults(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(["table1"])
+        assert args.background_rate == 2.0
+        assert args.seed == 0
+
+    def test_figure8_custom_streams(self, capsys):
+        from repro.cli import main
+
+        assert main(["figure8", "--streams", "50", "100"]) == 0
+        output = capsys.readouterr().out
+        assert "50" in output and "100" in output

@@ -1,0 +1,75 @@
+"""Error hierarchy and public-API surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "InvalidIntervalError",
+            "OverlapError",
+            "EmptyInputError",
+            "InvalidGeometryError",
+            "StreamError",
+            "UnknownTermError",
+            "ConfigurationError",
+            "SearchError",
+            "GenerationError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_value_error_compatibility(self):
+        """Callers can catch most failures as plain ValueErrors too."""
+        assert issubclass(errors.InvalidIntervalError, ValueError)
+        assert issubclass(errors.ConfigurationError, ValueError)
+
+    def test_unknown_term_is_key_error(self):
+        assert issubclass(errors.UnknownTermError, KeyError)
+
+    def test_single_catch_all(self):
+        from repro.intervals import Interval
+
+        with pytest.raises(errors.ReproError):
+            Interval(5, 1)
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_classes_importable_from_root(self):
+        assert repro.STComb is not None
+        assert repro.STLocal is not None
+        assert repro.BurstySearchEngine is not None
+        assert repro.SpatiotemporalCollection is not None
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.core
+        import repro.datagen
+        import repro.eval
+        import repro.intervals
+        import repro.search
+        import repro.spatial
+        import repro.streams
+        import repro.temporal
+
+        for module in (
+            repro.core,
+            repro.datagen,
+            repro.eval,
+            repro.intervals,
+            repro.search,
+            repro.spatial,
+            repro.streams,
+            repro.temporal,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)

@@ -1,0 +1,109 @@
+"""Metrics, annotator, reporting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EmptyInputError
+from repro.eval import (
+    GroundTruthAnnotator,
+    end_error,
+    jaccard_similarity,
+    precision_at_k,
+    render_histogram,
+    render_series,
+    render_table,
+    start_error,
+    topk_overlap,
+)
+from repro.intervals import Interval
+from repro.streams import Document
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_similarity({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity({"a"}, {"b"}) == 0.0
+
+    def test_partial(self):
+        assert jaccard_similarity({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_both_empty(self):
+        assert jaccard_similarity([], []) == 1.0
+
+    @given(
+        st.sets(st.integers(0, 20)),
+        st.sets(st.integers(0, 20)),
+    )
+    def test_bounds_and_symmetry(self, a, b):
+        j = jaccard_similarity(a, b)
+        assert 0.0 <= j <= 1.0
+        assert j == pytest.approx(jaccard_similarity(b, a))
+
+
+class TestTimeframeErrors:
+    def test_exact(self):
+        assert start_error(Interval(3, 8), Interval(3, 9)) == 0
+        assert end_error(Interval(3, 8), Interval(3, 9)) == 1
+
+    def test_symmetric_absolute(self):
+        assert start_error(Interval(1, 5), Interval(4, 5)) == 3
+        assert start_error(Interval(4, 5), Interval(1, 5)) == 3
+
+
+class TestPrecision:
+    def test_all_relevant(self):
+        assert precision_at_k([True] * 10) == 1.0
+
+    def test_partial(self):
+        assert precision_at_k([True, False, True, False], k=4) == 0.5
+
+    def test_cutoff(self):
+        assert precision_at_k([True, True, False, False], k=2) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyInputError):
+            precision_at_k([])
+
+
+class TestTopkOverlap:
+    def test_identical(self):
+        assert topk_overlap([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_disjoint(self):
+        assert topk_overlap([1], [2]) == 0.0
+
+    def test_partial(self):
+        assert topk_overlap([1, 2, 3, 4], [3, 4, 5, 6]) == 0.5
+
+    def test_empty(self):
+        assert topk_overlap([], []) == 1.0
+
+
+class TestAnnotator:
+    def test_judgement(self):
+        annotator = GroundTruthAnnotator()
+        relevant = Document(1, "us", 0, ("a",), event_id=7)
+        decoy = Document(2, "us", 0, ("a",), event_id=None)
+        other = Document(3, "us", 0, ("a",), event_id=8)
+        assert annotator.judge([relevant, decoy, other], 7) == [True, False, False]
+
+
+class TestReporting:
+    def test_table_contains_cells(self):
+        text = render_table("T", ["a", "b"], [[1, 2.5], ["x", 3]])
+        assert "T" in text
+        assert "2.50" in text
+        assert "x" in text
+
+    def test_series(self):
+        text = render_series("S", "t", [("m", [1.0, 2.0])], [10, 20])
+        assert "m" in text
+        assert "10" in text
+
+    def test_histogram(self):
+        text = render_histogram("H", [("[0,1)", 0.92), (">=1", 0.08)])
+        assert "92.0%" in text
+        assert "#" in text

@@ -1,0 +1,107 @@
+"""Smoke tests for the experiment runners on a miniature corpus.
+
+The benchmark suite runs the full-size experiments; these tests verify
+the runners' mechanics (structure, rendering, invariants) on a corpus
+small enough for the unit-test budget.
+"""
+
+import pytest
+
+from repro.datagen import CorpusSettings, MAJOR_EVENTS
+from repro.eval import (
+    TopixLab,
+    exp_figure4,
+    exp_figure5,
+    exp_figure6,
+    exp_figure7,
+    exp_figure8,
+    exp_table1,
+    exp_table3,
+)
+
+
+@pytest.fixture(scope="module")
+def mini_lab():
+    settings = CorpusSettings(
+        n_countries=30,
+        timeline=48,
+        background_rate=0.4,
+        vocabulary_size=500,
+        events=MAJOR_EVENTS[:6],
+        seed=1,
+    )
+    return TopixLab(settings)
+
+
+class TestTable1Runner:
+    def test_rows_cover_all_queries(self, mini_lab):
+        result = exp_table1(mini_lab)
+        assert [row[0] for row in result.rows] == [1, 2, 3, 4, 5, 6]
+        for _, _, n_local, n_comb, n_mbr in result.rows:
+            assert 0 <= n_local <= 30
+            assert 0 <= n_comb <= 30
+            assert n_mbr <= 30
+        assert "Table 1" in result.render()
+
+    def test_mbr_at_least_membership(self, mini_lab):
+        for _, _, _, n_comb, n_mbr in exp_table1(mini_lab).rows:
+            if n_comb:
+                assert n_mbr >= n_comb
+
+
+class TestFigure4Runner:
+    def test_lengths_within_timeline(self, mini_lab):
+        result = exp_figure4(mini_lab)
+        for _, _, local_len, comb_len in result.rows:
+            assert 0 <= local_len <= 48
+            assert 0 <= comb_len <= 48
+        assert "Figure 4" in result.render()
+
+
+class TestTable3Runner:
+    def test_precisions_bounded(self, mini_lab):
+        result = exp_table3(mini_lab, k=5)
+        for _, _, tb, local, comb in result.rows:
+            for value in (tb, local, comb):
+                assert 0.0 <= value <= 1.0
+        for overlap in result.overlaps.values():
+            assert 0.0 <= overlap <= 1.0
+        rendered = result.render()
+        assert "averages" in rendered
+
+
+class TestFigure56Runners:
+    def test_figure5_buckets_partition(self, mini_lab):
+        result = exp_figure5(mini_lab, sample=10)
+        total = sum(fraction for _, fraction in result.buckets)
+        assert total == pytest.approx(1.0)
+
+    def test_figure6_below_bound(self, mini_lab):
+        result = exp_figure6(mini_lab, sample=10)
+        assert len(result.open_windows) == 48
+        for measured, bound in zip(result.open_windows, result.upper_bound):
+            assert measured <= bound
+
+
+class TestFigure7Runner:
+    def test_series_lengths(self, mini_lab):
+        result = exp_figure7(mini_lab, sample=19)
+        assert len(result.stcomb_ms) == 48
+        assert len(result.stlocal_ms) == 48
+        assert all(v >= 0.0 for v in result.stcomb_ms)
+        assert all(v >= 0.0 for v in result.stlocal_ms)
+
+
+class TestFigure8Runner:
+    def test_sweep_structure(self):
+        result = exp_figure8(
+            stream_counts=(50, 100),
+            timeline=40,
+            n_terms=60,
+            n_patterns=6,
+            terms_per_point=2,
+        )
+        assert result.stream_counts == [50, 100]
+        assert len(result.stcomb_s) == 2
+        assert len(result.stlocal_s) == 2
+        assert "Figure 8" in result.render()

@@ -1,0 +1,163 @@
+"""End-to-end integration: corpus → mining → search → metrics.
+
+A scaled-down Topix-style corpus (40 countries, 24 weeks, 6 events)
+exercises the full pipeline the way the paper's evaluation does, with
+assertions on the *shape* of the results rather than absolute numbers.
+"""
+
+import pytest
+
+from repro.datagen import CorpusSettings, GeneratorSettings, MAJOR_EVENTS, generate_dataset, generate_topix_corpus
+from repro.core import BaseDetector, STComb, STCombConfig, STLocal
+from repro.eval import (
+    GroundTruthAnnotator,
+    exp_figure9,
+    jaccard_similarity,
+    precision_at_k,
+)
+from repro.search import BurstySearchEngine, TemporalSearchEngine
+from repro.streams import FrequencyTensor, tokenize
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    events = (
+        MAJOR_EVENTS[0],   # Obama      — tier 1
+        MAJOR_EVENTS[4],   # swine      — tier 1
+        MAJOR_EVENTS[6],   # gaza       — tier 2
+        MAJOR_EVENTS[12],  # Nkunda     — tier 3
+        MAJOR_EVENTS[14],  # Tsvangirai — tier 3
+    )
+    # Compress the 48-week incidents into 24 weeks.
+    settings = CorpusSettings(
+        n_countries=60,
+        timeline=48,
+        background_rate=1.0,
+        events=events,
+        seed=4,
+    )
+    return generate_topix_corpus(settings)
+
+
+@pytest.fixture(scope="module")
+def tensor(corpus):
+    return FrequencyTensor(corpus.collection)
+
+
+class TestMiningPipeline:
+    def test_every_event_yields_patterns(self, corpus, tensor):
+        stcomb = STComb(config=STCombConfig(min_interval_score=0.2))
+        stlocal = STLocal()
+        locations = corpus.collection.locations()
+        for _, query in corpus.queries():
+            term = tokenize(query)[0]
+            assert stcomb.top_pattern(tensor, term) is not None, query
+            assert (
+                stlocal.top_pattern(tensor, term, locations=locations)
+                is not None
+            ), query
+
+    def test_tier1_wider_than_tier3(self, corpus, tensor):
+        stlocal = STLocal()
+        locations = corpus.collection.locations()
+
+        def bursty_count(query):
+            term = tokenize(query)[0]
+            pattern = stlocal.top_pattern(tensor, term, locations=locations)
+            members = pattern.bursty_streams or pattern.streams
+            return len(members)
+
+        assert bursty_count("Obama") > bursty_count("Tsvangirai")
+        assert bursty_count("swine") > bursty_count("Nkunda")
+
+    def test_stlocal_timeframe_covers_event(self, corpus, tensor):
+        stlocal = STLocal()
+        locations = corpus.collection.locations()
+        pattern = stlocal.top_pattern(tensor, "obama", locations=locations)
+        first, last = corpus.event_timeframes[1]
+        assert pattern.timeframe.intersects(
+            type(pattern.timeframe)(first, last)
+        )
+
+
+class TestSearchPipeline:
+    def test_engines_retrieve_relevant_documents(self, corpus, tensor):
+        annotator = GroundTruthAnnotator()
+        stcomb = STComb(config=STCombConfig(min_interval_score=0.2))
+        patterns = {
+            term: stcomb.patterns_for_term(tensor, term)
+            for _, query in corpus.queries()
+            for term in tokenize(query)
+        }
+        engine = BurstySearchEngine(corpus.collection, patterns)
+        tb = TemporalSearchEngine(corpus.collection)
+        for current in (engine, tb):
+            precisions = []
+            for event_id, query in corpus.queries():
+                hits = current.search(query, k=10)
+                assert hits, (query, type(current).__name__)
+                flags = annotator.judge([h.document for h in hits], event_id)
+                precision = precision_at_k(flags)
+                precisions.append(precision)
+                if event_id in (1, 5):  # tier-1 queries must do well
+                    assert precision >= 0.5, (query, type(current).__name__)
+            average = sum(precisions) / len(precisions)
+            assert average >= 0.4, type(current).__name__
+
+    def test_retrieved_docs_contain_all_query_terms(self, corpus, tensor):
+        stcomb = STComb(config=STCombConfig(min_interval_score=0.2))
+        patterns = {
+            term: stcomb.patterns_for_term(tensor, term)
+            for term in tokenize("gaza")
+        }
+        engine = BurstySearchEngine(corpus.collection, patterns)
+        for hit in engine.search("gaza", k=10):
+            assert hit.document.frequency("gaza") > 0
+
+
+class TestSyntheticRetrieval:
+    def test_methods_beat_base_on_distgen(self):
+        settings = GeneratorSettings(
+            mode="dist", timeline=120, n_streams=30, n_terms=200,
+            n_patterns=25, seed=11,
+        )
+        data = generate_dataset(settings)
+        stlocal = STLocal()
+        base = BaseDetector()
+
+        def avg_jaccard(retrieve):
+            scores = []
+            for pattern in data.patterns:
+                found = retrieve(pattern.term)
+                if found is None:
+                    scores.append(0.0)
+                    continue
+                scores.append(jaccard_similarity(found, pattern.streams))
+            return sum(scores) / len(scores)
+
+        def stlocal_streams(term):
+            pattern = stlocal.top_pattern(data, term, locations=data.locations)
+            if pattern is None:
+                return None
+            return pattern.bursty_streams or pattern.streams
+
+        def base_streams(term):
+            pattern = base.top_pattern(data, term)
+            return None if pattern is None else pattern.streams
+
+        assert avg_jaccard(stlocal_streams) > avg_jaccard(base_streams)
+
+
+class TestFigure9:
+    def test_curve_shapes(self):
+        result = exp_figure9()
+        rendered = result.render()
+        assert "k=5.0" in rendered
+        curves = dict(result.curves)
+        # k=1 (exponential-like) is monotone decreasing.
+        decreasing = curves["k=1.0,c=1.0"]
+        assert all(a >= b for a, b in zip(decreasing, decreasing[1:]))
+        # k=5,c=3 rises to an interior peak.
+        humped = curves["k=5.0,c=3.0"]
+        peak_index = humped.index(max(humped))
+        assert 0 < peak_index < len(humped) - 1

@@ -1,0 +1,148 @@
+"""Unit + property tests for repro.intervals.interval."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EmptyInputError, InvalidIntervalError
+from repro.intervals.interval import Interval, common_segment, pairwise_intersecting
+
+intervals_st = st.builds(
+    lambda a, b: Interval(min(a, b), max(a, b)),
+    st.integers(-50, 50),
+    st.integers(-50, 50),
+)
+
+
+class TestIntervalBasics:
+    def test_length_single(self):
+        assert Interval(3, 3).length == 1
+
+    def test_length_multi(self):
+        assert Interval(2, 5).length == 4
+
+    def test_len_dunder(self):
+        assert len(Interval(0, 9)) == 10
+
+    def test_inverted_raises(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(5, 4)
+
+    def test_contains_timestamp(self):
+        interval = Interval(2, 4)
+        assert 2 in interval
+        assert 4 in interval
+        assert 5 not in interval
+        assert 1 not in interval
+
+    def test_iteration(self):
+        assert list(Interval(3, 6)) == [3, 4, 5, 6]
+
+    def test_ordering_lexicographic(self):
+        assert Interval(1, 5) < Interval(2, 3)
+        assert Interval(1, 2) < Interval(1, 5)
+
+    def test_equality_and_hash(self):
+        assert Interval(1, 2) == Interval(1, 2)
+        assert hash(Interval(1, 2)) == hash(Interval(1, 2))
+        assert Interval(1, 2) != Interval(1, 3)
+
+    def test_shift(self):
+        assert Interval(1, 3).shift(10) == Interval(11, 13)
+
+    def test_shift_negative(self):
+        assert Interval(5, 8).shift(-5) == Interval(0, 3)
+
+    def test_expand(self):
+        assert Interval(4, 5).expand(2) == Interval(2, 7)
+
+    def test_expand_shrink_invalid(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(4, 5).expand(-2)
+
+
+class TestIntersection:
+    def test_overlapping(self):
+        assert Interval(1, 5).intersection(Interval(3, 8)) == Interval(3, 5)
+
+    def test_touching_at_point(self):
+        # Closed intervals sharing exactly one timestamp intersect.
+        assert Interval(1, 3).intersection(Interval(3, 6)) == Interval(3, 3)
+
+    def test_disjoint(self):
+        assert Interval(1, 2).intersection(Interval(4, 6)) is None
+
+    def test_adjacent_not_intersecting(self):
+        assert not Interval(1, 2).intersects(Interval(3, 4))
+
+    def test_containment(self):
+        assert Interval(1, 9).contains_interval(Interval(3, 4))
+        assert not Interval(3, 4).contains_interval(Interval(1, 9))
+        assert Interval(3, 4).contains_interval(Interval(3, 4))
+
+    def test_union_span_disjoint(self):
+        assert Interval(1, 2).union_span(Interval(5, 6)) == Interval(1, 6)
+
+    @given(intervals_st, intervals_st)
+    def test_intersection_symmetric(self, a, b):
+        assert a.intersection(b) == b.intersection(a)
+
+    @given(intervals_st, intervals_st)
+    def test_intersection_within_both(self, a, b):
+        overlap = a.intersection(b)
+        if overlap is not None:
+            assert a.contains_interval(overlap)
+            assert b.contains_interval(overlap)
+
+    @given(intervals_st)
+    def test_self_intersection_identity(self, a):
+        assert a.intersection(a) == a
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert Interval(1, 4).jaccard(Interval(1, 4)) == 1.0
+
+    def test_disjoint(self):
+        assert Interval(1, 2).jaccard(Interval(5, 6)) == 0.0
+
+    def test_half_overlap(self):
+        # [0,1] vs [1,2]: overlap 1, union 3.
+        assert Interval(0, 1).jaccard(Interval(1, 2)) == pytest.approx(1 / 3)
+
+    @given(intervals_st, intervals_st)
+    def test_jaccard_bounds_and_symmetry(self, a, b):
+        j = a.jaccard(b)
+        assert 0.0 <= j <= 1.0
+        assert j == pytest.approx(b.jaccard(a))
+
+
+class TestCommonSegment:
+    def test_empty_input(self):
+        with pytest.raises(EmptyInputError):
+            common_segment([])
+
+    def test_single(self):
+        assert common_segment([Interval(1, 5)]) == Interval(1, 5)
+
+    def test_three_way(self):
+        segs = [Interval(0, 10), Interval(4, 20), Interval(6, 8)]
+        assert common_segment(segs) == Interval(6, 8)
+
+    def test_no_common(self):
+        assert common_segment([Interval(0, 2), Interval(5, 9)]) is None
+
+    @given(st.lists(intervals_st, min_size=1, max_size=8))
+    def test_helly_property(self, items):
+        """1-D Helly: all pairwise intersect iff a common point exists."""
+        pairwise = all(
+            a.intersects(b) for i, a in enumerate(items) for b in items[i + 1 :]
+        )
+        assert pairwise_intersecting(items) == pairwise
+
+    @given(st.lists(intervals_st, min_size=1, max_size=8))
+    def test_common_segment_in_all(self, items):
+        segment = common_segment(items)
+        if segment is not None:
+            for item in items:
+                assert item.contains_interval(segment)

@@ -1,0 +1,171 @@
+"""Tests for interval sets, gap filling, and interval graphs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import OverlapError
+from repro.intervals import (
+    Interval,
+    IntervalSet,
+    WeightedInterval,
+    build_interval_graph,
+    fill_gaps,
+    intervals_from_mask,
+    merge_touching,
+)
+
+
+class TestIntervalSet:
+    def test_add_and_iterate_sorted(self):
+        s = IntervalSet()
+        s.add(Interval(5, 6))
+        s.add(Interval(1, 2))
+        assert list(s) == [Interval(1, 2), Interval(5, 6)]
+
+    def test_add_overlap_rejected(self):
+        s = IntervalSet([Interval(1, 5)])
+        with pytest.raises(OverlapError):
+            s.add(Interval(4, 8))
+
+    def test_add_touching_rejected(self):
+        s = IntervalSet([Interval(1, 5)])
+        with pytest.raises(OverlapError):
+            s.add(Interval(5, 7))
+
+    def test_adjacent_allowed(self):
+        s = IntervalSet([Interval(1, 5)])
+        s.add(Interval(6, 7))
+        assert len(s) == 2
+
+    def test_constructor_overlap_rejected(self):
+        with pytest.raises(OverlapError):
+            IntervalSet([Interval(0, 3), Interval(2, 5)])
+
+    def test_covering_hits(self):
+        s = IntervalSet([Interval(0, 2), Interval(5, 9)])
+        assert s.covering(1) == Interval(0, 2)
+        assert s.covering(5) == Interval(5, 9)
+        assert s.covering(3) is None
+
+    def test_discard(self):
+        s = IntervalSet([Interval(0, 2)])
+        assert s.discard(Interval(0, 2)) is True
+        assert s.discard(Interval(0, 2)) is False
+        assert len(s) == 0
+
+    def test_membership(self):
+        s = IntervalSet([Interval(0, 2)])
+        assert Interval(0, 2) in s
+        assert Interval(0, 3) not in s
+
+    def test_overlapping_query(self):
+        s = IntervalSet([Interval(0, 2), Interval(5, 9), Interval(12, 13)])
+        assert s.overlapping(Interval(2, 6)) == [Interval(0, 2), Interval(5, 9)]
+
+    def test_total_length(self):
+        s = IntervalSet([Interval(0, 2), Interval(5, 5)])
+        assert s.total_length() == 4
+
+    def test_equality(self):
+        assert IntervalSet([Interval(1, 2)]) == IntervalSet([Interval(1, 2)])
+        assert IntervalSet([Interval(1, 2)]) != IntervalSet([])
+
+
+class TestMergeAndGaps:
+    def test_merge_touching_overlap(self):
+        merged = merge_touching([Interval(0, 3), Interval(2, 5)])
+        assert merged == [Interval(0, 5)]
+
+    def test_merge_adjacent(self):
+        merged = merge_touching([Interval(0, 1), Interval(2, 3)])
+        assert merged == [Interval(0, 3)]
+
+    def test_merge_keeps_gaps(self):
+        merged = merge_touching([Interval(0, 1), Interval(3, 4)])
+        assert merged == [Interval(0, 1), Interval(3, 4)]
+
+    def test_fill_gaps_small_gap(self):
+        filled = fill_gaps([Interval(0, 1), Interval(3, 4)], max_gap=2)
+        assert filled == [Interval(0, 4)]
+
+    def test_fill_gaps_large_gap_kept(self):
+        filled = fill_gaps([Interval(0, 1), Interval(4, 5)], max_gap=2)
+        assert filled == [Interval(0, 1), Interval(4, 5)]
+
+    def test_fill_gaps_empty(self):
+        assert fill_gaps([], max_gap=3) == []
+
+    def test_mask_roundtrip(self):
+        mask = [False, True, True, False, True]
+        assert intervals_from_mask(mask) == [Interval(1, 2), Interval(4, 4)]
+
+    def test_mask_all_true(self):
+        assert intervals_from_mask([True] * 4) == [Interval(0, 3)]
+
+    def test_mask_all_false(self):
+        assert intervals_from_mask([False] * 4) == []
+
+    @given(st.lists(st.booleans(), max_size=40))
+    def test_mask_covers_exactly_true_positions(self, mask):
+        runs = intervals_from_mask(mask)
+        covered = set()
+        for run in runs:
+            covered.update(run)
+        expected = {i for i, value in enumerate(mask) if value}
+        assert covered == expected
+
+
+class TestIntervalGraph:
+    def _intervals(self):
+        return [
+            WeightedInterval(Interval(0, 4), 1.0, "a"),
+            WeightedInterval(Interval(3, 7), 2.0, "b"),
+            WeightedInterval(Interval(6, 9), 0.5, "c"),
+            WeightedInterval(Interval(20, 25), 1.5, "d"),
+        ]
+
+    def test_edges_match_intersections(self):
+        graph = build_interval_graph(self._intervals())
+        assert graph.graph.has_edge(0, 1)
+        assert graph.graph.has_edge(1, 2)
+        assert not graph.graph.has_edge(0, 2)
+        assert graph.degrees()[3] == 0
+
+    def test_counts(self):
+        graph = build_interval_graph(self._intervals())
+        assert graph.vertex_count() == 4
+        assert graph.edge_count() == 2
+
+    def test_clique_weight(self):
+        graph = build_interval_graph(self._intervals())
+        assert graph.clique_weight([0, 1]) == pytest.approx(3.0)
+
+    def test_is_clique(self):
+        graph = build_interval_graph(self._intervals())
+        assert graph.is_clique([0, 1])
+        assert graph.is_clique([1, 2])
+        assert not graph.is_clique([0, 1, 2])
+
+    def test_subset_maps_back(self):
+        items = self._intervals()
+        graph = build_interval_graph(items)
+        assert graph.subset([3]) == [items[3]]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 10)),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    def test_edge_set_equals_bruteforce(self, raw):
+        items = [
+            WeightedInterval(Interval(start, start + length), 1.0, index)
+            for index, (start, length) in enumerate(raw)
+        ]
+        graph = build_interval_graph(items)
+        for i in range(len(items)):
+            for j in range(i + 1, len(items)):
+                expected = items[i].interval.intersects(items[j].interval)
+                assert graph.graph.has_edge(i, j) == expected

@@ -1,0 +1,205 @@
+"""MWCI sweep vs brute force; clique enumeration; iterated removal."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals import (
+    Interval,
+    WeightedInterval,
+    common_segment,
+    enumerate_maximal_cliques,
+    iterated_max_cliques,
+    max_weight_clique,
+)
+
+
+def brute_force_best_clique(items):
+    """Exhaustive maximum-weight eligible subset (Eq. 2/3)."""
+    best = None
+    for r in range(1, len(items) + 1):
+        for subset in itertools.combinations(items, r):
+            if common_segment(w.interval for w in subset) is None:
+                continue
+            weight = sum(w.weight for w in subset)
+            if best is None or weight > best:
+                best = weight
+    return best
+
+
+weighted_st = st.builds(
+    lambda start, length, weight: WeightedInterval(
+        Interval(start, start + length), weight, None
+    ),
+    st.integers(0, 20),
+    st.integers(0, 8),
+    st.floats(0.01, 5.0, allow_nan=False),
+)
+
+
+class TestMaxWeightClique:
+    def test_empty(self):
+        assert max_weight_clique([]) is None
+
+    def test_all_nonpositive(self):
+        items = [WeightedInterval(Interval(0, 2), 0.0), WeightedInterval(Interval(1, 3), -1.0)]
+        assert max_weight_clique(items) is None
+
+    def test_single(self):
+        result = max_weight_clique([WeightedInterval(Interval(2, 5), 0.7, "x")])
+        assert result is not None
+        assert result.weight == pytest.approx(0.7)
+        assert result.segment == Interval(2, 5)
+
+    def test_paper_figure2_style(self):
+        """Four streams; the best subset combines the aligned bursts."""
+        items = [
+            WeightedInterval(Interval(0, 10), 0.8, "D1"),   # I1
+            WeightedInterval(Interval(14, 20), 0.5, "D1"),  # I2
+            WeightedInterval(Interval(2, 9), 0.6, "D2"),    # I3
+            WeightedInterval(Interval(15, 22), 0.4, "D2"),  # I4
+            WeightedInterval(Interval(4, 12), 0.3, "D3"),   # I5
+            WeightedInterval(Interval(5, 8), 0.4, "D4"),    # I6
+            WeightedInterval(Interval(16, 19), 0.2, "D4"),  # I7
+        ]
+        result = max_weight_clique(items)
+        assert result is not None
+        streams = sorted(w.stream_id for w in result.members)
+        assert streams == ["D1", "D2", "D3", "D4"]
+        assert result.weight == pytest.approx(0.8 + 0.6 + 0.3 + 0.4)
+        # Common segment [5, 8]: the intersection of the four intervals.
+        assert result.segment == Interval(5, 8)
+
+    def test_touching_intervals_form_clique(self):
+        items = [
+            WeightedInterval(Interval(0, 5), 1.0),
+            WeightedInterval(Interval(5, 9), 1.0),
+        ]
+        result = max_weight_clique(items)
+        assert result.weight == pytest.approx(2.0)
+        assert result.segment == Interval(5, 5)
+
+    def test_members_all_cover_segment(self):
+        items = [
+            WeightedInterval(Interval(0, 3), 0.5),
+            WeightedInterval(Interval(2, 6), 0.5),
+            WeightedInterval(Interval(5, 9), 0.6),
+        ]
+        result = max_weight_clique(items)
+        for member in result.members:
+            assert member.interval.contains_interval(result.segment)
+
+    @settings(max_examples=60)
+    @given(st.lists(weighted_st, min_size=1, max_size=9))
+    def test_matches_bruteforce_weight(self, items):
+        sweep = max_weight_clique(items)
+        brute = brute_force_best_clique(items)
+        assert sweep is not None and brute is not None
+        assert sweep.weight == pytest.approx(brute)
+
+    @settings(max_examples=60)
+    @given(st.lists(weighted_st, min_size=1, max_size=12))
+    def test_result_is_eligible_subset(self, items):
+        result = max_weight_clique(items)
+        assert result is not None
+        assert common_segment(w.interval for w in result.members) is not None
+
+
+class TestIteratedCliques:
+    def test_disjoint_families_found_separately(self):
+        items = [
+            WeightedInterval(Interval(0, 3), 1.0, "a"),
+            WeightedInterval(Interval(1, 4), 1.0, "b"),
+            WeightedInterval(Interval(10, 13), 0.9, "c"),
+            WeightedInterval(Interval(11, 14), 0.9, "d"),
+        ]
+        cliques = iterated_max_cliques(items)
+        assert len(cliques) == 2
+        assert cliques[0].weight == pytest.approx(2.0)
+        assert cliques[1].weight == pytest.approx(1.8)
+
+    def test_weights_non_increasing(self):
+        items = [
+            WeightedInterval(Interval(i, i + 3), 1.0 / (i + 1)) for i in range(0, 30, 5)
+        ]
+        cliques = iterated_max_cliques(items)
+        weights = [c.weight for c in cliques]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_max_patterns_cap(self):
+        items = [
+            WeightedInterval(Interval(i, i + 1), 1.0) for i in range(0, 40, 10)
+        ]
+        assert len(iterated_max_cliques(items, max_patterns=2)) == 2
+
+    def test_no_interval_reused(self):
+        items = [
+            WeightedInterval(Interval(0, 10), 1.0, "a"),
+            WeightedInterval(Interval(5, 15), 1.0, "b"),
+            WeightedInterval(Interval(12, 20), 1.0, "c"),
+        ]
+        cliques = iterated_max_cliques(items)
+        used = []
+        for clique in cliques:
+            used.extend(id(m) for m in clique.members)
+        total_members = sum(len(c) for c in cliques)
+        assert total_members <= len(items)
+
+    @settings(max_examples=40)
+    @given(st.lists(weighted_st, min_size=0, max_size=10))
+    def test_member_count_conserved(self, items):
+        cliques = iterated_max_cliques(items)
+        assert sum(len(c) for c in cliques) <= len(items)
+
+
+class TestEnumerateMaximalCliques:
+    def test_empty(self):
+        assert enumerate_maximal_cliques([]) == []
+
+    def test_chain_of_three(self):
+        items = [
+            WeightedInterval(Interval(0, 4), 1.0, "a"),
+            WeightedInterval(Interval(3, 7), 1.0, "b"),
+            WeightedInterval(Interval(6, 9), 1.0, "c"),
+        ]
+        cliques = enumerate_maximal_cliques(items)
+        member_sets = [
+            frozenset(m.stream_id for m in c.members) for c in cliques
+        ]
+        assert frozenset({"a", "b"}) in member_sets
+        assert frozenset({"b", "c"}) in member_sets
+        assert len(cliques) == 2
+
+    def test_single_interval(self):
+        cliques = enumerate_maximal_cliques(
+            [WeightedInterval(Interval(1, 2), 0.4, "a")]
+        )
+        assert len(cliques) == 1
+        assert cliques[0].weight == pytest.approx(0.4)
+
+    @settings(max_examples=40)
+    @given(st.lists(weighted_st, min_size=1, max_size=10))
+    def test_contains_the_maximum_weight_clique(self, items):
+        """The best clique from the sweep appears among the maximal ones."""
+        best = max_weight_clique(items, positive_only=False)
+        cliques = enumerate_maximal_cliques(items)
+        assert cliques, "non-empty input must yield at least one clique"
+        best_enumerated = max(c.weight for c in cliques)
+        assert best_enumerated >= best.weight - 1e-9
+
+    @settings(max_examples=40)
+    @given(st.lists(weighted_st, min_size=1, max_size=10))
+    def test_each_clique_is_eligible_and_maximal(self, items):
+        cliques = enumerate_maximal_cliques(items)
+        for clique in cliques:
+            segment = common_segment(m.interval for m in clique.members)
+            assert segment is not None
+            # No outside interval can be added while keeping eligibility.
+            member_ids = {id(m) for m in clique.members}
+            for witem in items:
+                if id(witem) in member_ids:
+                    continue
+                extended = list(clique.members) + [witem]
+                assert common_segment(w.interval for w in extended) is None

@@ -1,0 +1,164 @@
+"""Ruzzo–Tompa GetMax: offline, online, and brute-force agreement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals import Interval
+from repro.temporal import (
+    OnlineMaxSegments,
+    maximal_segments,
+    maximal_segments_bruteforce,
+)
+
+# Half-integer values: exact float arithmetic, so tie-breaking between
+# equal-score segments is deterministic and the brute-force comparison
+# cannot be perturbed by summation order.
+float_values = st.lists(
+    st.integers(-20, 20).map(lambda v: v / 2.0),
+    max_size=60,
+)
+
+
+class TestOfflineGetMax:
+    def test_empty(self):
+        assert maximal_segments([]) == []
+
+    def test_all_negative(self):
+        assert maximal_segments([-1.0, -2.0, -0.5]) == []
+
+    def test_all_zero(self):
+        assert maximal_segments([0.0, 0.0]) == []
+
+    def test_single_positive(self):
+        segments = maximal_segments([-1.0, 3.0, -1.0])
+        assert len(segments) == 1
+        assert segments[0].interval == Interval(1, 1)
+        assert segments[0].score == pytest.approx(3.0)
+
+    def test_ruzzo_tompa_worked_example(self):
+        """Two separated positives stay separate when the dip is deep."""
+        segments = maximal_segments([1.0, -2.0, 3.0])
+        assert [s.interval for s in segments] == [Interval(0, 0), Interval(2, 2)]
+        assert [s.score for s in segments] == [pytest.approx(1.0), pytest.approx(3.0)]
+
+    def test_merge_across_shallow_dip(self):
+        segments = maximal_segments([2.0, -1.0, 2.0])
+        assert [s.interval for s in segments] == [Interval(0, 2)]
+        assert segments[0].score == pytest.approx(3.0)
+
+    def test_three_singletons(self):
+        segments = maximal_segments([1.0, -1.0, 1.0, -1.0, 1.0])
+        assert [s.interval for s in segments] == [
+            Interval(0, 0),
+            Interval(2, 2),
+            Interval(4, 4),
+        ]
+
+    def test_left_dominant_kept_separate(self):
+        segments = maximal_segments([2.0, -1.0, 1.0])
+        assert [s.interval for s in segments] == [Interval(0, 0), Interval(2, 2)]
+
+    @settings(max_examples=120)
+    @given(float_values)
+    def test_matches_bruteforce(self, values):
+        fast = maximal_segments(values)
+        slow = maximal_segments_bruteforce(values)
+        assert [(s.interval, pytest.approx(s.score)) for s in fast] == [
+            (s.interval, pytest.approx(s.score)) for s in slow
+        ]
+
+    @given(float_values)
+    def test_segments_disjoint_and_ordered(self, values):
+        segments = maximal_segments(values)
+        for first, second in zip(segments, segments[1:]):
+            assert first.end < second.start
+
+    @given(float_values)
+    def test_segments_have_positive_score(self, values):
+        for segment in maximal_segments(values):
+            assert segment.score > 0.0
+
+    @given(float_values)
+    def test_scores_equal_value_sums(self, values):
+        for segment in maximal_segments(values):
+            total = sum(values[segment.start : segment.end + 1])
+            assert segment.score == pytest.approx(total)
+
+    @given(float_values)
+    def test_best_segment_is_max_subarray(self, values):
+        """The top maximal segment realises the Kadane optimum."""
+        segments = maximal_segments(values)
+        best = max((s.score for s in segments), default=0.0)
+        # Kadane reference.
+        kadane, running = 0.0, 0.0
+        for value in values:
+            running = max(value, running + value)
+            kadane = max(kadane, running)
+        assert best == pytest.approx(max(kadane, 0.0))
+
+    @given(float_values)
+    def test_every_positive_value_covered(self, values):
+        segments = maximal_segments(values)
+        covered = set()
+        for segment in segments:
+            covered.update(range(segment.start, segment.end + 1))
+        for index, value in enumerate(values):
+            if value > 0.0:
+                assert index in covered
+
+    @given(float_values)
+    def test_prefixes_and_suffixes_positive(self, values):
+        """Trimming either end of a maximal segment loses score."""
+        for segment in maximal_segments(values):
+            prefix = 0.0
+            for index in range(segment.start, segment.end):
+                prefix += values[index]
+                assert prefix > 0.0
+            suffix = 0.0
+            for index in range(segment.end, segment.start, -1):
+                suffix += values[index]
+                assert suffix > 0.0
+
+
+class TestOnlineGetMax:
+    def test_incremental_equals_offline(self):
+        values = [1.0, -0.5, 2.0, -3.0, 4.0, -1.0, 0.5]
+        online = OnlineMaxSegments()
+        for index, value in enumerate(values):
+            online.add(value)
+            assert online.segments() == maximal_segments(values[: index + 1])
+
+    @settings(max_examples=80)
+    @given(float_values)
+    def test_incremental_equals_offline_property(self, values):
+        online = OnlineMaxSegments()
+        online.extend(values)
+        assert online.segments() == maximal_segments(values)
+
+    @given(float_values)
+    def test_total_is_sum(self, values):
+        online = OnlineMaxSegments()
+        online.extend(values)
+        assert online.total == pytest.approx(sum(values))
+
+    def test_len_counts_values(self):
+        online = OnlineMaxSegments()
+        online.extend([1.0, 2.0, -1.0])
+        assert len(online) == 3
+
+    def test_best(self):
+        online = OnlineMaxSegments()
+        online.extend([1.0, -5.0, 2.5])
+        best = online.best()
+        assert best is not None
+        assert best.interval == Interval(2, 2)
+        assert best.score == pytest.approx(2.5)
+
+    def test_best_empty(self):
+        assert OnlineMaxSegments().best() is None
+
+    def test_candidate_count_bounded(self):
+        online = OnlineMaxSegments()
+        online.extend([1.0, -1.0] * 20)
+        assert online.candidate_count <= 20

@@ -1,0 +1,229 @@
+"""Inverted index, Threshold Algorithm, and the search engines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CombinatorialPattern, STComb, STLocal
+from repro.errors import SearchError
+from repro.intervals import Interval
+from repro.search import (
+    BurstySearchEngine,
+    InvertedIndex,
+    Posting,
+    PostingList,
+    TemporalSearchEngine,
+    binary_relevance,
+    exhaustive_topk,
+    log_relevance,
+    raw_relevance,
+    threshold_topk,
+)
+from repro.spatial import Point
+from repro.streams import Document, SpatiotemporalCollection
+
+
+class TestRelevance:
+    def test_log_relevance(self):
+        doc = Document(1, "us", 0, ("a", "a", "b"))
+        import math
+
+        assert log_relevance(doc, "a") == pytest.approx(math.log(3))
+        assert log_relevance(doc, "z") == 0.0
+
+    def test_raw_and_binary(self):
+        doc = Document(1, "us", 0, ("a", "a"))
+        assert raw_relevance(doc, "a") == 2.0
+        assert binary_relevance(doc, "a") == 1.0
+        assert binary_relevance(doc, "z") == 0.0
+
+
+class TestPostingList:
+    def test_sorted_access_descending(self):
+        plist = PostingList([Posting("a", 1.0), Posting("b", 3.0), Posting("c", 2.0)])
+        scores = [plist.sorted_access(i).score for i in range(3)]
+        assert scores == [3.0, 2.0, 1.0]
+
+    def test_sorted_access_past_end(self):
+        plist = PostingList([Posting("a", 1.0)])
+        assert plist.sorted_access(5) is None
+
+    def test_random_access(self):
+        plist = PostingList([Posting("a", 1.0)])
+        assert plist.random_access("a") == 1.0
+        assert plist.random_access("z") is None
+
+    def test_top(self):
+        plist = PostingList([Posting(i, float(i)) for i in range(5)])
+        assert [p.doc_id for p in plist.top(2)] == [4, 3]
+
+    def test_index_registration(self):
+        index = InvertedIndex()
+        index.add("t", [Posting("a", 1.0)])
+        assert "t" in index
+        assert index.get("t") is not None
+        assert index.get("z") is None
+        assert index.terms() == ["t"]
+        assert len(index) == 1
+
+
+def _lists_from_spec(spec):
+    """spec: list of dicts doc->score."""
+    return [
+        PostingList([Posting(doc, score) for doc, score in entries.items()])
+        for entries in spec
+    ]
+
+
+class TestThresholdAlgorithm:
+    def test_invalid_k(self):
+        with pytest.raises(SearchError):
+            threshold_topk(_lists_from_spec([{"a": 1.0}]), 0)
+
+    def test_no_lists(self):
+        with pytest.raises(SearchError):
+            threshold_topk([], 3)
+
+    def test_single_list(self):
+        lists = _lists_from_spec([{"a": 1.0, "b": 5.0, "c": 3.0}])
+        results, _ = threshold_topk(lists, 2)
+        assert [r.doc_id for r in results] == ["b", "c"]
+
+    def test_conjunctive_semantics(self):
+        """Docs missing from any list are excluded (Eq. 11's −∞)."""
+        lists = _lists_from_spec([{"a": 9.0, "b": 1.0}, {"b": 1.0, "c": 9.0}])
+        results, _ = threshold_topk(lists, 5)
+        assert [r.doc_id for r in results] == ["b"]
+        assert results[0].score == pytest.approx(2.0)
+
+    def test_early_termination_saves_accesses(self):
+        entries = {f"d{i:03d}": float(1000 - i) for i in range(1000)}
+        lists = _lists_from_spec([entries])
+        _, accesses = threshold_topk(lists, 5)
+        assert accesses < 1000
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.dictionaries(
+                st.integers(0, 20),
+                st.floats(0.0, 10.0, allow_nan=False),
+                max_size=12,
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        st.integers(1, 8),
+    )
+    def test_ta_matches_exhaustive(self, spec, k):
+        lists = _lists_from_spec(spec)
+        ta_results, _ = threshold_topk(lists, k)
+        reference = exhaustive_topk(lists, k)
+        assert [r.doc_id for r in ta_results] == [r.doc_id for r in reference]
+        for ta, ref in zip(ta_results, reference):
+            assert ta.score == pytest.approx(ref.score)
+
+
+def build_event_collection():
+    """Tiny corpus: event on s0/s1 weeks 5-7; ambient mention on s2."""
+    coll = SpatiotemporalCollection(timeline=12)
+    for i, sid in enumerate(("s0", "s1", "s2")):
+        coll.add_stream(sid, Point(float(i), 0.0))
+    doc_id = 0
+    for sid in ("s0", "s1", "s2"):
+        for t in range(12):
+            coll.add_document(Document(doc_id, sid, t, ("filler", "news")))
+            doc_id += 1
+    event_docs = []
+    for sid in ("s0", "s1"):
+        for t in (5, 6, 7):
+            doc = Document(doc_id, sid, t, ("quake", "quake", "damage"), event_id=1)
+            coll.add_document(doc)
+            event_docs.append(doc)
+            doc_id += 1
+    coll.add_document(Document(doc_id, "s2", 1, ("quake", "history")))
+    return coll, event_docs
+
+
+class TestBurstySearchEngine:
+    def test_retrieves_event_documents(self):
+        coll, event_docs = build_event_collection()
+        patterns = STComb().mine(coll, terms=["quake"])
+        engine = BurstySearchEngine(coll, patterns)
+        hits = engine.search("quake", k=6)
+        assert hits
+        hit_ids = {hit.document.doc_id for hit in hits}
+        event_ids = {doc.doc_id for doc in event_docs}
+        assert hit_ids <= event_ids | {coll.document_count - 1}
+        # Every returned document actually contains the term.
+        for hit in hits:
+            assert hit.document.frequency("quake") > 0
+
+    def test_scores_descending(self):
+        coll, _ = build_event_collection()
+        patterns = STComb().mine(coll, terms=["quake"])
+        engine = BurstySearchEngine(coll, patterns)
+        hits = engine.search("quake", k=10)
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_empty_query_rejected(self):
+        coll, _ = build_event_collection()
+        engine = BurstySearchEngine(coll, {})
+        with pytest.raises(SearchError):
+            engine.search("   ", k=3)
+
+    def test_term_without_patterns_returns_nothing(self):
+        coll, _ = build_event_collection()
+        engine = BurstySearchEngine(coll, {})
+        assert engine.search("quake", k=3) == []
+
+    def test_multi_term_query_conjunctive(self):
+        coll, event_docs = build_event_collection()
+        patterns = STComb().mine(coll, terms=["quake", "damage"])
+        engine = BurstySearchEngine(coll, patterns)
+        hits = engine.search("quake damage", k=10)
+        for hit in hits:
+            assert hit.document.frequency("quake") > 0
+            assert hit.document.frequency("damage") > 0
+
+    def test_regional_patterns_work_too(self):
+        coll, event_docs = build_event_collection()
+        patterns = STLocal().mine(coll, terms=["quake"])
+        engine = BurstySearchEngine(coll, patterns)
+        hits = engine.search("quake", k=5)
+        assert hits
+
+    def test_custom_aggregate(self):
+        coll, _ = build_event_collection()
+        patterns = STComb().mine(coll, terms=["quake"])
+        engine_max = BurstySearchEngine(coll, patterns)
+        engine_min = BurstySearchEngine(coll, patterns, aggregate=min)
+        assert engine_max.search("quake", k=3)
+        assert engine_min.search("quake", k=3)
+
+
+class TestTemporalSearchEngine:
+    def test_tb_ignores_location(self):
+        coll, event_docs = build_event_collection()
+        engine = TemporalSearchEngine(coll)
+        hits = engine.search("quake", k=6)
+        assert hits
+        # The burst window 5-7 dominates the merged stream; retrieved
+        # docs come from inside it.
+        for hit in hits:
+            assert 5 <= hit.document.timestamp <= 7
+
+    def test_patterns_cached(self):
+        coll, _ = build_event_collection()
+        engine = TemporalSearchEngine(coll)
+        first = engine.patterns_for("quake")
+        second = engine.patterns_for("quake")
+        assert first is second
+
+    def test_temporal_pattern_overlap(self):
+        from repro.search import TemporalPattern
+
+        pattern = TemporalPattern("quake", Interval(5, 7), 0.5)
+        assert pattern.overlaps(Document(1, "anywhere", 6, ()))
+        assert not pattern.overlaps(Document(1, "anywhere", 8, ()))

@@ -1,0 +1,277 @@
+"""Points, rectangles, MBR, geodesics, MDS, grids, index."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EmptyInputError, InvalidGeometryError
+from repro.spatial import (
+    EARTH_RADIUS_KM,
+    GridCell,
+    Point,
+    Rectangle,
+    SpatialIndex,
+    UniformGrid,
+    classical_mds,
+    distance_matrix,
+    haversine,
+    mbr,
+    mds_points,
+    stress,
+    vincenty,
+)
+
+coords = st.floats(-100.0, 100.0, allow_nan=False)
+points_st = st.builds(Point, coords, coords)
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    @given(points_st, points_st)
+    def test_distance_symmetric(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(points_st)
+    def test_distance_self_zero(self, a):
+        assert a.distance_to(a) == 0.0
+
+
+class TestRectangle:
+    def test_inverted_rejected(self):
+        with pytest.raises(InvalidGeometryError):
+            Rectangle(1, 0, 0, 1)
+
+    def test_degenerate_allowed(self):
+        r = Rectangle(1, 1, 1, 1)
+        assert r.area == 0.0
+        assert r.contains_point(Point(1, 1))
+
+    def test_contains_boundary(self):
+        r = Rectangle(0, 0, 2, 2)
+        assert r.contains_point(Point(0, 0))
+        assert r.contains_point(Point(2, 2))
+        assert not r.contains_point(Point(2.01, 1))
+
+    def test_contains_rectangle(self):
+        outer = Rectangle(0, 0, 10, 10)
+        inner = Rectangle(2, 2, 5, 5)
+        assert outer.contains_rectangle(inner)
+        assert not inner.contains_rectangle(outer)
+        assert outer.contains_rectangle(outer)
+
+    def test_intersection(self):
+        a = Rectangle(0, 0, 4, 4)
+        b = Rectangle(2, 2, 8, 8)
+        assert a.intersection(b) == Rectangle(2, 2, 4, 4)
+
+    def test_disjoint_intersection(self):
+        assert Rectangle(0, 0, 1, 1).intersection(Rectangle(5, 5, 6, 6)) is None
+
+    def test_union_span(self):
+        a = Rectangle(0, 0, 1, 1)
+        b = Rectangle(5, 5, 6, 6)
+        assert a.union_span(b) == Rectangle(0, 0, 6, 6)
+
+    def test_expanded(self):
+        assert Rectangle(1, 1, 2, 2).expanded(1) == Rectangle(0, 0, 3, 3)
+
+    def test_center(self):
+        assert Rectangle(0, 0, 4, 2).center == Point(2, 1)
+
+    def test_corners(self):
+        corners = Rectangle(0, 0, 1, 2).corners()
+        assert corners == (Point(0, 0), Point(1, 0), Point(1, 2), Point(0, 2))
+
+    def test_points_inside(self):
+        r = Rectangle(0, 0, 2, 2)
+        pts = [Point(1, 1), Point(3, 3)]
+        assert r.points_inside(pts) == [Point(1, 1)]
+
+    @given(points_st, points_st, points_st)
+    def test_mbr_contains_all(self, a, b, c):
+        box = mbr([a, b, c])
+        for point in (a, b, c):
+            assert box.contains_point(point)
+
+    def test_mbr_empty(self):
+        with pytest.raises(EmptyInputError):
+            mbr([])
+
+
+class TestGeodesic:
+    def test_zero_distance(self):
+        assert haversine(10, 20, 10, 20) == 0.0
+        assert vincenty(10, 20, 10, 20) == 0.0
+
+    def test_quarter_meridian(self):
+        # Pole to equator is ~10,002 km.
+        assert haversine(0, 0, 90, 0) == pytest.approx(10_007, rel=0.01)
+
+    def test_known_pair_london_paris(self):
+        d = haversine(51.5074, -0.1278, 48.8566, 2.3522)
+        assert d == pytest.approx(344, rel=0.02)
+
+    def test_vincenty_close_to_haversine(self):
+        d_h = haversine(40.7, -74.0, 35.7, 139.7)  # NYC–Tokyo
+        d_v = vincenty(40.7, -74.0, 35.7, 139.7)
+        assert d_v == pytest.approx(d_h, rel=0.01)
+
+    def test_antipodal_fallback(self):
+        # Near-antipodal points: Vincenty falls back, stays finite.
+        d = vincenty(0.0, 0.0, 0.5, 179.7)
+        assert 19_000 < d < 20_100
+
+    @given(
+        st.floats(-80, 80), st.floats(-179, 179),
+        st.floats(-80, 80), st.floats(-179, 179),
+    )
+    def test_haversine_symmetric_nonnegative(self, lat1, lon1, lat2, lon2):
+        d = haversine(lat1, lon1, lat2, lon2)
+        assert d >= 0.0
+        assert d == pytest.approx(haversine(lat2, lon2, lat1, lon1))
+        assert d <= math.pi * EARTH_RADIUS_KM + 1.0
+
+    def test_distance_matrix_shape(self):
+        pts = [(0, 0), (10, 10), (20, 20)]
+        matrix = distance_matrix(pts)
+        assert matrix.shape == (3, 3)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_distance_matrix_vincenty(self):
+        pts = [(0, 0), (10, 10)]
+        matrix = distance_matrix(pts, method="vincenty")
+        assert matrix[0, 1] == pytest.approx(haversine(0, 0, 10, 10), rel=0.01)
+
+    def test_distance_matrix_bad_method(self):
+        with pytest.raises(ValueError):
+            distance_matrix([(0, 0)], method="euclid")
+
+
+class TestMDS:
+    def test_recovers_planar_configuration(self):
+        rng = np.random.default_rng(0)
+        original = rng.uniform(0, 10, size=(12, 2))
+        diffs = original[:, None, :] - original[None, :, :]
+        matrix = np.sqrt((diffs**2).sum(axis=2))
+        embedded = classical_mds(matrix, dimensions=2)
+        # Distances must be preserved (up to rotation/reflection).
+        rediffs = embedded[:, None, :] - embedded[None, :, :]
+        rematrix = np.sqrt((rediffs**2).sum(axis=2))
+        assert np.allclose(matrix, rematrix, atol=1e-6)
+
+    def test_stress_low_for_planar(self):
+        rng = np.random.default_rng(1)
+        original = rng.uniform(0, 10, size=(10, 2))
+        diffs = original[:, None, :] - original[None, :, :]
+        matrix = np.sqrt((diffs**2).sum(axis=2))
+        assert stress(matrix, classical_mds(matrix)) < 1e-6
+
+    def test_geodesic_world_embedding_reasonable(self):
+        pts = [(0, 0), (0, 90), (0, 180), (0, -90), (45, 45), (-45, -45)]
+        matrix = distance_matrix(pts)
+        assert stress(matrix, classical_mds(matrix)) < 0.5
+
+    def test_mds_points_wrapper(self):
+        matrix = distance_matrix([(0, 0), (10, 0), (0, 10)])
+        embedded = mds_points(matrix)
+        assert len(embedded) == 3
+        assert all(isinstance(point, Point) for point in embedded)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(InvalidGeometryError):
+            classical_mds(np.zeros((2, 3)))
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(InvalidGeometryError):
+            classical_mds(np.array([[0.0, 1.0], [2.0, 0.0]]))
+
+
+class TestUniformGrid:
+    def _grid(self):
+        return UniformGrid(Rectangle(0, 0, 10, 10), cols=5, rows=2)
+
+    def test_cell_of_interior(self):
+        assert self._grid().cell_of(Point(1, 1)) == GridCell(0, 0)
+        assert self._grid().cell_of(Point(9.5, 9.5)) == GridCell(4, 1)
+
+    def test_max_edge_maps_to_last_cell(self):
+        assert self._grid().cell_of(Point(10, 10)) == GridCell(4, 1)
+
+    def test_outside_rejected(self):
+        with pytest.raises(InvalidGeometryError):
+            self._grid().cell_of(Point(11, 5))
+
+    def test_cell_rectangle_roundtrip(self):
+        grid = self._grid()
+        cell = GridCell(2, 1)
+        rect = grid.cell_rectangle(cell)
+        assert grid.cell_of(rect.center) == cell
+
+    def test_cell_center(self):
+        assert self._grid().cell_center(GridCell(0, 0)) == Point(1.0, 2.5)
+
+    def test_bad_cell(self):
+        with pytest.raises(InvalidGeometryError):
+            self._grid().cell_rectangle(GridCell(9, 9))
+
+    def test_group_points(self):
+        grid = self._grid()
+        groups = grid.group_points([Point(1, 1), Point(1.5, 1), Point(9, 9)])
+        assert len(groups[GridCell(0, 0)]) == 2
+        assert len(groups[GridCell(4, 1)]) == 1
+
+    def test_aggregate_streams(self):
+        grid = self._grid()
+        result = grid.aggregate_streams([Point(1, 1), Point(9, 9), Point(1.2, 1)])
+        assert len(result) == 2
+        cell, center, members = result[0]
+        assert cell == GridCell(0, 0)
+        assert sorted(members) == [0, 2]
+
+    def test_degenerate_grid_rejected(self):
+        with pytest.raises(InvalidGeometryError):
+            UniformGrid(Rectangle(0, 0, 10, 10), cols=0, rows=1)
+
+
+class TestSpatialIndex:
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyInputError):
+            SpatialIndex([])
+
+    def test_rectangle_query_matches_scan(self):
+        rng = np.random.default_rng(3)
+        pts = [(i, Point(float(x), float(y))) for i, (x, y) in enumerate(rng.uniform(0, 100, size=(200, 2)))]
+        index = SpatialIndex(pts)
+        query = Rectangle(20, 20, 60, 70)
+        expected = sorted(i for i, p in pts if query.contains_point(p))
+        assert sorted(index.query_rectangle(query)) == expected
+        assert index.count_in_rectangle(query) == len(expected)
+
+    def test_nearest_matches_scan(self):
+        rng = np.random.default_rng(4)
+        pts = [(i, Point(float(x), float(y))) for i, (x, y) in enumerate(rng.uniform(0, 50, size=(120, 2)))]
+        index = SpatialIndex(pts)
+        for qx, qy in rng.uniform(-10, 60, size=(20, 2)):
+            probe = Point(float(qx), float(qy))
+            item, _, distance = index.nearest(probe)
+            best = min(pts, key=lambda entry: probe.distance_to(entry[1]))
+            assert distance == pytest.approx(probe.distance_to(best[1]))
+
+    def test_len(self):
+        index = SpatialIndex([("a", Point(0, 0)), ("b", Point(1, 1))])
+        assert len(index) == 2
+
+    def test_single_point(self):
+        index = SpatialIndex([("only", Point(5, 5))])
+        item, location, distance = index.nearest(Point(0, 0))
+        assert item == "only"
+        assert distance == pytest.approx(Point(0, 0).distance_to(Point(5, 5)))

@@ -1,0 +1,124 @@
+"""STComb end-to-end behaviour on controlled collections."""
+
+import pytest
+
+from repro.core import STComb, STCombConfig
+from repro.errors import ConfigurationError
+from repro.intervals import Interval
+from repro.spatial import Point
+from repro.streams import Document, FrequencyTensor, SpatiotemporalCollection
+from repro.temporal import KleinbergBurstDetector
+
+
+def build_collection(event_streams, event_window, timeline=20, noise=None):
+    """Collection with a synchronised burst of 'quake' on given streams."""
+    coll = SpatiotemporalCollection(timeline=timeline)
+    all_streams = ["s0", "s1", "s2", "s3", "s4", "s5"]
+    for index, sid in enumerate(all_streams):
+        coll.add_stream(sid, Point(float(index), 0.0))
+    doc_id = 0
+    for sid in all_streams:
+        for t in range(timeline):
+            coll.add_document(Document(doc_id, sid, t, ("filler",)))
+            doc_id += 1
+    for sid in event_streams:
+        for t in event_window:
+            for _ in range(5):
+                coll.add_document(Document(doc_id, sid, t, ("quake",)))
+                doc_id += 1
+    if noise:
+        for sid, t in noise:
+            coll.add_document(Document(doc_id, sid, t, ("quake",)))
+            doc_id += 1
+    return coll
+
+
+class TestSTComb:
+    def test_recovers_event_streams(self):
+        coll = build_collection(["s0", "s1", "s2"], Interval(8, 12))
+        pattern = STComb().top_pattern(coll, "quake")
+        assert pattern is not None
+        assert pattern.streams == frozenset({"s0", "s1", "s2"})
+        assert pattern.timeframe == Interval(8, 12)
+        assert pattern.term == "quake"
+
+    def test_unknown_term_no_pattern(self):
+        coll = build_collection(["s0"], Interval(5, 6))
+        assert STComb().top_pattern(coll, "nonexistent") is None
+
+    def test_score_is_sum_of_member_bursts(self):
+        coll = build_collection(["s0", "s1"], Interval(8, 12))
+        pattern = STComb().top_pattern(coll, "quake")
+        assert pattern.score == pytest.approx(
+            sum(score for _, _, score in pattern.member_intervals)
+        )
+
+    def test_tensor_and_collection_agree(self):
+        coll = build_collection(["s0", "s1"], Interval(4, 7))
+        from_coll = STComb().top_pattern(coll, "quake")
+        from_tensor = STComb().top_pattern(FrequencyTensor(coll), "quake")
+        assert from_coll.streams == from_tensor.streams
+        assert from_coll.timeframe == from_tensor.timeframe
+        assert from_coll.score == pytest.approx(from_tensor.score)
+
+    def test_multiple_patterns_disjoint_in_time(self):
+        coll = SpatiotemporalCollection(timeline=30)
+        coll.add_stream("a", Point(0, 0))
+        coll.add_stream("b", Point(1, 0))
+        doc_id = 0
+        for sid, window in (("a", range(3, 6)), ("b", range(3, 6)),
+                            ("a", range(20, 23)), ("b", range(20, 23))):
+            for t in window:
+                for _ in range(4):
+                    coll.add_document(Document(doc_id, sid, t, ("x",)))
+                    doc_id += 1
+        patterns = STComb().patterns_for_term(coll, "x")
+        assert len(patterns) == 2
+        frames = sorted(p.timeframe for p in patterns)
+        assert frames[0].end < frames[1].start
+
+    def test_max_patterns_config(self):
+        coll = build_collection(["s0", "s1"], Interval(2, 4),
+                                noise=[("s3", 15), ("s4", 18)])
+        config = STCombConfig(max_patterns=1)
+        patterns = STComb(config=config).patterns_for_term(coll, "quake")
+        assert len(patterns) == 1
+
+    def test_min_interval_score_filters_noise(self):
+        # s3 mentions the term twice, far apart: each isolated mention
+        # is a bursty interval with B_T = 1/2 − 1/20 = 0.45, well below
+        # the event streams' 15/15 − 3/20 = 0.85.
+        coll = build_collection(["s0", "s1"], Interval(2, 4),
+                                noise=[("s3", 3), ("s3", 15)])
+        loose = STComb().top_pattern(coll, "quake")
+        strict = STComb(config=STCombConfig(min_interval_score=0.6)).top_pattern(
+            coll, "quake"
+        )
+        assert "s3" in loose.streams
+        assert "s3" not in strict.streams
+        assert {"s0", "s1"} <= set(strict.streams)
+
+    def test_min_pattern_streams(self):
+        coll = build_collection(["s0"], Interval(2, 4))
+        config = STCombConfig(min_pattern_streams=2)
+        assert STComb(config=config).patterns_for_term(coll, "quake") == []
+
+    def test_mine_many_terms(self):
+        coll = build_collection(["s0", "s1"], Interval(8, 12))
+        mined = STComb().mine(coll, terms=["quake", "filler", "nothing"])
+        assert "quake" in mined
+        assert "nothing" not in mined
+
+    def test_pluggable_kleinberg_detector(self):
+        coll = build_collection(["s0", "s1", "s2"], Interval(8, 12))
+        detector = KleinbergBurstDetector(scaling=2.5, gamma=0.3)
+        pattern = STComb(detector=detector).top_pattern(coll, "quake")
+        assert pattern is not None
+        assert {"s0", "s1", "s2"} <= set(pattern.streams)
+        assert pattern.timeframe.intersects(Interval(8, 12))
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            STCombConfig(min_pattern_streams=0)
+        with pytest.raises(ConfigurationError):
+            STCombConfig(max_patterns=0)

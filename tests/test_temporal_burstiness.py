@@ -1,0 +1,187 @@
+"""Eq. 1 temporal burstiness, the discrepancy transform, and detectors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EmptyInputError, InvalidIntervalError
+from repro.intervals import Interval
+from repro.temporal import (
+    KleinbergBurstDetector,
+    LappasBurstDetector,
+    discrepancy_transform,
+    extract_bursty_intervals,
+    interval_score,
+    temporal_burstiness,
+)
+
+freq_sequences = st.lists(st.integers(0, 30).map(float), min_size=1, max_size=50)
+
+
+class TestDiscrepancyTransform:
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyInputError):
+            discrepancy_transform([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            discrepancy_transform([1.0, -1.0])
+
+    def test_zero_mass(self):
+        assert discrepancy_transform([0.0, 0.0]) == [-0.5, -0.5]
+
+    @given(freq_sequences)
+    def test_transform_sums_to_zero(self, values):
+        """Σ z_i = 1 − 1 = 0 whenever the sequence has mass."""
+        transformed = discrepancy_transform(values)
+        if sum(values) > 0:
+            assert sum(transformed) == pytest.approx(0.0, abs=1e-9)
+
+    @given(freq_sequences)
+    def test_segment_sum_equals_bt(self, values):
+        """The reduction behind the linear-time extraction (Section 3)."""
+        transformed = discrepancy_transform(values)
+        n = len(values)
+        for start in range(0, n, max(1, n // 4)):
+            for end in range(start, n, max(1, n // 4)):
+                interval = Interval(start, end)
+                assert interval_score(transformed, interval) == pytest.approx(
+                    temporal_burstiness(values, interval), abs=1e-9
+                )
+
+
+class TestTemporalBurstiness:
+    def test_uniform_sequence_no_burst(self):
+        values = [5.0] * 10
+        for start in range(10):
+            assert temporal_burstiness(values, Interval(start, start)) == pytest.approx(
+                0.0, abs=1e-12
+            )
+
+    def test_concentrated_mass(self):
+        values = [0.0, 0.0, 12.0, 0.0]
+        assert temporal_burstiness(values, Interval(2, 2)) == pytest.approx(1 - 0.25)
+
+    def test_full_interval_zero(self):
+        values = [1.0, 2.0, 3.0]
+        assert temporal_burstiness(values, Interval(0, 2)) == pytest.approx(0.0)
+
+    def test_out_of_bounds(self):
+        with pytest.raises(InvalidIntervalError):
+            temporal_burstiness([1.0, 2.0], Interval(1, 2))
+
+    def test_zero_mass_interval_negative(self):
+        assert temporal_burstiness([0.0, 0.0], Interval(0, 0)) == pytest.approx(-0.5)
+
+    @given(freq_sequences)
+    def test_bounds(self, values):
+        """B_T ∈ (−1, 1) always (Section 3 says 'in [0,1]' for the
+        reported, positive-scoring intervals)."""
+        n = len(values)
+        for start in range(0, n, max(1, n // 3)):
+            interval = Interval(start, min(start + 3, n - 1))
+            score = temporal_burstiness(values, interval)
+            assert -1.0 <= score <= 1.0
+
+
+class TestLappasDetector:
+    def test_clean_burst(self):
+        values = [1.0] * 10 + [20.0] * 3 + [1.0] * 10
+        segments = LappasBurstDetector().detect(values)
+        best = max(segments, key=lambda s: s.score)
+        assert best.interval == Interval(10, 12)
+
+    def test_zero_sequence(self):
+        assert LappasBurstDetector().detect([0.0] * 5) == []
+
+    def test_empty_sequence(self):
+        assert LappasBurstDetector().detect([]) == []
+
+    def test_min_score_filters(self):
+        values = [1.0, 1.0, 2.0, 1.0]
+        loose = LappasBurstDetector(min_score=0.0).detect(values)
+        strict = LappasBurstDetector(min_score=0.9).detect(values)
+        assert len(strict) <= len(loose)
+        assert strict == []
+
+    def test_min_length_filters(self):
+        values = [0.0, 9.0, 0.0, 0.0, 5.0, 5.0, 5.0, 0.0]
+        segments = LappasBurstDetector(min_length=2).detect(values)
+        assert all(s.interval.length >= 2 for s in segments)
+
+    def test_max_intervals_keeps_best(self):
+        values = [10.0, 0.0, 6.0, 0.0, 8.0, 0.0]
+        segments = LappasBurstDetector(max_intervals=2).detect(values)
+        assert len(segments) == 2
+        # Results stay in left-to-right order.
+        assert segments[0].start < segments[1].start
+
+    def test_invalid_min_length(self):
+        with pytest.raises(ValueError):
+            LappasBurstDetector(min_length=0)
+
+    @given(freq_sequences)
+    def test_intervals_non_overlapping(self, values):
+        segments = LappasBurstDetector().detect(values)
+        for first, second in zip(segments, segments[1:]):
+            assert first.end < second.start
+
+    @given(freq_sequences)
+    def test_scores_positive_and_bounded(self, values):
+        for segment in LappasBurstDetector().detect(values):
+            assert 0.0 < segment.score <= 1.0
+
+    def test_convenience_wrapper(self):
+        values = [0.0, 10.0, 0.0]
+        assert extract_bursty_intervals(values) == LappasBurstDetector().detect(values)
+
+
+class TestKleinbergDetector:
+    def test_clean_burst_found(self):
+        values = [1.0] * 15 + [30.0] * 4 + [1.0] * 15
+        segments = KleinbergBurstDetector(scaling=3.0, gamma=0.5).detect(values)
+        assert segments, "an obvious burst must be detected"
+        best = max(segments, key=lambda s: s.score)
+        assert best.interval.start >= 14
+        assert best.interval.end <= 20
+
+    def test_flat_sequence_no_burst(self):
+        values = [5.0] * 30
+        assert KleinbergBurstDetector().detect(values) == []
+
+    def test_zero_sequence(self):
+        assert KleinbergBurstDetector().detect([0.0] * 10) == []
+
+    def test_empty(self):
+        assert KleinbergBurstDetector().detect([]) == []
+
+    def test_invalid_scaling(self):
+        with pytest.raises(Exception):
+            KleinbergBurstDetector(scaling=1.0)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(Exception):
+            KleinbergBurstDetector(gamma=-0.1)
+
+    def test_totals_length_mismatch(self):
+        with pytest.raises(Exception):
+            KleinbergBurstDetector().detect([1.0, 2.0], totals=[3.0])
+
+    def test_higher_gamma_fewer_bursts(self):
+        values = [1.0, 8.0, 1.0, 9.0, 1.0, 7.0] * 4
+        eager = KleinbergBurstDetector(gamma=0.1).detect(values)
+        lazy = KleinbergBurstDetector(gamma=10.0).detect(values)
+        assert len(lazy) <= len(eager)
+
+    @given(freq_sequences)
+    def test_intervals_non_overlapping(self, values):
+        segments = KleinbergBurstDetector().detect(values)
+        for first, second in zip(segments, segments[1:]):
+            assert first.end < second.start
+
+    @given(freq_sequences)
+    def test_usable_by_stcomb_protocol(self, values):
+        """Kleinberg satisfies the pluggable-detector contract."""
+        for segment in KleinbergBurstDetector().detect(values):
+            assert segment.score > 0.0
+            assert 0 <= segment.start <= segment.end < len(values)
