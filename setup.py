@@ -1,2 +1,49 @@
-from setuptools import setup
-setup()
+"""Package metadata; install with ``pip install -e .``."""
+
+import os
+import re
+
+from setuptools import find_packages, setup
+
+
+def read_version() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    with open(os.path.join(here, "src", "repro", "_version.py")) as handle:
+        match = re.search(r'__version__ = "([^"]+)"', handle.read())
+    assert match is not None
+    return match.group(1)
+
+
+setup(
+    name="repro-spatiotemporal-burstiness",
+    version=read_version(),
+    description=(
+        "Reproduction of 'On the Spatiotemporal Burstiness of Terms' "
+        "(Lappas, Vieira, Gunopulos, Tsotras - PVLDB 5(9), 2012)"
+    ),
+    long_description=(
+        "Spatiotemporal burstiness pattern mining (STComb, STLocal, "
+        "R-Bursty), a snapshot-major batch mining pipeline, and "
+        "pattern-aware bursty-document retrieval with the Threshold "
+        "Algorithm."
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": ["repro=repro.cli:main"],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering :: Information Analysis",
+    ],
+)

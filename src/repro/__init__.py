@@ -44,6 +44,7 @@ from repro.core import (
 )
 from repro.errors import ReproError
 from repro.intervals import Interval
+from repro.pipeline import BatchMiner
 from repro.search import BurstySearchEngine, SearchResult, TemporalSearchEngine
 from repro.spatial import Point, Rectangle
 from repro.streams import (
@@ -62,6 +63,7 @@ from repro.temporal import (
 __all__ = [
     "BaseConfig",
     "BaseDetector",
+    "BatchMiner",
     "BurstySearchEngine",
     "CombinatorialPattern",
     "Document",

@@ -6,9 +6,12 @@ Usage::
     python -m repro.cli table2 --patterns 60
     python -m repro.cli figure8 --streams 100 200 400
     python -m repro.cli all --background-rate 2.0
+    python -m repro.cli mine --workers 4  # batch-mine the whole corpus
 
-Every subcommand prints the same rows/series the paper's table or
-figure reports (see EXPERIMENTS.md for the comparison).
+Every experiment subcommand prints the same rows/series the paper's
+table or figure reports (see EXPERIMENTS.md for the comparison); the
+``mine`` subcommand runs the snapshot-major batch pipeline over the
+corpus vocabulary and prints a per-term pattern summary.
 """
 
 from __future__ import annotations
@@ -53,9 +56,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(
-            list(_CORPUS_EXPERIMENTS) + ["table2", "figure8", "figure9", "all"]
+            list(_CORPUS_EXPERIMENTS)
+            + ["table2", "figure8", "figure9", "all", "mine"]
         ),
-        help="which table/figure to regenerate",
+        help="which table/figure to regenerate, or 'mine' to batch-mine "
+        "the corpus with the snapshot-major pipeline",
     )
     parser.add_argument(
         "--background-rate",
@@ -80,6 +85,24 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stream counts for the figure8 sweep",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for term-sharded batch mining (mine)",
+    )
+    parser.add_argument(
+        "--miner",
+        choices=("stlocal", "stcomb", "both"),
+        default="both",
+        help="which pattern family to batch-mine (mine)",
+    )
+    parser.add_argument(
+        "--top-terms",
+        type=int,
+        default=None,
+        help="restrict mining to the N heaviest terms (mine)",
+    )
     return parser
 
 
@@ -102,8 +125,65 @@ def _corpus_lab(args: argparse.Namespace) -> TopixLab:
     return lab
 
 
+def _run_mine(args: argparse.Namespace, lab: Optional[TopixLab]) -> Optional[TopixLab]:
+    """Batch-mine the corpus vocabulary with the snapshot-major pipeline."""
+    from repro.pipeline import BatchMiner
+
+    if lab is None:
+        lab = _corpus_lab(args)
+    tensor = lab.tensor
+    if args.top_terms and args.top_terms > 0:
+        terms = [term for term, _ in tensor.top_terms(args.top_terms)]
+    else:
+        terms = sorted(tensor.terms)
+    print(
+        f"mining {len(terms)} terms "
+        f"({args.workers} worker{'s' if args.workers != 1 else ''})...",
+        file=sys.stderr,
+    )
+    jobs = []
+    if args.miner in ("stlocal", "both"):
+        jobs.append(("STLocal", True))
+    if args.miner in ("stcomb", "both"):
+        jobs.append(("STComb", False))
+    miner = BatchMiner(
+        stlocal=lab.stlocal, stcomb=lab.stcomb, workers=args.workers
+    )
+    for label, regional in jobs:
+        started = time.perf_counter()
+        if regional:
+            mined = miner.mine_regional(
+                tensor, terms, locations=lab.locations
+            )
+        else:
+            mined = miner.mine_combinatorial(tensor, terms)
+        elapsed = time.perf_counter() - started
+        n_patterns = sum(len(patterns) for patterns in mined.values())
+        print(
+            f"{label}: {n_patterns} patterns over {len(mined)} terms "
+            f"in {elapsed:.2f}s"
+        )
+        best = sorted(
+            (
+                (patterns[0].score, term)
+                for term, patterns in mined.items()
+            ),
+            reverse=True,
+        )[:10]
+        for score, term in best:
+            top = mined[term][0]
+            print(
+                f"  {term:<24} score={score:10.3f} "
+                f"weeks=[{top.timeframe.start},{top.timeframe.end}] "
+                f"streams={len(top.streams)}"
+            )
+    return lab
+
+
 def _run_one(name: str, args: argparse.Namespace, lab: Optional[TopixLab]) -> Optional[TopixLab]:
     """Run one experiment, creating/reusing the corpus lab as needed."""
+    if name == "mine":
+        return _run_mine(args, lab)
     if name in _CORPUS_EXPERIMENTS:
         if lab is None:
             lab = _corpus_lab(args)

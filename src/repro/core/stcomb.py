@@ -141,27 +141,27 @@ class STComb:
         self,
         data: Union[SpatiotemporalCollection, FrequencyTensor],
         terms: Optional[Sequence[str]] = None,
+        workers: Optional[int] = None,
     ) -> Dict[str, List[CombinatorialPattern]]:
         """Mine patterns for many terms.
+
+        Delegates to the batch pipeline: a raw collection is indexed
+        into one shared tensor up front (instead of re-walking every
+        stream per term) and terms can be sharded over processes.
 
         Args:
             data: Collection or tensor.
             terms: Terms to mine; defaults to the full vocabulary.
+            workers: Optional process count for term-sharded mining.
 
         Returns:
             Map of term → its patterns (terms with none are omitted).
         """
-        if terms is None:
-            if isinstance(data, SpatiotemporalCollection):
-                terms = sorted(data.vocabulary)
-            else:
-                terms = sorted(data.terms)
-        results: Dict[str, List[CombinatorialPattern]] = {}
-        for term in terms:
-            patterns = self.patterns_for_term(data, term)
-            if patterns:
-                results[term] = patterns
-        return results
+        from repro.pipeline import BatchMiner
+
+        return BatchMiner(stcomb=self, workers=workers).mine_combinatorial(
+            data, terms
+        )
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -51,12 +51,20 @@ class RegionSequence:
         stream_ids: The streams whose geostamps lie inside the region.
         start: Global timestamp of the sequence's first value.
         tracker: Online Ruzzo–Tompa state over the appended r-scores.
+        member_order: The member streams in a fixed sorted order, so the
+            r-score summation is bit-reproducible across processes
+            (frozenset iteration follows the randomised string hash).
     """
 
     region: Rectangle
     stream_ids: FrozenSet[Hashable]
     start: int
     tracker: OnlineMaxSegments = dataclasses.field(default_factory=OnlineMaxSegments)
+    member_order: Tuple[Hashable, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.member_order:
+            self.member_order = tuple(sorted(self.stream_ids, key=repr))
 
     def append(self, r_score: float) -> None:
         self.tracker.add(r_score)
@@ -80,6 +88,14 @@ class STLocalTermTracker:
     Args:
         locations: Geostamp of every stream on the projected plane.
         config: Algorithm settings.
+        index: Optional prebuilt spatial index over ``locations``; when
+            mining many terms over the same stream set (see
+            :class:`repro.pipeline.BatchMiner`) one shared index avoids
+            a per-term rebuild.
+        copy_locations: Defensively copy ``locations`` (default).  A
+            batch pipeline holding thousands of trackers over one
+            immutable stream set passes ``False`` to share a single
+            mapping; the tracker never mutates it.
     """
 
     #: Stream counts above which rectangle membership is resolved with a
@@ -90,11 +106,13 @@ class STLocalTermTracker:
         self,
         locations: Dict[Hashable, Point],
         config: Optional[STLocalConfig] = None,
+        index: Optional[SpatialIndex] = None,
+        copy_locations: bool = True,
     ) -> None:
-        self.locations = dict(locations)
+        self.locations = dict(locations) if copy_locations else locations
         self.config = config if config is not None else STLocalConfig()
-        self._index: Optional[SpatialIndex] = None
-        if len(self.locations) > self.INDEX_THRESHOLD:
+        self._index: Optional[SpatialIndex] = index
+        if index is None and len(self.locations) > self.INDEX_THRESHOLD:
             self._index = SpatialIndex(
                 [(sid, point) for sid, point in self.locations.items()]
             )
@@ -118,6 +136,35 @@ class STLocalTermTracker:
         return len(self._sequences)
 
     # ------------------------------------------------------------------
+    def fast_forward(self, timestamp: int) -> None:
+        """Skip ahead to ``timestamp`` while the tracker is pristine.
+
+        Processing an empty snapshot before any stream has ever been
+        observed is a strict no-op — no models exist, no burstiness is
+        computed, no rectangle can appear — so the leading quiet stretch
+        of a term's timeline can be skipped outright.  The lazily
+        created expectation models already account for the skipped
+        snapshots through :meth:`_prime`, so the result is identical to
+        replaying the empty prefix.
+
+        Raises:
+            StreamError: when the tracker has already observed activity
+                (skipping would then drop real model updates) or when
+                ``timestamp`` is behind the clock.
+        """
+        if timestamp < self._clock:
+            raise StreamError(
+                f"cannot fast-forward backwards ({timestamp} < {self._clock})"
+            )
+        if self._models or self._sequences:
+            raise StreamError(
+                "fast_forward is only valid before the first observation"
+            )
+        skipped = timestamp - self._clock
+        self.rectangle_history.extend([0] * skipped)
+        self.open_history.extend([0] * skipped)
+        self._clock = timestamp
+
     def process(self, frequencies: Dict[Hashable, float]) -> int:
         """Consume the next snapshot.
 
@@ -145,6 +192,12 @@ class STLocalTermTracker:
 
         for result in rectangles:
             members = self._members_of(result.rectangle)
+            if not members:
+                # A memberless rectangle can never score, and tracking
+                # it would canonicalise every such region to the same
+                # frozenset() key, silently merging distinct regions
+                # into one RegionSequence.
+                continue
             key: Hashable
             if self.config.key_by_geometry:
                 key = (
@@ -167,7 +220,7 @@ class STLocalTermTracker:
         for key in list(self._sequences):
             sequence = self._sequences[key]
             r_score = sum(
-                burstiness.get(sid, 0.0) for sid in sequence.stream_ids
+                burstiness.get(sid, 0.0) for sid in sequence.member_order
             )
             sequence.append(r_score)
             if sequence.total < 0.0:
@@ -201,7 +254,10 @@ class STLocalTermTracker:
             sid for sid, value in frequencies.items() if value > 0.0
         }
         in_warmup = timestamp < self.config.warmup
-        for sid in active:
+        # Fixed evaluation order: downstream float summations (weighted
+        # points, grid cells) then produce bit-identical results in any
+        # process regardless of string-hash randomisation.
+        for sid in sorted(active, key=repr):
             observed = float(frequencies.get(sid, 0.0))
             model = self._models.get(sid)
             if model is None:
@@ -286,7 +342,20 @@ class STLocalTermTracker:
             for region, streams, timeframe, score in self.windows()
             if score > self.config.min_window_score
         ]
-        patterns.sort(key=lambda p: p.score, reverse=True)
+        # Fully deterministic order: equal-score patterns are further
+        # ordered by timeframe and region so the ranking is independent
+        # of archive-versus-live bookkeeping order.
+        patterns.sort(
+            key=lambda p: (
+                -p.score,
+                p.timeframe.start,
+                p.timeframe.end,
+                p.region.min_x,
+                p.region.min_y,
+                p.region.max_x,
+                p.region.max_y,
+            )
+        )
         return patterns
 
 
@@ -345,21 +414,28 @@ class STLocal:
         data: Union[SpatiotemporalCollection, FrequencyTensor],
         terms: Optional[Sequence[str]] = None,
         locations: Optional[Dict[Hashable, Point]] = None,
+        workers: Optional[int] = None,
     ) -> Dict[str, List[RegionalPattern]]:
         """Mine regional patterns for many terms.
+
+        Delegates to the snapshot-major batch pipeline: one sweep over
+        the shared tensor feeds every term's tracker (identical output
+        to the per-term replay, substantially less work).
+
+        Args:
+            data: Collection or tensor.
+            terms: Terms to mine; defaults to the full vocabulary.
+            locations: Stream locations (required with a raw tensor).
+            workers: Optional process count for term-sharded mining.
 
         Returns:
             Map of term → its maximal windows (terms with none omitted).
         """
-        tensor, locations = _resolve(data, locations)
-        if terms is None:
-            terms = sorted(tensor.terms)
-        results: Dict[str, List[RegionalPattern]] = {}
-        for term in terms:
-            patterns = self.patterns_for_term(tensor, term, locations)
-            if patterns:
-                results[term] = patterns
-        return results
+        from repro.pipeline import BatchMiner
+
+        return BatchMiner(stlocal=self, workers=workers).mine_regional(
+            data, terms, locations
+        )
 
 
 def _resolve(

@@ -1,0 +1,13 @@
+"""Batch mining pipeline: snapshot-major sweeps and term sharding.
+
+:class:`BatchMiner` mines every term of a corpus off one shared
+frequency tensor — a single pass over the timeline feeds all STLocal
+trackers — and optionally shards terms across worker processes for
+STComb and STLocal alike.  :meth:`repro.core.STLocal.mine` and
+:meth:`repro.core.STComb.mine` delegate here.
+"""
+
+from repro.pipeline.batch import BatchMiner
+from repro.pipeline.sharding import mine_shards, split_terms
+
+__all__ = ["BatchMiner", "mine_shards", "split_terms"]

@@ -1,0 +1,270 @@
+"""Snapshot-major batch mining over a shared frequency tensor.
+
+The paper presents STLocal (Algorithm 2) as a *streaming* algorithm,
+yet the natural batch usage — mine every term of a corpus — replays the
+whole timeline once per term.  For a multi-term workload that is
+term-major order: ``for term: for timestamp: process``.  This module
+provides the snapshot-major pipeline instead: one sweep over the shared
+:class:`~repro.streams.FrequencyTensor` feeds every term's
+:class:`~repro.core.stlocal.STLocalTermTracker` from per-snapshot
+sparse slices, with three structural savings over the term-major loop:
+
+* **shared slicing** — the per-term ``{timestamp: {stream: count}}``
+  views are materialised in one ``O(nnz)`` pass over the tensor instead
+  of ``O(timeline × streams)`` `slice_at` scans per term;
+* **quiet-prefix skip** — a tracker is fast-forwarded to its term's
+  first active snapshot (a strict no-op prefix, see
+  :meth:`~repro.core.stlocal.STLocalTermTracker.fast_forward`);
+* **tail truncation** — after a term's last active snapshot, every
+  stream's burstiness is ``observed − expected = −expected ≤ 0``, so no
+  new rectangle, no new maximal segment and no new window can appear;
+  the sweep stops feeding the tracker there.  (Valid for any baseline
+  with non-negative expectations — true of every model in
+  :mod:`repro.temporal.baselines`; disable with ``truncate_tails=False``
+  when plugging in an exotic baseline.)
+
+One spatial index over the stream locations is shared by all trackers.
+
+The pipeline also shards terms across processes (``workers=N``) for
+STLocal and STComb alike; results are bit-identical to the serial sweep
+because the trackers evaluate streams in a fixed sorted order.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.patterns import CombinatorialPattern, RegionalPattern
+from repro.core.stcomb import STComb
+from repro.core.stlocal import STLocal, STLocalTermTracker, _resolve
+from repro.spatial.geometry import Point
+from repro.spatial.index import SpatialIndex
+from repro.streams.collection import SpatiotemporalCollection
+from repro.streams.frequency import FrequencyTensor
+
+__all__ = ["BatchMiner"]
+
+TensorLike = Union[SpatiotemporalCollection, FrequencyTensor]
+
+
+class BatchMiner:
+    """Multi-term mining pipeline over one shared frequency tensor.
+
+    Args:
+        stlocal: The regional miner whose configuration to use
+            (default: a fresh :class:`~repro.core.STLocal`).
+        stcomb: The combinatorial miner whose detector/configuration to
+            use (default: a fresh :class:`~repro.core.STComb`).
+        workers: Shard terms over this many processes; ``None``/``1``
+            mines serially in-process.
+        truncate_tails: Stop feeding a term's tracker after its last
+            active snapshot (see module docstring).  Patterns are
+            identical either way for non-negative baselines; only the
+            trackers' per-snapshot history series end earlier.
+
+    Example::
+
+        from repro import FrequencyTensor
+        from repro.pipeline import BatchMiner
+
+        tensor = FrequencyTensor(collection)
+        miner = BatchMiner(workers=4)
+        regional = miner.mine_regional(tensor, locations=collection.locations())
+        combinatorial = miner.mine_combinatorial(tensor)
+    """
+
+    def __init__(
+        self,
+        stlocal: Optional[STLocal] = None,
+        stcomb: Optional[STComb] = None,
+        workers: Optional[int] = None,
+        truncate_tails: bool = True,
+    ) -> None:
+        self.stlocal = stlocal if stlocal is not None else STLocal()
+        self.stcomb = stcomb if stcomb is not None else STComb()
+        self.workers = max(1, int(workers)) if workers else 1
+        self.truncate_tails = truncate_tails
+
+    # ------------------------------------------------------------------
+    # Regional (STLocal) pipeline
+    # ------------------------------------------------------------------
+    def regional_trackers(
+        self,
+        data: TensorLike,
+        terms: Optional[Sequence[str]] = None,
+        locations: Optional[Dict[Hashable, Point]] = None,
+    ) -> Dict[str, STLocalTermTracker]:
+        """Snapshot-major sweep: one tracker per term, all fed together.
+
+        Returns every requested term's tracker (terms with no activity
+        get a pristine tracker).  Note the per-snapshot history series
+        (``rectangle_history`` / ``open_history``) cover only the
+        processed prefix when ``truncate_tails`` is on.
+        """
+        tensor, locations = _resolve(data, locations)
+        terms = self._term_list(tensor, terms)
+        index: Optional[SpatialIndex] = None
+        if len(locations) > STLocalTermTracker.INDEX_THRESHOLD:
+            index = SpatialIndex(list(locations.items()))
+        # One immutable location map (and one spatial index) shared by
+        # every tracker — per-tracker copies would cost
+        # O(|terms| × |streams|) memory over a full vocabulary.
+        shared_locations = dict(locations)
+        trackers = {
+            term: STLocalTermTracker(
+                shared_locations,
+                config=self.stlocal.config,
+                index=index,
+                copy_locations=False,
+            )
+            for term in terms
+        }
+
+        snapshots: Dict[str, Dict[int, Dict[Hashable, float]]] = {}
+        spans: Dict[str, Tuple[int, int]] = {}
+        starting: Dict[int, List[str]] = {}
+        for term in terms:
+            snaps = _term_snapshots(tensor, term)
+            if not snaps:
+                continue
+            first, last = min(snaps), max(snaps)
+            snapshots[term] = snaps
+            spans[term] = (first, last)
+            starting.setdefault(first, []).append(term)
+
+        timeline = tensor.timeline
+        live: List[str] = []
+        for timestamp in range(timeline):
+            for term in starting.get(timestamp, ()):
+                trackers[term].fast_forward(timestamp)
+                live.append(term)
+            if not live:
+                continue
+            survivors: List[str] = []
+            for term in live:
+                trackers[term].process(
+                    snapshots[term].get(timestamp, {})
+                )
+                if self.truncate_tails and timestamp >= spans[term][1]:
+                    # Nothing after the last activity can score; release
+                    # the term's slices as it retires from the sweep.
+                    del snapshots[term]
+                    continue
+                survivors.append(term)
+            live = survivors
+        return trackers
+
+    def mine_regional(
+        self,
+        data: TensorLike,
+        terms: Optional[Sequence[str]] = None,
+        locations: Optional[Dict[Hashable, Point]] = None,
+    ) -> Dict[str, List[RegionalPattern]]:
+        """Regional patterns for many terms in one timeline sweep.
+
+        Returns:
+            Map of term → its maximal windows, identical to per-term
+            :meth:`repro.core.STLocal.mine` output (terms with none
+            omitted), in the requested term order.
+        """
+        tensor, locations = _resolve(data, locations)
+        terms = self._term_list(tensor, terms)
+        if self.workers > 1:
+            return self._mine_sharded("regional", tensor, terms, locations)
+        trackers = self.regional_trackers(tensor, terms, locations)
+        results: Dict[str, List[RegionalPattern]] = {}
+        for term in terms:
+            patterns = trackers[term].patterns(term)
+            if patterns:
+                results[term] = patterns
+        return results
+
+    # ------------------------------------------------------------------
+    # Combinatorial (STComb) pipeline
+    # ------------------------------------------------------------------
+    def mine_combinatorial(
+        self,
+        data: TensorLike,
+        terms: Optional[Sequence[str]] = None,
+    ) -> Dict[str, List[CombinatorialPattern]]:
+        """Combinatorial patterns for many terms off one shared tensor.
+
+        A raw collection is indexed into a tensor exactly once, so the
+        per-term stage only touches the streams that actually contain
+        the term (the collection path scanned every stream per term).
+        """
+        tensor = self._as_tensor(data)
+        terms = self._term_list(tensor, terms)
+        if self.workers > 1:
+            return self._mine_sharded("combinatorial", tensor, terms, None)
+        results: Dict[str, List[CombinatorialPattern]] = {}
+        for term in terms:
+            patterns = self.stcomb.patterns_for_term(tensor, term)
+            if patterns:
+                results[term] = patterns
+        return results
+
+    # ------------------------------------------------------------------
+    # Term-sharded multiprocessing
+    # ------------------------------------------------------------------
+    def _mine_sharded(
+        self,
+        kind: str,
+        tensor,
+        terms: Sequence[str],
+        locations: Optional[Dict[Hashable, Point]],
+    ) -> Dict:
+        from repro.pipeline.sharding import mine_shards
+
+        merged = mine_shards(
+            kind=kind,
+            miner=self,
+            tensor=tensor,
+            terms=terms,
+            locations=locations,
+            workers=self.workers,
+        )
+        # Preserve the requested term order across shard boundaries.
+        return {term: merged[term] for term in terms if term in merged}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _term_list(tensor, terms: Optional[Sequence[str]]) -> List[str]:
+        if terms is None:
+            return sorted(tensor.terms)
+        # Deduplicate (keeping first occurrence): a repeated term would
+        # otherwise be fed every snapshot once per occurrence, at
+        # misaligned clocks, silently corrupting its tracker.
+        return list(dict.fromkeys(terms))
+
+    @staticmethod
+    def _as_tensor(data: TensorLike):
+        if isinstance(data, SpatiotemporalCollection):
+            return FrequencyTensor(data)
+        return data
+
+
+def _term_snapshots(tensor, term: str) -> Dict[int, Dict[Hashable, float]]:
+    """Per-timestamp slices of one term, via the fast tensor path.
+
+    Falls back to per-timestamp ``slice_at`` for duck-typed frequency
+    sources (e.g. the synthetic generators) that lack
+    :meth:`~repro.streams.FrequencyTensor.term_snapshots`.
+    """
+    fast = getattr(tensor, "term_snapshots", None)
+    if fast is not None:
+        return fast(term)
+    snapshots: Dict[int, Dict[Hashable, float]] = {}
+    for timestamp in range(tensor.timeline):
+        snapshot = tensor.slice_at(term, timestamp)
+        if snapshot:
+            snapshots[timestamp] = snapshot
+    return snapshots

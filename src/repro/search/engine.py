@@ -152,14 +152,21 @@ class BurstySearchEngine(_PatternEngineBase):
     Works with either pattern type, one type per instance ("a separate
     instance is required for each type").
 
+    Posting lists for every pattern-bearing term are precomputed in a
+    *single* pass over the collection at construction (each document is
+    visited once, scored only against the pattern terms it contains),
+    instead of one full document scan per queried term.  Pass
+    ``precompute=False`` to fall back to lazy per-term construction.
+
     Args:
         collection: The document collection to search.
         patterns: Map of term → its mined patterns (from
-            :meth:`repro.core.STComb.mine` or
-            :meth:`repro.core.STLocal.mine`).
+            :meth:`repro.core.STComb.mine`, :meth:`repro.core.STLocal.mine`
+            or :meth:`repro.pipeline.BatchMiner`).
         relevance: Per-term relevance function (default log).
         aggregate: Aggregation of overlapping-pattern scores
             (default max, the paper's best).
+        precompute: Build all posting lists up front (default).
     """
 
     def __init__(
@@ -168,12 +175,55 @@ class BurstySearchEngine(_PatternEngineBase):
         patterns: Dict[str, Sequence],
         relevance: RelevanceFunction = log_relevance,
         aggregate: Callable[[Sequence[float]], float] = _default_aggregate,
+        precompute: bool = True,
     ) -> None:
         super().__init__(collection, relevance=relevance, aggregate=aggregate)
         self._patterns = dict(patterns)
+        if precompute:
+            self.precompute()
 
     def patterns_for(self, term: str) -> Sequence:
         return self._patterns.get(term, ())
+
+    def precompute(self, terms: Optional[Sequence[str]] = None) -> int:
+        """Build posting lists for many terms in one document sweep.
+
+        Args:
+            terms: Terms to index; defaults to every term with at least
+                one mined pattern.
+
+        Returns:
+            Number of posting lists built (terms already indexed are
+            skipped).
+        """
+        if terms is None:
+            terms = [term for term, mined in self._patterns.items() if mined]
+        pending = {
+            term for term in terms if self._index.get(term) is None
+        }
+        if not pending:
+            return 0
+        postings: Dict[str, List[Posting]] = {term: [] for term in pending}
+        for document in self.collection.documents():
+            for term in set(document.terms) & pending:
+                overlapping = [
+                    pattern.score
+                    for pattern in self._patterns.get(term, ())
+                    if pattern.overlaps(document)
+                ]
+                if not overlapping:
+                    continue  # burstiness = −∞ → excluded (Eq. 11)
+                burstiness = self.aggregate(overlapping)
+                relevance = self.relevance(document, term)
+                postings[term].append(
+                    Posting(
+                        doc_id=document.doc_id,
+                        score=relevance * burstiness,
+                    )
+                )
+        for term in pending:
+            self._index.add(term, postings[term])
+        return len(pending)
 
 
 class TemporalSearchEngine(_PatternEngineBase):

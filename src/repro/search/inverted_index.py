@@ -76,6 +76,19 @@ class PostingList:
         """The ``k`` best postings."""
         return self._sorted[:k]
 
+    def truncated(self, depth: int) -> "PostingList":
+        """Impact-ordered pruning: keep the top ``depth`` postings.
+
+        Sorted access (and iteration) only reaches the retained prefix,
+        while random access still resolves every original document —
+        the classic pruned-index trade-off.  The Threshold Algorithm
+        remains exact over truncated lists *because* an exhausted list
+        keeps bounding unseen documents by its final retained score.
+        """
+        clone = PostingList(self._sorted[:depth])
+        clone._by_doc = dict(self._by_doc)
+        return clone
+
 
 class InvertedIndex:
     """Term → :class:`PostingList` map with lazy insertion.

@@ -11,12 +11,25 @@ The aggregation here is the sum of Eq. 10; a document missing from any
 query term's list has per-term score ``−∞`` there (Eq. 11) and is
 excluded, which preserves TA's correctness (missing documents can never
 beat the threshold).
+
+Two aspects of the stopping rule deserve care:
+
+* an *exhausted* list still bounds the unseen documents — by its final
+  (smallest) sorted score, not by zero.  Dropping exhausted lists from
+  the threshold understates the bound whenever the final score is
+  positive, which terminates too early and returns a wrong top-k for
+  posting lists whose sorted access is a pruned prefix of their random
+  access (see :meth:`~repro.search.inverted_index.PostingList.truncated`);
+* the stop test must be *strict* (``k-th score > threshold``): with
+  ``>=``, an unseen document can tie the k-th aggregate and win under
+  the deterministic document-id tiebreak this module promises.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import heapq
+import math
 from typing import Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SearchError
@@ -71,17 +84,22 @@ def threshold_topk(
     accesses = 0
     depth = 0
     exhausted = [False] * len(lists)
+    # Per-list bound on any unseen document's score there: the score at
+    # the sorted-access frontier while the list is live, its *final*
+    # sorted score once exhausted.  A list that exhausted without ever
+    # yielding a posting gives no information, hence +inf.
+    bounds = [math.inf] * len(lists)
 
     while not all(exhausted):
-        frontier: List[Optional[float]] = []
         for index, posting_list in enumerate(lists):
+            if exhausted[index]:
+                continue
             posting = posting_list.sorted_access(depth)
             if posting is None:
                 exhausted[index] = True
-                frontier.append(None)
                 continue
             accesses += 1
-            frontier.append(posting.score)
+            bounds[index] = posting.score
             doc_id = posting.doc_id
             if doc_id in seen:
                 continue
@@ -96,11 +114,10 @@ def threshold_topk(
                 heapq.heapreplace(heap, entry)
 
         # Threshold: the best aggregate any unseen document could have.
-        live = [score for score in frontier if score is not None]
-        if not live:
-            break
-        threshold = sum(live)
-        if len(heap) == k and heap[0][0] >= threshold:
+        # Strictly beating it is required — an unseen document may tie
+        # the k-th score and still win the deterministic tiebreak.
+        threshold = sum(bounds)
+        if len(heap) == k and heap[0][0] > threshold:
             break
         depth += 1
 

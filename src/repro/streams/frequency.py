@@ -79,6 +79,21 @@ class FrequencyTensor:
             for timestamp, count in sparse.items():
                 yield sid, timestamp, count
 
+    def term_snapshots(self, term: str) -> Dict[int, Dict[Hashable, float]]:
+        """All non-empty per-timestamp slices of a term at once.
+
+        Equivalent to ``{t: slice_at(term, t)}`` restricted to non-empty
+        slices, but built in ``O(nnz(term))`` instead of scanning every
+        stream at every timestamp — the access pattern of the
+        snapshot-major :class:`repro.pipeline.BatchMiner` sweep.
+        """
+        snapshots: Dict[int, Dict[Hashable, float]] = {}
+        for sid, sparse in self._data.get(term, {}).items():
+            for timestamp, count in sparse.items():
+                if count:
+                    snapshots.setdefault(timestamp, {})[sid] = count
+        return snapshots
+
     def top_terms(self, k: int) -> List[Tuple[str, float]]:
         """The ``k`` heaviest terms by total mass (descending)."""
         ranked = sorted(

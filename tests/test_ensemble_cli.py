@@ -115,3 +115,16 @@ class TestCLI:
         assert main(["figure8", "--streams", "50", "100"]) == 0
         output = capsys.readouterr().out
         assert "50" in output and "100" in output
+
+    def test_mine_parser_defaults(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(["mine"])
+        assert args.workers == 1
+        assert args.miner == "both"
+        assert args.top_terms is None
+        sharded = _build_parser().parse_args(
+            ["mine", "--workers", "4", "--miner", "stlocal"]
+        )
+        assert sharded.workers == 4
+        assert sharded.miner == "stlocal"

@@ -162,3 +162,62 @@ class TestOnlineGetMax:
         online = OnlineMaxSegments()
         online.extend([1.0, -1.0] * 20)
         assert online.candidate_count <= 20
+
+
+class TestSignedSequencesProperty:
+    """Randomised signed sequences, biased to cross the negative-total
+    pruning boundary of Algorithm 2 (a region sequence is dropped when
+    its running total goes negative — the online tracker must keep its
+    maximal segments exact right up to and across that point)."""
+
+    def _random_sequences(self, seed, count):
+        import random
+
+        rng = random.Random(seed)
+        for _ in range(count):
+            length = rng.randint(0, 40)
+            # Negative drift makes running totals repeatedly dip below
+            # zero; half-integers keep float sums exact.
+            values = [
+                rng.randint(-24, 20) / 2.0 for _ in range(length)
+            ]
+            yield values
+
+    def test_online_matches_bruteforce_on_signed_sequences(self):
+        for values in self._random_sequences(seed=101, count=300):
+            online = OnlineMaxSegments()
+            online.extend(values)
+            assert online.segments() == maximal_segments_bruteforce(values)
+
+    def test_online_exact_at_every_prefix_across_pruning_boundary(self):
+        for values in self._random_sequences(seed=202, count=60):
+            online = OnlineMaxSegments()
+            crossed = False
+            for index, value in enumerate(values):
+                online.add(value)
+                prefix = values[: index + 1]
+                if online.total < 0.0:
+                    crossed = True  # the Algorithm-2 pruning point
+                assert online.segments() == maximal_segments_bruteforce(
+                    prefix
+                )
+                assert online.total == sum(prefix)
+            # The generator's drift guarantees the boundary is exercised
+            # somewhere in the batch; assert on long runs only.
+            if len(values) >= 30:
+                assert crossed or min(
+                    sum(values[: i + 1]) for i in range(len(values))
+                ) >= 0.0
+
+    @settings(max_examples=80)
+    @given(
+        st.lists(
+            st.integers(-30, 12).map(lambda v: v / 2.0),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_negative_heavy_sequences_match_bruteforce(self, values):
+        online = OnlineMaxSegments()
+        online.extend(values)
+        assert online.segments() == maximal_segments_bruteforce(values)

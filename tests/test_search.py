@@ -124,6 +124,92 @@ class TestThresholdAlgorithm:
             assert ta.score == pytest.approx(ref.score)
 
 
+class TestThresholdRegressions:
+    """Stopping-rule defects of the original implementation.
+
+    Both scenarios return a provably wrong top-1 when (a) exhausted
+    lists stop contributing to the threshold, or (b) the stop test uses
+    ``>=`` against the threshold.
+    """
+
+    def test_exhausted_list_keeps_bounding_unseen_documents(self):
+        """A pruned list exhausts early; its final score must stay in
+        the threshold or TA stops before finding the true winner."""
+        full = PostingList([Posting("x", 10.0), Posting("y", 9.0)])
+        pruned = full.truncated(1)  # sorted access sees only x
+        other = PostingList(
+            [
+                Posting("d1", 3.0),
+                Posting("d2", 2.9),
+                Posting("y", 2.5),
+                Posting("x", 0.1),
+            ]
+        )
+        ta_results, _ = threshold_topk([pruned, other], 1)
+        reference = exhaustive_topk([pruned, other], 1)
+        # y = 9.0 + 2.5 beats x = 10.0 + 0.1; the understated threshold
+        # (2.9 after the pruned list exhausts) used to stop at x.
+        assert [r.doc_id for r in reference] == ["y"]
+        assert [r.doc_id for r in ta_results] == ["y"]
+        assert ta_results[0].score == pytest.approx(11.5)
+
+    def test_threshold_tie_resolved_by_deterministic_tiebreak(self):
+        """An unseen document tying the k-th aggregate can still win the
+        document-id tiebreak; stopping at ``>=`` returned the loser."""
+        from repro.search.inverted_index import rank_tiebreak
+
+        pool = sorted((f"doc{i}" for i in range(200)), key=rank_tiebreak)
+        b1, b2, a2, a3, y, w = (*pool[:5], pool[-1])
+        list_a = _lists_from_spec([{w: 5.0, a2: 3.0, a3: 3.0, y: 3.0}])[0]
+        list_b = _lists_from_spec([{b1: 3.0, b2: 3.0, y: 3.0, w: 1.0}])[0]
+        # Totals tie at 6.0 for w (5+1) and y (3+3); y wins the tiebreak
+        # but is unseen when the threshold first equals the top score.
+        ta_results, _ = threshold_topk([list_a, list_b], 1)
+        reference = exhaustive_topk([list_a, list_b], 1)
+        assert [r.doc_id for r in reference] == [y]
+        assert [r.doc_id for r in ta_results] == [y]
+
+    def test_empty_list_excludes_everything(self):
+        lists = [
+            PostingList([]),
+            PostingList([Posting("a", 2.0), Posting("b", 1.0)]),
+        ]
+        results, _ = threshold_topk(lists, 3)
+        assert results == []
+        assert exhaustive_topk(lists, 3) == []
+
+    @settings(max_examples=120)
+    @given(
+        st.lists(
+            st.dictionaries(
+                st.integers(0, 15),
+                # Small integer scores force heavy score ties.
+                st.integers(-3, 6).map(float),
+                max_size=10,
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        st.integers(1, 6),
+        st.randoms(use_true_random=False),
+    )
+    def test_ta_exact_under_ties_negatives_and_truncation(
+        self, spec, k, rng
+    ):
+        """TA must equal the exhaustive ranking *exactly* — same ids in
+        the same order — under ties, negative scores, and pruning."""
+        lists = []
+        for plist in _lists_from_spec(spec):
+            if len(plist) and rng.random() < 0.4:
+                plist = plist.truncated(rng.randint(1, len(plist)))
+            lists.append(plist)
+        ta_results, _ = threshold_topk(lists, k)
+        reference = exhaustive_topk(lists, k)
+        assert [(r.doc_id, r.score) for r in ta_results] == [
+            (r.doc_id, r.score) for r in reference
+        ]
+
+
 def build_event_collection():
     """Tiny corpus: event on s0/s1 weeks 5-7; ambient mention on s2."""
     coll = SpatiotemporalCollection(timeline=12)

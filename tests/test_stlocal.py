@@ -120,6 +120,51 @@ class TestTracker:
         assert tracker.clock == 6
 
 
+class TestMemberlessRectangles:
+    """Regression: rectangles containing no stream geostamp used to
+    canonicalise to ``frozenset()``, so every such "empty" region across
+    the whole run shared a single RegionSequence — distinct regions
+    silently merged.  They can never score and must be skipped."""
+
+    def test_memberless_rectangles_not_tracked(self, monkeypatch):
+        from repro.core import stlocal as stlocal_module
+        from repro.spatial.discrepancy import MaxRectangleResult
+        from repro.spatial.geometry import Rectangle
+
+        real_r_bursty = stlocal_module.r_bursty
+        # Two *distinct* rectangles in the empty space between grid
+        # points, returned on alternating snapshots.
+        empty_regions = [
+            Rectangle(1.0, 1.0, 2.0, 2.0),
+            Rectangle(21.0, 1.0, 22.0, 2.0),
+        ]
+
+        def fake_r_bursty(points):
+            results = list(real_r_bursty(points))
+            if points:
+                region = empty_regions[len(results) % 2]
+                results.append(
+                    MaxRectangleResult(
+                        rectangle=region, score=0.5, members=()
+                    )
+                )
+            return results
+
+        monkeypatch.setattr(stlocal_module, "r_bursty", fake_r_bursty)
+        tracker = make_tracker()
+        for t in range(6):
+            tracker.process({"g0": 4.0})
+        # No sequence may be keyed by the empty member set, and the two
+        # distinct empty regions must not have been merged into one.
+        assert frozenset() not in tracker._sequences
+        for sequence in tracker._sequences.values():
+            assert sequence.stream_ids
+        # The real burst is still tracked normally.
+        windows = tracker.windows()
+        assert windows
+        assert all(streams for _, streams, _, _ in windows)
+
+
 class TestSTLocalFacade:
     def _collection(self):
         coll = SpatiotemporalCollection(timeline=12)
