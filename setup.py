@@ -23,9 +23,10 @@ setup(
     ),
     long_description=(
         "Spatiotemporal burstiness pattern mining (STComb, STLocal, "
-        "R-Bursty), a snapshot-major batch mining pipeline, and "
+        "R-Bursty), a snapshot-major batch mining pipeline, "
         "pattern-aware bursty-document retrieval with the Threshold "
-        "Algorithm."
+        "Algorithm, and a live append-only ingestion + serving layer "
+        "with delta posting lists verified against batch rebuilds."
     ),
     author="paper-repo-growth",
     license="MIT",
@@ -35,6 +36,7 @@ setup(
     install_requires=["numpy"],
     extras_require={
         "test": ["pytest", "hypothesis", "pytest-benchmark"],
+        "cov": ["pytest-cov"],
     },
     entry_points={
         "console_scripts": ["repro=repro.cli:main"],

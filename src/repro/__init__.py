@@ -44,7 +44,8 @@ from repro.core import (
 )
 from repro.errors import ReproError
 from repro.intervals import Interval
-from repro.pipeline import BatchMiner
+from repro.live import LiveCollection, LiveIndex, LiveSearchEngine
+from repro.pipeline import BatchMiner, IncrementalFeeder
 from repro.search import BurstySearchEngine, SearchResult, TemporalSearchEngine
 from repro.spatial import Point, Rectangle
 from repro.streams import (
@@ -69,9 +70,13 @@ __all__ = [
     "Document",
     "DocumentStream",
     "FrequencyTensor",
+    "IncrementalFeeder",
     "Interval",
     "KleinbergBurstDetector",
     "LappasBurstDetector",
+    "LiveCollection",
+    "LiveIndex",
+    "LiveSearchEngine",
     "OnlineMaxSegments",
     "Point",
     "Rectangle",

@@ -7,11 +7,15 @@ Usage::
     python -m repro.cli figure8 --streams 100 200 400
     python -m repro.cli all --background-rate 2.0
     python -m repro.cli mine --workers 4  # batch-mine the whole corpus
+    python -m repro.cli ingest --query storm --report-every 8
+    python -m repro.cli ingest --file feed.jsonl --verify
 
 Every experiment subcommand prints the same rows/series the paper's
 table or figure reports (see EXPERIMENTS.md for the comparison); the
 ``mine`` subcommand runs the snapshot-major batch pipeline over the
-corpus vocabulary and prints a per-term pattern summary.
+corpus vocabulary and prints a per-term pattern summary; the ``ingest``
+subcommand replays a JSONL feed (or a built-in demo feed) through the
+live ingestion + serving layer, querying as documents arrive.
 """
 
 from __future__ import annotations
@@ -57,10 +61,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=sorted(
             list(_CORPUS_EXPERIMENTS)
-            + ["table2", "figure8", "figure9", "all", "mine"]
+            + ["table2", "figure8", "figure9", "all", "mine", "ingest"]
         ),
-        help="which table/figure to regenerate, or 'mine' to batch-mine "
-        "the corpus with the snapshot-major pipeline",
+        help="which table/figure to regenerate, 'mine' to batch-mine "
+        "the corpus with the snapshot-major pipeline, or 'ingest' to "
+        "replay a document feed through the live serving layer",
     )
     parser.add_argument(
         "--background-rate",
@@ -102,6 +107,41 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="restrict mining to the N heaviest terms (mine)",
+    )
+    parser.add_argument(
+        "--file",
+        default=None,
+        help="JSONL feed to replay (ingest); omit for a built-in demo "
+        "feed.  Lines: {\"type\":\"stream\",\"id\":...,\"x\":...,\"y\":...}, "
+        "{\"doc_id\":...,\"stream\":...,\"timestamp\":...,\"text\":...}, "
+        "{\"type\":\"advance\",\"timestamp\":...}",
+    )
+    parser.add_argument(
+        "--timeline",
+        type=int,
+        default=64,
+        help="timeline length for the live collection (ingest)",
+    )
+    parser.add_argument(
+        "--query",
+        action="append",
+        default=None,
+        help="query to serve during the replay; repeatable (ingest)",
+    )
+    parser.add_argument(
+        "--k", type=int, default=5, help="results per query (ingest)"
+    )
+    parser.add_argument(
+        "--report-every",
+        type=int,
+        default=10,
+        help="serve the queries every N ingested snapshots (ingest)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="after the replay, cross-check live results against a cold "
+        "batch rebuild (ingest)",
     )
     return parser
 
@@ -180,8 +220,145 @@ def _run_mine(args: argparse.Namespace, lab: Optional[TopixLab]) -> Optional[Top
     return lab
 
 
+def _demo_feed(timeline: int):
+    """Deterministic built-in feed: background chatter + one outbreak.
+
+    Yields the same record dicts a JSONL feed file would contain, so
+    the replay path is identical with and without ``--file``.
+    """
+    import random
+
+    rng = random.Random(11)
+    cities = [(f"city{c}{r}", c * 10.0, r * 10.0) for c in range(4) for r in range(4)]
+    for cid, x, y in cities:
+        yield {"type": "stream", "id": cid, "x": x, "y": y}
+    vocabulary = ["storm", "market", "football", "election"]
+    doc_id = 0
+    for day in range(min(timeline, 40)):
+        for cid, _, _ in cities:
+            if rng.random() < 0.4:
+                text = " ".join(
+                    rng.choice(vocabulary) for _ in range(rng.randint(1, 3))
+                )
+                yield {
+                    "doc_id": doc_id,
+                    "stream": cid,
+                    "timestamp": day,
+                    "text": text,
+                }
+                doc_id += 1
+        if 15 <= day <= 22:  # storm outbreak in the north-west block
+            for cid in ("city00", "city01", "city10", "city11"):
+                yield {
+                    "doc_id": doc_id,
+                    "stream": cid,
+                    "timestamp": day,
+                    "text": "storm storm flooding",
+                }
+                doc_id += 1
+        yield {"type": "advance", "timestamp": day}
+
+
+def _run_ingest(args: argparse.Namespace) -> None:
+    """Replay a feed through the live layer, serving queries as it goes."""
+    import json
+
+    from repro.live import LiveCollection, LiveSearchEngine
+    from repro.spatial import Point
+    from repro.streams import Document
+
+    if args.file:
+        with open(args.file) as handle:
+            records = [json.loads(line) for line in handle if line.strip()]
+    else:
+        print("no --file given; replaying the built-in demo feed", file=sys.stderr)
+        records = list(_demo_feed(args.timeline))
+
+    live = LiveCollection(args.timeline)
+    engine = LiveSearchEngine(live)
+    queries = args.query or ["storm"]
+
+    def serve(label: str) -> None:
+        for query in queries:
+            results = engine.search(query, k=args.k)
+            top = (
+                f"doc {results[0].document.doc_id!r} "
+                f"(stream {results[0].document.stream_id!r}, "
+                f"t={results[0].document.timestamp}, "
+                f"score {results[0].score:.3f})"
+                if results
+                else "no bursty match"
+            )
+            print(f"{label} query {query!r}: {len(results)} result(s); top: {top}")
+
+    snapshots_seen = 0
+    last_timestamp: Optional[int] = None
+    for record in records:
+        kind = record.get("type", "doc")
+        if kind == "stream":
+            live.add_stream(record["id"], Point(record["x"], record["y"]))
+            continue
+        if kind == "advance":
+            live.advance_to(record["timestamp"])
+            continue
+        document = Document.from_text(
+            record["doc_id"],
+            record["stream"],
+            record["timestamp"],
+            record["text"],
+        )
+        if last_timestamp is not None and document.timestamp != last_timestamp:
+            snapshots_seen += 1
+            if args.report_every > 0 and snapshots_seen % args.report_every == 0:
+                serve(f"[t={last_timestamp}]")
+        last_timestamp = document.timestamp
+        live.ingest(document)
+
+    print(
+        f"replay complete: {live.document_count} documents over "
+        f"{len(live)} streams, watermark t={live.watermark}, "
+        f"epoch {live.epoch}"
+    )
+    serve("[final]")
+    stats = engine.stats
+    print(
+        f"serving stats: {stats.cache_hits} cache hit(s), "
+        f"{stats.cache_misses} miss(es), {stats.rebuilds} rebuild(s), "
+        f"{stats.delta_updates} delta update(s), "
+        f"{engine.index.compactions} compaction(s)"
+    )
+
+    if args.verify:
+        from repro.pipeline import BatchMiner
+        from repro.search import BurstySearchEngine
+        from repro.streams import SpatiotemporalCollection
+
+        cold = SpatiotemporalCollection(args.timeline)
+        for sid, point in live.locations().items():
+            cold.add_stream(sid, point)
+        for document in live.collection.documents():
+            cold.add_document(document)
+        mined = BatchMiner().mine_regional(cold)
+        batch_engine = BurstySearchEngine(cold, mined)
+        for query in queries:
+            lively = [
+                (r.document.doc_id, r.score) for r in engine.search(query, k=args.k)
+            ]
+            coldly = [
+                (r.document.doc_id, r.score)
+                for r in batch_engine.search(query, k=args.k)
+            ]
+            verdict = "OK" if lively == coldly else "MISMATCH"
+            print(f"verify {query!r}: live == cold batch rebuild ... {verdict}")
+            if lively != coldly:
+                raise SystemExit(1)
+
+
 def _run_one(name: str, args: argparse.Namespace, lab: Optional[TopixLab]) -> Optional[TopixLab]:
     """Run one experiment, creating/reusing the corpus lab as needed."""
+    if name == "ingest":
+        _run_ingest(args)
+        return lab
     if name == "mine":
         return _run_mine(args, lab)
     if name in _CORPUS_EXPERIMENTS:

@@ -23,6 +23,7 @@ The tracker also records the per-timestamp counts behind Figures 5
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple, Union
 
@@ -81,6 +82,16 @@ class RegionSequence:
             for segment in self.tracker.segments()
         ]
 
+    def fork(self) -> "RegionSequence":
+        """An independent copy sharing only the immutable fields."""
+        return RegionSequence(
+            region=self.region,
+            stream_ids=self.stream_ids,
+            start=self.start,
+            tracker=self.tracker.fork(),
+            member_order=self.member_order,
+        )
+
 
 class STLocalTermTracker:
     """Streaming STLocal state for a single term.
@@ -134,6 +145,49 @@ class STLocalTermTracker:
     def open_sequences(self) -> int:
         """Currently tracked (open) region sequences."""
         return len(self._sequences)
+
+    @property
+    def pristine(self) -> bool:
+        """True while the tracker has never observed any activity.
+
+        A pristine tracker may still be :meth:`fast_forward`-ed over a
+        quiet prefix; once any model or sequence exists it must replay
+        every remaining snapshot.
+        """
+        return not self._models and not self._sequences
+
+    # ------------------------------------------------------------------
+    def fork(self) -> "STLocalTermTracker":
+        """Checkpoint the tracker: an independent, advanceable copy.
+
+        The fork shares the immutable inputs (locations, config, spatial
+        index) but owns deep copies of all mutable state — expectation
+        models, open region sequences, archives and histories — so it
+        can be fed further snapshots (or discarded) without disturbing
+        this tracker.  The live serving layer uses this to preview
+        patterns that include a still-open snapshot while keeping the
+        durable tracker rewindable to its sealed checkpoint, and the
+        differential tests use it to verify a replayed fork matches a
+        cold batch run.
+        """
+        clone = STLocalTermTracker(
+            self.locations,
+            config=self.config,
+            index=self._index,
+            copy_locations=False,
+        )
+        clone._models = copy.deepcopy(self._models)
+        clone._sequences = {
+            key: sequence.fork() for key, sequence in self._sequences.items()
+        }
+        clone._archived = list(self._archived)
+        clone._clock = self._clock
+        clone._history = {
+            sid: dict(values) for sid, values in self._history.items()
+        }
+        clone.rectangle_history = list(self.rectangle_history)
+        clone.open_history = list(self.open_history)
+        return clone
 
     # ------------------------------------------------------------------
     def fast_forward(self, timestamp: int) -> None:

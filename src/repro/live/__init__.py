@@ -1,0 +1,35 @@
+"""Live ingestion + serving layer (append-only, incrementally indexed).
+
+The static stack (:class:`~repro.streams.SpatiotemporalCollection` →
+:class:`~repro.pipeline.BatchMiner` →
+:class:`~repro.search.BurstySearchEngine`) is build-once: appending a
+document after construction used to serve stale results.  This package
+is the online counterpart:
+
+* :class:`LiveCollection` — append-only ingestion with an epoch
+  counter, a sealed/open snapshot watermark, and per-term views
+  maintained in ``O(|terms(d)|)`` per document;
+* :class:`LiveIndex` / :class:`DeltaPostingList` — per-term delta
+  posting lists merged (exactly) at query time, compacted past a
+  threshold;
+* :class:`LiveSearchEngine` — per-term cache invalidation, a bounded
+  LRU result cache keyed on the epoch, and lazily re-mined STLocal
+  patterns fed snapshot-by-snapshot through
+  :class:`~repro.pipeline.IncrementalFeeder`.
+
+The correctness contract — live state is byte-identical to a cold
+batch rebuild after any ingestion schedule — is enforced by the
+differential harness in ``tests/test_live_differential.py``.
+"""
+
+from repro.live.collection import LiveCollection
+from repro.live.engine import LiveSearchEngine, ServingStats
+from repro.live.index import DeltaPostingList, LiveIndex
+
+__all__ = [
+    "DeltaPostingList",
+    "LiveCollection",
+    "LiveIndex",
+    "LiveSearchEngine",
+    "ServingStats",
+]

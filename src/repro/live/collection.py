@@ -1,0 +1,273 @@
+"""Append-only live ingestion over a spatiotemporal collection.
+
+:class:`LiveCollection` wraps :class:`~repro.streams.collection.
+SpatiotemporalCollection` with the ingestion discipline of a serving
+system:
+
+* **append-only time** — documents arrive in non-decreasing timestamp
+  order (per snapshot, not per document: many documents may share the
+  watermark timestamp).  Once a later timestamp is observed, every
+  earlier snapshot is *sealed* and can never change again — which is
+  what lets downstream trackers commit sealed snapshots durably and
+  preview only the open tail;
+* **epoch counter** — every mutation bumps the epoch, giving caches a
+  single integer to key consistency on;
+* **incremental term views** — the per-term sparse snapshots
+  (``timestamp → stream → frequency``) and per-term document postings
+  are maintained on ingest in ``O(|terms(d)|)``, so serving a query
+  never rescans the collection.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.errors import StreamError
+from repro.spatial.geometry import Point
+from repro.streams.collection import SpatiotemporalCollection
+from repro.streams.document import Document
+from repro.streams.stream import DocumentStream
+
+__all__ = ["LiveCollection"]
+
+
+class LiveCollection:
+    """An ingestion façade enforcing live-serving invariants.
+
+    Args:
+        timeline: Number of timestamps of the underlying collection.
+
+    Streams must be registered (:meth:`add_stream`) before the first
+    document is ingested: the live miners share one immutable location
+    map, and a stream appearing mid-flight would invalidate every
+    tracker retroactively.
+    """
+
+    def __init__(self, timeline: int) -> None:
+        self._inner = SpatiotemporalCollection(timeline)
+        self._epoch = 0
+        self._watermark = -1  # highest ingested timestamp; -1 = empty
+        # term → timestamp → stream → frequency (live tensor slices).
+        self._term_snapshots: Dict[str, Dict[int, Dict[Hashable, float]]] = {}
+        # term → documents containing it, in arrival order.
+        self._term_docs: Dict[str, List[Document]] = {}
+        self._docs_by_id: Dict[Hashable, Document] = {}
+        self._listeners: List[Callable[[Document], None]] = []
+
+    # ------------------------------------------------------------------
+    # Construction / ingestion
+    # ------------------------------------------------------------------
+    def add_stream(
+        self,
+        stream_id: Hashable,
+        location: Point,
+        latlon: Optional[Tuple[float, float]] = None,
+    ) -> DocumentStream:
+        """Register a stream; only allowed before ingestion begins.
+
+        Raises:
+            StreamError: after the first document has been ingested, or
+                on a duplicate stream id.
+        """
+        if self._watermark >= 0:
+            raise StreamError(
+                "streams must be registered before ingestion begins "
+                "(live trackers share a fixed location map)"
+            )
+        stream = self._inner.add_stream(stream_id, location, latlon=latlon)
+        self._epoch += 1
+        return stream
+
+    def ingest(self, document: Document) -> int:
+        """Append one document; returns the new epoch.
+
+        Raises:
+            StreamError: on a late arrival (timestamp behind the
+                watermark — that snapshot is sealed), a duplicate
+                document id, an unknown stream, or a timestamp outside
+                the timeline.
+        """
+        if document.timestamp < self._watermark:
+            raise StreamError(
+                f"late arrival: timestamp {document.timestamp} is behind "
+                f"the watermark {self._watermark}; sealed snapshots are "
+                "immutable"
+            )
+        if document.doc_id in self._docs_by_id:
+            raise StreamError(
+                f"duplicate document id {document.doc_id!r}: live indexes "
+                "key their deltas on unique ids"
+            )
+        self._inner.add_document(document)  # validates stream + timeline
+        self._docs_by_id[document.doc_id] = document
+        self._watermark = max(self._watermark, document.timestamp)
+        for term, count in document.term_counts().items():
+            slices = self._term_snapshots.setdefault(term, {})
+            snapshot = slices.setdefault(document.timestamp, {})
+            snapshot[document.stream_id] = (
+                snapshot.get(document.stream_id, 0.0) + float(count)
+            )
+            self._term_docs.setdefault(term, []).append(document)
+        self._epoch += 1
+        for listener in self._listeners:
+            listener(document)
+        return self._epoch
+
+    def ingest_snapshot(
+        self, timestamp: int, documents: Iterable[Document]
+    ) -> int:
+        """Ingest a batch of documents all stamped ``timestamp``.
+
+        Sealing is implicit: once this returns, every snapshot before
+        ``timestamp`` is immutable (and so is this one, as soon as any
+        later timestamp arrives).
+
+        Returns:
+            The number of documents ingested.
+
+        Raises:
+            StreamError: when a document carries a different timestamp,
+                or on any :meth:`ingest` violation.
+        """
+        count = 0
+        for document in documents:
+            if document.timestamp != timestamp:
+                raise StreamError(
+                    f"snapshot batch for timestamp {timestamp} contains a "
+                    f"document stamped {document.timestamp}"
+                )
+            self.ingest(document)
+            count += 1
+        if count == 0:
+            self.advance_to(timestamp)
+        return count
+
+    def advance_to(self, timestamp: int) -> int:
+        """Declare that time has reached ``timestamp`` with no arrivals.
+
+        Seals every earlier snapshot (an empty tick in the feed).
+        Returns the new epoch.
+
+        Raises:
+            StreamError: when moving backwards or outside the timeline.
+        """
+        if timestamp < self._watermark:
+            raise StreamError(
+                f"cannot advance backwards ({timestamp} < {self._watermark})"
+            )
+        if not 0 <= timestamp < self.timeline:
+            raise StreamError(
+                f"timestamp {timestamp} outside timeline [0, {self.timeline})"
+            )
+        if timestamp != self._watermark:
+            self._watermark = timestamp
+            self._epoch += 1
+        return self._epoch
+
+    def subscribe(self, listener: Callable[[Document], None]) -> None:
+        """Register a callback invoked after every ingested document."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def collection(self) -> SpatiotemporalCollection:
+        """The underlying collection (treat as read-only)."""
+        return self._inner
+
+    @property
+    def epoch(self) -> int:
+        """Mutation epoch; bumps on every ingest / advance / stream."""
+        return self._epoch
+
+    @property
+    def watermark(self) -> int:
+        """The open snapshot's timestamp (``-1`` while empty).
+
+        Timestamps strictly below the watermark are sealed; the
+        watermark snapshot itself may still receive documents.
+        """
+        return self._watermark
+
+    @property
+    def sealed(self) -> int:
+        """First unsealed timestamp: snapshots ``[0, sealed)`` are final."""
+        return max(self._watermark, 0)
+
+    @property
+    def timeline(self) -> int:
+        return self._inner.timeline
+
+    @property
+    def document_count(self) -> int:
+        return self._inner.document_count
+
+    @property
+    def vocabulary(self) -> Set[str]:
+        return self._inner.vocabulary
+
+    def locations(self) -> Dict[Hashable, Point]:
+        return self._inner.locations()
+
+    # ------------------------------------------------------------------
+    # Incremental term views
+    # ------------------------------------------------------------------
+    def term_snapshots(self, term: str) -> Dict[int, Dict[Hashable, float]]:
+        """The term's sparse per-timestamp slices, maintained on ingest.
+
+        Same shape as
+        :meth:`repro.streams.FrequencyTensor.term_snapshots`.
+        """
+        return self._term_snapshots.get(term, {})
+
+    def term_version(self, term: str) -> int:
+        """Monotonic per-term change counter.
+
+        Equal to the number of ingested documents containing the term —
+        it advances exactly when the term's snapshots (and hence its
+        patterns or postings) can have changed.  Documents *without*
+        the term never move it: feeding a tracker additional empty
+        snapshots cannot create, destroy or rescore a maximal window,
+        so per-term caches keyed on this counter stay consistent.
+        """
+        return len(self._term_docs.get(term, ()))
+
+    def documents_with(self, term: str, start: int = 0) -> List[Document]:
+        """Documents containing the term, in arrival order.
+
+        Args:
+            term: The term to look up.
+            start: Skip this many leading documents — pass a cursor
+                from a previous :meth:`term_version` read to fetch only
+                the documents ingested since, without copying the full
+                history.
+        """
+        documents = self._term_docs.get(term)
+        if documents is None:
+            return []
+        return documents[start:]
+
+    def document(self, doc_id: Hashable) -> Document:
+        """Look up an ingested document by id.
+
+        Raises:
+            StreamError: for an unknown id.
+        """
+        document = self._docs_by_id.get(doc_id)
+        if document is None:
+            raise StreamError(f"unknown document {doc_id!r}")
+        return document
+
+    def __len__(self) -> int:
+        """Number of streams, mirroring the wrapped collection."""
+        return len(self._inner)

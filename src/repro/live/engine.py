@@ -1,0 +1,235 @@
+"""Live bursty-document search over a continuously-ingesting collection.
+
+:class:`LiveSearchEngine` is the serving-path counterpart of the static
+:class:`~repro.search.engine.BurstySearchEngine`: same scoring model
+(Eq. 10/11 — relevance × aggregated overlapping-pattern burstiness,
+top-k via the Threshold Algorithm), but every derived structure is
+maintained incrementally:
+
+* **patterns** are lazily re-mined per term through an
+  :class:`~repro.pipeline.incremental.IncrementalFeeder` — sealed
+  snapshots are committed into a durable
+  :class:`~repro.core.stlocal.STLocalTermTracker`, the open snapshot is
+  previewed on a fork;
+* **posting lists** live in a :class:`~repro.live.index.LiveIndex`:
+  when a term's pattern set is unchanged, documents ingested since the
+  last sync are scored against it and appended as a delta (``O(new
+  docs)``); when the pattern set shifted, that term's list — and only
+  that term's — is rebuilt;
+* **consistency** is tracked per term with
+  :meth:`~repro.live.collection.LiveCollection.term_version`: a term's
+  cached state is provably current unless a document *containing the
+  term* arrived, because documents without it cannot move the term's
+  snapshots, patterns or postings;
+* **results** are memoised in a bounded LRU keyed on
+  ``(query terms, k, epoch)`` — any ingest bumps the epoch, so a stale
+  entry can never be served, and old-epoch entries age out of the
+  bounded cache.
+
+Every answer is byte-identical to rebuilding a fresh collection, batch
+mining it, and querying a static engine — the differential harness in
+``tests/test_live_differential.py`` is the acceptance oracle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import STLocalConfig
+from repro.core.patterns import RegionalPattern
+from repro.errors import SearchError
+from repro.live.collection import LiveCollection
+from repro.live.index import LiveIndex
+from repro.pipeline.incremental import IncrementalFeeder
+from repro.search.engine import SearchResult, _default_aggregate, score_posting
+from repro.search.inverted_index import Posting
+from repro.search.relevance import RelevanceFunction, log_relevance
+from repro.search.threshold_algorithm import threshold_topk
+from repro.streams.document import Document, tokenize
+
+__all__ = ["LiveSearchEngine", "ServingStats"]
+
+
+@dataclasses.dataclass
+class ServingStats:
+    """Serving-path counters (observability for the live layer).
+
+    Attributes:
+        cache_hits: Queries answered from the LRU result cache.
+        cache_misses: Queries that ran the Threshold Algorithm.
+        rebuilds: Full per-term posting-list rebuilds (pattern shift).
+        delta_updates: Incremental per-term delta appends.
+        served_current: Terms served from an already-current state.
+    """
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    rebuilds: int = 0
+    delta_updates: int = 0
+    served_current: int = 0
+
+
+@dataclasses.dataclass
+class _TermState:
+    """Per-term sync point between collection, patterns and postings."""
+
+    patterns: List[RegionalPattern]
+    version: int  # LiveCollection.term_version at last sync
+    doc_cursor: int  # documents_with(term) prefix already indexed
+
+
+class LiveSearchEngine:
+    """Incrementally-maintained top-k serving over regional patterns.
+
+    Args:
+        live: The ingesting collection to serve from.
+        relevance: Per-term relevance function (default log).
+        aggregate: Aggregation of overlapping-pattern scores (default
+            max, the paper's best setting).
+        config: STLocal settings for the live miners.
+        cache_size: Capacity of the LRU result cache.
+        compaction_threshold: Delta size that triggers a posting-list
+            compaction (see :class:`~repro.live.index.LiveIndex`).
+    """
+
+    def __init__(
+        self,
+        live: LiveCollection,
+        relevance: RelevanceFunction = log_relevance,
+        aggregate: Callable[[Sequence[float]], float] = _default_aggregate,
+        config: Optional[STLocalConfig] = None,
+        cache_size: int = 128,
+        compaction_threshold: int = 32,
+    ) -> None:
+        if cache_size < 1:
+            raise SearchError("cache_size must be >= 1")
+        self.live = live
+        self.relevance = relevance
+        self.aggregate = aggregate
+        self.config = config
+        self._feeder: Optional[IncrementalFeeder] = None
+        self.index = LiveIndex(compaction_threshold)
+        self.stats = ServingStats()
+        self._states: Dict[str, _TermState] = {}
+        self._cache: "OrderedDict[Tuple, List[SearchResult]]" = OrderedDict()
+        self._cache_size = cache_size
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def search(self, query: str, k: int = 10) -> List[SearchResult]:
+        """Top-k bursty documents for a text query, served live.
+
+        Raises:
+            SearchError: on an empty query or non-positive ``k``.
+        """
+        terms = list(tokenize(query))
+        if not terms:
+            raise SearchError("empty query")
+        key = (tuple(terms), k, self.live.epoch)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.stats.cache_hits += 1
+            return list(cached)
+        self.stats.cache_misses += 1
+        lists = [self._term_list(term) for term in terms]
+        ranked, _ = threshold_topk(lists, k)
+        results = [
+            SearchResult(
+                document=self.live.document(result.doc_id), score=result.score
+            )
+            for result in ranked
+        ]
+        self._cache[key] = results
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return list(results)
+
+    def patterns_for(self, term: str) -> List[RegionalPattern]:
+        """The term's current regional patterns (re-mined if stale)."""
+        self._sync_term(term)
+        return list(self._states[term].patterns)
+
+    @property
+    def cached_queries(self) -> int:
+        """Entries currently held by the LRU result cache."""
+        return len(self._cache)
+
+    @property
+    def feeder(self) -> IncrementalFeeder:
+        """The per-term tracker feeder, bound to the final stream set.
+
+        Streams are frozen once ingestion starts, so the feeder is
+        (re)created while the collection is still empty and stable from
+        the first ingest on — discarding a pre-ingest feeder loses
+        nothing, its trackers can only ever have seen empty prefixes.
+        """
+        if self._feeder is None or len(self._feeder.locations) != len(self.live):
+            # A length mismatch proves the feeder predates stream
+            # registration (streams freeze at the first ingest), so its
+            # trackers can only have seen empty prefixes.
+            self._feeder = IncrementalFeeder(self.live.locations(), self.config)
+        return self._feeder
+
+    # ------------------------------------------------------------------
+    # Per-term maintenance
+    # ------------------------------------------------------------------
+    def _term_list(self, term: str):
+        self._sync_term(term)
+        return self.index.get(term)
+
+    def _sync_term(self, term: str) -> None:
+        """Bring one term's patterns + postings up to the current epoch."""
+        state = self._states.get(term)
+        version = self.live.term_version(term)
+        if state is not None and state.version == version:
+            self.stats.served_current += 1
+            return
+
+        patterns = self._mine(term)
+        if state is None or patterns != state.patterns:
+            # Pattern shift (or first touch): every existing posting's
+            # burstiness factor may have changed — rebuild this term.
+            documents = self.live.documents_with(term)
+            self.index.set_base(term, self._score(documents, term, patterns))
+            self._states[term] = _TermState(
+                patterns=patterns, version=version, doc_cursor=len(documents)
+            )
+            self.stats.rebuilds += 1
+            return
+        # Same pattern set: only the documents ingested since the last
+        # sync need scoring; they join the term's delta.
+        fresh = self.live.documents_with(term, start=state.doc_cursor)
+        self.index.append_delta(term, self._score(fresh, term, patterns))
+        state.version = version
+        state.doc_cursor += len(fresh)
+        self.stats.delta_updates += 1
+
+    def _mine(self, term: str) -> List[RegionalPattern]:
+        return self.feeder.mine_term(
+            term,
+            self.live.term_snapshots(term),
+            sealed=self.live.sealed,
+            through=self.live.watermark + 1,
+        )
+
+    def _score(
+        self,
+        documents: Sequence[Document],
+        term: str,
+        patterns: Sequence[RegionalPattern],
+    ) -> List[Posting]:
+        """Eq. 10/11 postings, via the engines' shared scoring helper."""
+        postings: List[Posting] = []
+        if not patterns:
+            return postings
+        for document in documents:
+            posting = score_posting(
+                document, term, patterns, self.relevance, self.aggregate
+            )
+            if posting is not None:
+                postings.append(posting)
+        return postings

@@ -1,0 +1,210 @@
+"""Live inverted index: base posting lists plus query-merged deltas.
+
+A static :class:`~repro.search.inverted_index.PostingList` costs
+``O(n log n)`` to rebuild, so re-sorting a term's full list on every
+ingested document would make ingestion cost proportional to the corpus.
+:class:`LiveIndex` instead keeps, per term, an immutable *base* list
+plus a small sorted *delta* of postings appended since the base was
+built; reads go through :class:`DeltaPostingList`, a lazy two-way merge
+that exposes the exact access protocol the Threshold Algorithm needs
+(sorted access, random access, iteration).  One new document therefore
+costs ``O(|terms(d)| · log delta)``, and a query pays only for the
+merge prefix TA actually descends.
+
+When a term's delta outgrows ``compaction_threshold`` the two lists are
+compacted into a fresh base — the classic LSM trade-off in miniature.
+
+The merge is *order-exact*: base and delta are each sorted by the same
+``(-score, tiebreak)`` key as a from-scratch
+:class:`~repro.search.inverted_index.PostingList`, and ties across the
+boundary prefer the base side (matching Python's stable sort over
+base-then-delta input), so a merged view is indistinguishable from a
+cold rebuild — the property the differential tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SearchError
+from repro.search.inverted_index import Posting, PostingList, rank_tiebreak
+
+__all__ = ["DeltaPostingList", "LiveIndex"]
+
+
+def _order_key(posting: Posting) -> Tuple[float, int]:
+    return (-posting.score, rank_tiebreak(posting.doc_id))
+
+
+class DeltaPostingList:
+    """Read-only merged view over a base posting list and its delta.
+
+    The merge is materialised lazily, one rank at a time, as sorted
+    access descends — TA usually stops after a short prefix, so most of
+    the merge is never paid for.
+    """
+
+    def __init__(self, base: PostingList, delta: PostingList) -> None:
+        self._base = base
+        self._delta = delta
+        self._merged: List[Posting] = []
+        self._base_rank = 0
+        self._delta_rank = 0
+
+    def __len__(self) -> int:
+        return len(self._base) + len(self._delta)
+
+    def __iter__(self) -> Iterator[Posting]:
+        self._extend_to(len(self) - 1)
+        return iter(self._merged)
+
+    def _extend_to(self, rank: int) -> None:
+        while len(self._merged) <= rank:
+            head_base = self._base.sorted_access(self._base_rank)
+            head_delta = self._delta.sorted_access(self._delta_rank)
+            if head_base is None and head_delta is None:
+                return
+            if head_delta is None or (
+                head_base is not None
+                and _order_key(head_base) <= _order_key(head_delta)
+            ):
+                self._merged.append(head_base)
+                self._base_rank += 1
+            else:
+                self._merged.append(head_delta)
+                self._delta_rank += 1
+
+    def sorted_access(self, rank: int) -> Optional[Posting]:
+        """The posting at a merged rank, or ``None`` past the end."""
+        self._extend_to(rank)
+        if rank < len(self._merged):
+            return self._merged[rank]
+        return None
+
+    def random_access(self, doc_id: Hashable) -> Optional[float]:
+        """Score of a document in either side, or ``None`` if absent."""
+        score = self._delta.random_access(doc_id)
+        if score is not None:
+            return score
+        return self._base.random_access(doc_id)
+
+    def top(self, k: int) -> List[Posting]:
+        """The ``k`` best postings of the merged view."""
+        self._extend_to(k - 1)
+        return self._merged[:k]
+
+    def compact(self) -> PostingList:
+        """Materialise the merge into a plain posting list.
+
+        The merged sequence is already in posting-list order, so the
+        constructor's stable sort preserves it exactly.
+        """
+        self._extend_to(len(self) - 1)
+        return PostingList(self._merged)
+
+
+#: What a read can return: a plain list (no pending delta) or a merge.
+LivePostingList = Union[PostingList, DeltaPostingList]
+
+
+class LiveIndex:
+    """Term → (base posting list, delta) map with query-time merging.
+
+    Args:
+        compaction_threshold: Compact a term once its delta holds this
+            many postings (the merged read path stays exact either way;
+            compaction just restores ``O(1)`` sorted access).
+    """
+
+    def __init__(self, compaction_threshold: int = 32) -> None:
+        if compaction_threshold < 1:
+            raise SearchError("compaction_threshold must be >= 1")
+        self.compaction_threshold = compaction_threshold
+        self._base: Dict[str, PostingList] = {}
+        self._delta: Dict[str, List[Posting]] = {}
+        self._delta_ids: Dict[str, set] = {}
+        self.compactions = 0
+
+    # ------------------------------------------------------------------
+    def __contains__(self, term: str) -> bool:
+        return term in self._base
+
+    def __len__(self) -> int:
+        return len(self._base)
+
+    def terms(self) -> List[str]:
+        """All indexed terms."""
+        return list(self._base)
+
+    def delta_size(self, term: str) -> int:
+        """Pending (un-compacted) postings of a term."""
+        return len(self._delta.get(term, ()))
+
+    # ------------------------------------------------------------------
+    def set_base(self, term: str, postings: Sequence[Posting]) -> None:
+        """(Re)build a term's base list, dropping any pending delta."""
+        self._base[term] = PostingList(postings)
+        self._delta.pop(term, None)
+        self._delta_ids.pop(term, None)
+
+    def append_delta(self, term: str, postings: Sequence[Posting]) -> None:
+        """Append freshly-scored postings to a term's delta.
+
+        The term must already have a base list (possibly empty) — the
+        delta is meaningful only relative to one.
+
+        Raises:
+            SearchError: for an unindexed term or a duplicate document.
+        """
+        if term not in self._base:
+            raise SearchError(
+                f"term {term!r} has no base posting list; call set_base first"
+            )
+        if not postings:
+            return
+        base = self._base[term]
+        known = self._delta_ids.setdefault(term, set())
+        batch_ids = set()
+        for posting in postings:
+            if (
+                posting.doc_id in batch_ids
+                or posting.doc_id in known
+                or base.random_access(posting.doc_id) is not None
+            ):
+                raise SearchError(
+                    f"document {posting.doc_id!r} already indexed for "
+                    f"term {term!r}"
+                )
+            batch_ids.add(posting.doc_id)
+        # Validated as a whole before any mutation: a bad batch leaves
+        # the delta untouched.
+        self._delta.setdefault(term, []).extend(postings)
+        known.update(batch_ids)
+        if len(self._delta[term]) >= self.compaction_threshold:
+            self._compact(term)
+
+    def invalidate(self, term: str) -> bool:
+        """Drop a term entirely; True when it was indexed."""
+        self._delta.pop(term, None)
+        self._delta_ids.pop(term, None)
+        return self._base.pop(term, None) is not None
+
+    # ------------------------------------------------------------------
+    def get(self, term: str) -> Optional[LivePostingList]:
+        """The term's current postings view, or ``None`` if unindexed."""
+        base = self._base.get(term)
+        if base is None:
+            return None
+        delta = self._delta.get(term)
+        if not delta:
+            return base
+        return DeltaPostingList(base, PostingList(delta))
+
+    # ------------------------------------------------------------------
+    def _compact(self, term: str) -> None:
+        merged = DeltaPostingList(
+            self._base[term], PostingList(self._delta.pop(term))
+        ).compact()
+        self._base[term] = merged
+        self._delta_ids.pop(term, None)
+        self.compactions += 1

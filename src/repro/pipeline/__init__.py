@@ -5,9 +5,14 @@ frequency tensor — a single pass over the timeline feeds all STLocal
 trackers — and optionally shards terms across worker processes for
 STComb and STLocal alike.  :meth:`repro.core.STLocal.mine` and
 :meth:`repro.core.STComb.mine` delegate here.
+
+:class:`IncrementalFeeder` is the live counterpart: per-term durable
+trackers advanced snapshot-by-snapshot as documents arrive, with
+fork-based previews over still-open snapshots (see :mod:`repro.live`).
 """
 
 from repro.pipeline.batch import BatchMiner
+from repro.pipeline.incremental import IncrementalFeeder
 from repro.pipeline.sharding import mine_shards, split_terms
 
-__all__ = ["BatchMiner", "mine_shards", "split_terms"]
+__all__ = ["BatchMiner", "IncrementalFeeder", "mine_shards", "split_terms"]

@@ -1,0 +1,167 @@
+"""Incremental snapshot feed for live STLocal mining.
+
+The batch pipeline (:mod:`repro.pipeline.batch`) replays a *finished*
+timeline; the live serving layer (:mod:`repro.live`) instead receives
+documents continuously and must keep per-term trackers current without
+rescanning history.  This module provides that feed path:
+
+* one durable :class:`~repro.core.stlocal.STLocalTermTracker` per term,
+  created lazily and advanced snapshot-by-snapshot through the *sealed*
+  prefix of the timeline (timestamps no future document can touch);
+* :meth:`IncrementalFeeder.preview` — a fork of the durable tracker fed
+  through the still-open snapshots, so queries see patterns that
+  include the freshest data while the durable tracker stays rewindable
+  at its sealed checkpoint (open snapshots can still gain documents,
+  and a tracker cannot reprocess a snapshot);
+* the same two structural optimisations as the batch sweep: quiet
+  prefixes are skipped with
+  :meth:`~repro.core.stlocal.STLocalTermTracker.fast_forward`, and one
+  shared :class:`~repro.spatial.index.SpatialIndex` serves every
+  tracker.
+
+Patterns read off a preview are identical to a cold batch rebuild of
+the same collection — the differential tests
+(``tests/test_live_differential.py``) hold the two paths byte-equal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Optional
+
+from repro.core.config import STLocalConfig
+from repro.core.patterns import RegionalPattern
+from repro.core.stlocal import STLocalTermTracker
+from repro.errors import StreamError
+from repro.spatial.geometry import Point
+from repro.spatial.index import SpatialIndex
+
+__all__ = ["IncrementalFeeder"]
+
+#: term → timestamp → stream → frequency (the live tensor slice shape).
+TermSnapshots = Mapping[int, Mapping[Hashable, float]]
+
+
+class IncrementalFeeder:
+    """Per-term durable trackers advanced snapshot-by-snapshot.
+
+    Args:
+        locations: Geostamp of every stream; fixed for the feeder's
+            lifetime (trackers share one immutable map).
+        config: STLocal settings shared by all trackers.
+    """
+
+    def __init__(
+        self,
+        locations: Dict[Hashable, Point],
+        config: Optional[STLocalConfig] = None,
+    ) -> None:
+        self.locations = dict(locations)
+        self.config = config if config is not None else STLocalConfig()
+        self._index: Optional[SpatialIndex] = None
+        if len(self.locations) > STLocalTermTracker.INDEX_THRESHOLD:
+            self._index = SpatialIndex(list(self.locations.items()))
+        self._trackers: Dict[str, STLocalTermTracker] = {}
+
+    # ------------------------------------------------------------------
+    def tracker(self, term: str) -> STLocalTermTracker:
+        """The durable tracker of a term (created pristine on demand)."""
+        tracker = self._trackers.get(term)
+        if tracker is None:
+            tracker = STLocalTermTracker(
+                self.locations,
+                config=self.config,
+                index=self._index,
+                copy_locations=False,
+            )
+            self._trackers[term] = tracker
+        return tracker
+
+    def terms(self) -> List[str]:
+        """Terms with a durable tracker."""
+        return list(self._trackers)
+
+    # ------------------------------------------------------------------
+    def advance(
+        self, term: str, snapshots: TermSnapshots, through: int
+    ) -> STLocalTermTracker:
+        """Feed the durable tracker every snapshot in ``[clock, through)``.
+
+        Only *sealed* timestamps belong here: once processed, a snapshot
+        cannot be amended.  ``through`` therefore must not exceed the
+        caller's sealed watermark.
+
+        Args:
+            term: The term being advanced.
+            snapshots: The term's sparse per-timestamp slices (absent
+                timestamps are empty snapshots).
+            through: Advance the clock to this timestamp (exclusive).
+
+        Returns:
+            The durable tracker, at ``clock >= through``.
+
+        Raises:
+            StreamError: when ``through`` is behind the tracker's clock
+                by way of a snapshot map that rewrites history (the
+                tracker itself rejects backwards feeds).
+        """
+        tracker = self.tracker(term)
+        self._feed(tracker, term, snapshots, through)
+        return tracker
+
+    def preview(
+        self, term: str, snapshots: TermSnapshots, through: int
+    ) -> STLocalTermTracker:
+        """Fork the durable tracker and feed it through open snapshots.
+
+        The fork is advanced over ``[clock, through)`` — typically the
+        single still-open snapshot at the ingestion watermark — and
+        returned for pattern reads; the durable tracker is untouched.
+        """
+        fork = self.tracker(term).fork()
+        self._feed(fork, term, snapshots, through)
+        return fork
+
+    def mine_term(
+        self, term: str, snapshots: TermSnapshots, sealed: int, through: int
+    ) -> List[RegionalPattern]:
+        """Current patterns of a term: commit sealed, preview the rest.
+
+        Args:
+            term: The term to mine.
+            snapshots: Its sparse per-timestamp slices.
+            sealed: Sealed watermark — the durable tracker is committed
+                through here (exclusive).
+            through: Preview horizon (exclusive), covering the open
+                snapshots; must be ``>= sealed``.
+        """
+        if through < sealed:
+            raise StreamError(
+                f"preview horizon {through} behind sealed watermark {sealed}"
+            )
+        self.advance(term, snapshots, sealed)
+        if through == sealed:
+            return self.tracker(term).patterns(term)
+        return self.preview(term, snapshots, through).patterns(term)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _feed(
+        tracker: STLocalTermTracker,
+        term: str,
+        snapshots: TermSnapshots,
+        through: int,
+    ) -> None:
+        if tracker.clock >= through:
+            return
+        if tracker.pristine:
+            # Quiet-prefix skip, exactly as the batch sweep does it: an
+            # empty snapshot before the first observation is a strict
+            # no-op, so jump straight to the first active timestamp.
+            active = [
+                timestamp
+                for timestamp, slice_ in snapshots.items()
+                if tracker.clock <= timestamp < through and slice_
+            ]
+            tracker.fast_forward(min(active) if active else through)
+        for timestamp in range(tracker.clock, through):
+            tracker.process(dict(snapshots.get(timestamp, {})))

@@ -37,6 +37,7 @@ __all__ = [
     "BurstySearchEngine",
     "TemporalSearchEngine",
     "TemporalPattern",
+    "score_posting",
 ]
 
 
@@ -69,6 +70,31 @@ def _default_aggregate(scores: Sequence[float]) -> float:
     return max(scores)
 
 
+def score_posting(
+    document: Document,
+    term: str,
+    patterns: Sequence,
+    relevance: RelevanceFunction,
+    aggregate: Callable[[Sequence[float]], float],
+) -> Optional[Posting]:
+    """One document's per-term posting (Eq. 10/11), or ``None`` if excluded.
+
+    The single source of truth for posting scores: the static engines
+    and the live serving layer (:mod:`repro.live`) all call this, which
+    is what keeps their outputs byte-identical — the contract the
+    differential tests enforce.
+    """
+    overlapping = [
+        pattern.score for pattern in patterns if pattern.overlaps(document)
+    ]
+    if not overlapping:
+        return None  # burstiness = −∞ → excluded (Eq. 11)
+    return Posting(
+        doc_id=document.doc_id,
+        score=relevance(document, term) * aggregate(overlapping),
+    )
+
+
 class _PatternEngineBase:
     """Shared machinery: postings construction + TA querying."""
 
@@ -82,10 +108,33 @@ class _PatternEngineBase:
         self.relevance = relevance
         self.aggregate = aggregate
         self._index = InvertedIndex()
+        self._doc_map: Optional[Dict[Hashable, Document]] = None
+        self._built_version = collection.version
 
     # -- pattern access ------------------------------------------------
     def patterns_for(self, term: str) -> Sequence:
         raise NotImplementedError
+
+    # -- staleness -----------------------------------------------------
+    def _check_freshness(self) -> None:
+        """Invalidate every derived view when the collection changed.
+
+        Posting lists, the document map and pattern caches are all
+        functions of the collection's contents; serving them across a
+        mutation silently returns stale results.  The static engines
+        rebuild from scratch on the next query — the incremental path
+        lives in :mod:`repro.live`.
+        """
+        version = self.collection.version
+        if version == self._built_version:
+            return
+        self._index.clear()
+        self._doc_map = None
+        self._invalidate_patterns()
+        self._built_version = version
+
+    def _invalidate_patterns(self) -> None:
+        """Hook for engines with collection-derived pattern caches."""
 
     # -- index construction --------------------------------------------
     def _posting_list(self, term: str):
@@ -98,18 +147,11 @@ class _PatternEngineBase:
             for document in self.collection.documents():
                 if document.frequency(term) == 0:
                     continue
-                overlapping = [
-                    pattern.score
-                    for pattern in patterns
-                    if pattern.overlaps(document)
-                ]
-                if not overlapping:
-                    continue  # burstiness = −∞ → excluded (Eq. 11)
-                burstiness = self.aggregate(overlapping)
-                relevance = self.relevance(document, term)
-                postings.append(
-                    Posting(doc_id=document.doc_id, score=relevance * burstiness)
+                posting = score_posting(
+                    document, term, patterns, self.relevance, self.aggregate
                 )
+                if posting is not None:
+                    postings.append(posting)
         return self._index.add(term, postings)
 
     # -- querying --------------------------------------------------------
@@ -127,6 +169,7 @@ class _PatternEngineBase:
         terms = list(tokenize(query))
         if not terms:
             raise SearchError("empty query")
+        self._check_freshness()
         lists = [self._posting_list(term) for term in terms]
         results, _ = threshold_topk(lists, k)
         documents = self._documents_by_id_map()
@@ -136,14 +179,12 @@ class _PatternEngineBase:
         ]
 
     def _documents_by_id_map(self) -> Dict[Hashable, Document]:
-        cached = getattr(self, "_doc_map", None)
-        if cached is None:
-            cached = {
+        if self._doc_map is None:
+            self._doc_map = {
                 document.doc_id: document
                 for document in self.collection.documents()
             }
-            self._doc_map = cached
-        return cached
+        return self._doc_map
 
 
 class BurstySearchEngine(_PatternEngineBase):
@@ -196,6 +237,7 @@ class BurstySearchEngine(_PatternEngineBase):
             Number of posting lists built (terms already indexed are
             skipped).
         """
+        self._check_freshness()
         if terms is None:
             terms = [term for term, mined in self._patterns.items() if mined]
         pending = {
@@ -206,21 +248,15 @@ class BurstySearchEngine(_PatternEngineBase):
         postings: Dict[str, List[Posting]] = {term: [] for term in pending}
         for document in self.collection.documents():
             for term in set(document.terms) & pending:
-                overlapping = [
-                    pattern.score
-                    for pattern in self._patterns.get(term, ())
-                    if pattern.overlaps(document)
-                ]
-                if not overlapping:
-                    continue  # burstiness = −∞ → excluded (Eq. 11)
-                burstiness = self.aggregate(overlapping)
-                relevance = self.relevance(document, term)
-                postings[term].append(
-                    Posting(
-                        doc_id=document.doc_id,
-                        score=relevance * burstiness,
-                    )
+                posting = score_posting(
+                    document,
+                    term,
+                    self._patterns.get(term, ()),
+                    self.relevance,
+                    self.aggregate,
                 )
+                if posting is not None:
+                    postings[term].append(posting)
         for term in pending:
             self._index.add(term, postings[term])
         return len(pending)
@@ -252,7 +288,13 @@ class TemporalSearchEngine(_PatternEngineBase):
         self.detector = detector if detector is not None else LappasBurstDetector()
         self._cache: Dict[str, List[TemporalPattern]] = {}
 
+    def _invalidate_patterns(self) -> None:
+        # Merged frequency sequences change with every appended
+        # document, so the detected temporal patterns do too.
+        self._cache.clear()
+
     def patterns_for(self, term: str) -> Sequence[TemporalPattern]:
+        self._check_freshness()
         cached = self._cache.get(term)
         if cached is not None:
             return cached

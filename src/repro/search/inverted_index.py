@@ -15,6 +15,8 @@ import dataclasses
 import zlib
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.errors import SearchError
+
 __all__ = ["Posting", "PostingList", "InvertedIndex", "rank_tiebreak"]
 
 
@@ -103,11 +105,39 @@ class InvertedIndex:
     def __contains__(self, term: str) -> bool:
         return term in self._lists
 
-    def add(self, term: str, postings: Sequence[Posting]) -> PostingList:
-        """Register (or replace) a term's posting list."""
+    def add(
+        self, term: str, postings: Sequence[Posting], replace: bool = False
+    ) -> PostingList:
+        """Register a term's posting list.
+
+        Args:
+            term: The term being indexed.
+            postings: Its postings (any order; sorted internally).
+            replace: Allow overwriting an existing list.  Without it, a
+                duplicate registration raises — silently replacing a
+                list discards postings another code path may still be
+                serving from.
+
+        Raises:
+            SearchError: when the term is already indexed and
+                ``replace`` is false.
+        """
+        if not replace and term in self._lists:
+            raise SearchError(
+                f"term {term!r} is already indexed; pass replace=True "
+                "(or discard() it first) to rebuild its posting list"
+            )
         posting_list = PostingList(postings)
         self._lists[term] = posting_list
         return posting_list
+
+    def discard(self, term: str) -> bool:
+        """Drop one term's posting list; True when it existed."""
+        return self._lists.pop(term, None) is not None
+
+    def clear(self) -> None:
+        """Drop every posting list (collection-level invalidation)."""
+        self._lists.clear()
 
     def get(self, term: str) -> Optional[PostingList]:
         """The posting list of a term, or ``None`` if not indexed."""

@@ -8,7 +8,17 @@ STComb, and whole-collection views for the search engine.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
@@ -38,6 +48,31 @@ class SpatiotemporalCollection:
         self._streams: Dict[Hashable, DocumentStream] = {}
         self._vocabulary: Set[str] = set()
         self._document_count = 0
+        self._version = 0
+        self._listeners: List[Callable[[Document], None]] = []
+
+    # ------------------------------------------------------------------
+    # Mutation tracking
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped by every stream or document added.
+
+        Anything that derives state from the collection (document maps,
+        posting lists, pattern caches) can compare versions to detect
+        that its derived view has gone stale.
+        """
+        return self._version
+
+    def subscribe(self, listener: Callable[[Document], None]) -> None:
+        """Register a callback invoked after every document append.
+
+        Listeners receive the document *after* it has been routed to its
+        stream, so they observe a consistent collection — a push-based
+        alternative to polling :attr:`version` for derived views that
+        must react to appends (metrics, replication, cache warming).
+        """
+        self._listeners.append(listener)
 
     # ------------------------------------------------------------------
     # Construction
@@ -57,6 +92,7 @@ class SpatiotemporalCollection:
             raise StreamError(f"stream {stream_id!r} already registered")
         stream = DocumentStream(stream_id, location, latlon=latlon)
         self._streams[stream_id] = stream
+        self._version += 1
         return stream
 
     def add_document(self, document: Document) -> None:
@@ -76,6 +112,9 @@ class SpatiotemporalCollection:
         self._streams[document.stream_id].add(document)
         self._vocabulary.update(document.terms)
         self._document_count += 1
+        self._version += 1
+        for listener in self._listeners:
+            listener(document)
 
     # ------------------------------------------------------------------
     # Stream access

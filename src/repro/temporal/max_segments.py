@@ -135,6 +135,19 @@ class OnlineMaxSegments:
         for value in values:
             self.add(value)
 
+    def fork(self) -> "OnlineMaxSegments":
+        """An independent copy that can be advanced without affecting this one.
+
+        Candidates are immutable once integrated (``_integrate`` only
+        appends fresh instances and truncates the list), so a shallow
+        copy of the candidate list is a full state copy.
+        """
+        clone = OnlineMaxSegments()
+        clone._cumulative = self._cumulative
+        clone._length = self._length
+        clone._candidates = list(self._candidates)
+        return clone
+
     def _integrate(self, candidate: _Candidate) -> None:
         """Merge a new candidate into the list (the Appendix-C loop)."""
         candidates = self._candidates

@@ -1,0 +1,448 @@
+"""Unit tests for the live ingestion + serving layer."""
+
+import pytest
+
+from repro.core.config import STLocalConfig
+from repro.core.stlocal import STLocalTermTracker
+from repro.errors import SearchError, StreamError
+from repro.live import DeltaPostingList, LiveCollection, LiveIndex, LiveSearchEngine
+from repro.pipeline import IncrementalFeeder
+from repro.search import Posting, PostingList, exhaustive_topk, threshold_topk
+from repro.spatial import Point
+from repro.streams import Document
+
+
+def make_live(timeline=16, n_streams=4):
+    live = LiveCollection(timeline)
+    for i in range(n_streams):
+        live.add_stream(f"s{i}", Point(float(i * 10), 0.0))
+    return live
+
+
+class TestLiveCollection:
+    def test_epoch_bumps_on_every_mutation(self):
+        live = make_live()
+        epoch = live.epoch
+        live.ingest(Document(1, "s0", 0, ("a",)))
+        assert live.epoch == epoch + 1
+        live.advance_to(3)
+        assert live.epoch == epoch + 2
+        live.advance_to(3)  # no-op: already there
+        assert live.epoch == epoch + 2
+
+    def test_watermark_and_sealing(self):
+        live = make_live()
+        assert live.watermark == -1 and live.sealed == 0
+        live.ingest(Document(1, "s0", 2, ("a",)))
+        assert live.watermark == 2 and live.sealed == 2
+        # Same-timestamp arrivals are fine: the snapshot is still open.
+        live.ingest(Document(2, "s1", 2, ("a",)))
+        live.ingest(Document(3, "s0", 5, ("b",)))
+        # Now snapshot 2 is sealed.
+        with pytest.raises(StreamError):
+            live.ingest(Document(4, "s0", 2, ("a",)))
+
+    def test_duplicate_doc_id_rejected(self):
+        live = make_live()
+        live.ingest(Document(1, "s0", 0, ("a",)))
+        with pytest.raises(StreamError):
+            live.ingest(Document(1, "s1", 0, ("a",)))
+
+    def test_streams_frozen_after_first_ingest(self):
+        live = make_live()
+        live.ingest(Document(1, "s0", 0, ("a",)))
+        with pytest.raises(StreamError):
+            live.add_stream("late", Point(99.0, 99.0))
+
+    def test_ingest_snapshot_checks_timestamps(self):
+        live = make_live()
+        docs = [Document(1, "s0", 3, ("a",)), Document(2, "s1", 4, ("a",))]
+        with pytest.raises(StreamError):
+            live.ingest_snapshot(3, docs)
+
+    def test_empty_snapshot_advances_watermark(self):
+        live = make_live()
+        live.ingest_snapshot(0, [Document(1, "s0", 0, ("a",))])
+        live.ingest_snapshot(4, [])
+        assert live.watermark == 4
+
+    def test_advance_validates_bounds(self):
+        live = make_live(timeline=8)
+        live.advance_to(5)
+        with pytest.raises(StreamError):
+            live.advance_to(3)
+        with pytest.raises(StreamError):
+            live.advance_to(8)
+
+    def test_term_views_maintained_incrementally(self):
+        live = make_live()
+        live.ingest(Document(1, "s0", 1, ("a", "a", "b")))
+        live.ingest(Document(2, "s1", 1, ("a",)))
+        live.ingest(Document(3, "s0", 4, ("a",)))
+        assert live.term_snapshots("a") == {
+            1: {"s0": 2.0, "s1": 1.0},
+            4: {"s0": 1.0},
+        }
+        assert live.term_version("a") == 3
+        assert live.term_version("b") == 1
+        assert live.term_version("zzz") == 0
+        assert [d.doc_id for d in live.documents_with("a")] == [1, 2, 3]
+        assert live.document(2).stream_id == "s1"
+        with pytest.raises(StreamError):
+            live.document("nope")
+
+    def test_collection_accessors(self):
+        live = make_live(timeline=16, n_streams=3)
+        live.ingest(Document(1, "s0", 2, ("a", "b")))
+        assert live.timeline == 16
+        assert len(live) == 3
+        assert live.document_count == 1
+        assert live.vocabulary == {"a", "b"}
+        assert set(live.locations()) == {"s0", "s1", "s2"}
+        assert live.collection.document_count == 1
+
+    def test_subscribe_hook_fires(self):
+        live = make_live()
+        seen = []
+        live.subscribe(lambda doc: seen.append(doc.doc_id))
+        live.ingest(Document(1, "s0", 0, ("a",)))
+        live.ingest(Document(2, "s1", 0, ("b",)))
+        assert seen == [1, 2]
+
+
+def _as_pairs(plist):
+    return [(p.doc_id, p.score) for p in plist]
+
+
+class TestDeltaPostingList:
+    def test_merge_order_matches_cold_rebuild(self):
+        base_postings = [Posting("a", 3.0), Posting("b", 1.0), Posting("c", 2.0)]
+        delta_postings = [Posting("d", 2.5), Posting("e", 0.5)]
+        merged = DeltaPostingList(
+            PostingList(base_postings), PostingList(delta_postings)
+        )
+        cold = PostingList(base_postings + delta_postings)
+        assert _as_pairs(merged) == _as_pairs(cold)
+        assert len(merged) == 5
+
+    def test_sorted_access_lazy_and_past_end(self):
+        merged = DeltaPostingList(
+            PostingList([Posting("a", 1.0)]), PostingList([Posting("b", 2.0)])
+        )
+        assert merged.sorted_access(0).doc_id == "b"
+        assert merged.sorted_access(1).doc_id == "a"
+        assert merged.sorted_access(2) is None
+
+    def test_random_access_covers_both_sides(self):
+        merged = DeltaPostingList(
+            PostingList([Posting("a", 1.0)]), PostingList([Posting("b", 2.0)])
+        )
+        assert merged.random_access("a") == 1.0
+        assert merged.random_access("b") == 2.0
+        assert merged.random_access("zzz") is None
+
+    def test_duplicate_scores_keep_deterministic_order(self):
+        # Equal scores: the tiebreak hash decides, exactly as in a
+        # from-scratch posting list.
+        postings = [Posting(f"doc{i}", 1.0) for i in range(6)]
+        merged = DeltaPostingList(
+            PostingList(postings[:3]), PostingList(postings[3:])
+        )
+        assert _as_pairs(merged) == _as_pairs(PostingList(postings))
+
+    def test_top_and_compact(self):
+        merged = DeltaPostingList(
+            PostingList([Posting("a", 3.0), Posting("b", 1.0)]),
+            PostingList([Posting("c", 2.0)]),
+        )
+        assert [p.doc_id for p in merged.top(2)] == ["a", "c"]
+        compacted = merged.compact()
+        assert isinstance(compacted, PostingList)
+        assert _as_pairs(compacted) == [("a", 3.0), ("c", 2.0), ("b", 1.0)]
+
+
+class TestLiveIndex:
+    def test_delta_requires_base(self):
+        index = LiveIndex()
+        with pytest.raises(SearchError):
+            index.append_delta("t", [Posting("a", 1.0)])
+
+    def test_index_accessors(self):
+        index = LiveIndex()
+        index.set_base("t", [Posting("a", 1.0)])
+        assert "t" in index and "u" not in index
+        assert index.terms() == ["t"]
+        assert len(index) == 1
+        assert index.delta_size("t") == 0
+
+    def test_get_without_delta_returns_plain_list(self):
+        index = LiveIndex()
+        index.set_base("t", [Posting("a", 1.0)])
+        assert isinstance(index.get("t"), PostingList)
+        assert index.get("zzz") is None
+
+    def test_delta_merged_on_read(self):
+        index = LiveIndex(compaction_threshold=100)
+        index.set_base("t", [Posting("a", 3.0)])
+        index.append_delta("t", [Posting("b", 4.0)])
+        view = index.get("t")
+        assert isinstance(view, DeltaPostingList)
+        assert _as_pairs(view) == [("b", 4.0), ("a", 3.0)]
+        assert index.delta_size("t") == 1
+
+    def test_compaction_threshold(self):
+        index = LiveIndex(compaction_threshold=3)
+        index.set_base("t", [Posting("base", 10.0)])
+        for i in range(3):
+            index.append_delta("t", [Posting(i, float(i))])
+        assert index.compactions == 1
+        assert index.delta_size("t") == 0
+        compacted = index.get("t")
+        assert isinstance(compacted, PostingList)
+        assert _as_pairs(compacted) == _as_pairs(
+            PostingList([Posting("base", 10.0)] + [Posting(i, float(i)) for i in range(3)])
+        )
+
+    def test_duplicate_documents_rejected(self):
+        index = LiveIndex()
+        index.set_base("t", [Posting("a", 1.0)])
+        with pytest.raises(SearchError):
+            index.append_delta("t", [Posting("a", 2.0)])
+        index.append_delta("t", [Posting("b", 2.0)])
+        with pytest.raises(SearchError):
+            index.append_delta("t", [Posting("b", 3.0)])
+
+    def test_duplicate_within_batch_rejected_atomically(self):
+        index = LiveIndex()
+        index.set_base("t", [Posting("a", 1.0)])
+        with pytest.raises(SearchError):
+            index.append_delta("t", [Posting("b", 2.0), Posting("b", 3.0)])
+        # The bad batch left no trace; its ids are appendable again.
+        assert index.delta_size("t") == 0
+        index.append_delta("t", [Posting("b", 2.0)])
+        assert index.delta_size("t") == 1
+
+    def test_duplicate_check_survives_compaction(self):
+        index = LiveIndex(compaction_threshold=1)
+        index.set_base("t", [])
+        index.append_delta("t", [Posting("a", 1.0)])  # compacts into base
+        with pytest.raises(SearchError):
+            index.append_delta("t", [Posting("a", 2.0)])
+
+    def test_set_base_drops_delta_and_invalidate(self):
+        index = LiveIndex()
+        index.set_base("t", [Posting("a", 1.0)])
+        index.append_delta("t", [Posting("b", 2.0)])
+        index.set_base("t", [Posting("c", 5.0)])
+        assert _as_pairs(index.get("t")) == [("c", 5.0)]
+        assert index.invalidate("t") is True
+        assert index.invalidate("t") is False
+        assert index.get("t") is None
+
+    def test_threshold_topk_over_delta_merged_lists(self):
+        """TA over a merged view must equal TA over a cold rebuild."""
+        base_a = [Posting(i, float(i % 7)) for i in range(20)]
+        delta_a = [Posting(100 + i, 6.5 - i) for i in range(8)]
+        base_b = [Posting(i, float((i * 3) % 5)) for i in range(15)]
+        delta_b = [Posting(100 + i, float(i % 4)) for i in range(8)]
+        index = LiveIndex(compaction_threshold=1000)
+        index.set_base("a", base_a)
+        index.append_delta("a", delta_a)
+        index.set_base("b", base_b)
+        index.append_delta("b", delta_b)
+        live_lists = [index.get("a"), index.get("b")]
+        cold_lists = [
+            PostingList(base_a + delta_a),
+            PostingList(base_b + delta_b),
+        ]
+        for k in (1, 3, 10, 50):
+            live_results, _ = threshold_topk(
+                [index.get("a"), index.get("b")], k
+            )
+            cold_results, _ = threshold_topk(cold_lists, k)
+            reference = exhaustive_topk(live_lists, k)
+            as_pairs = lambda rs: [(r.doc_id, r.score) for r in rs]
+            assert as_pairs(live_results) == as_pairs(cold_results)
+            assert as_pairs(live_results) == as_pairs(reference)
+
+
+class TestTrackerFork:
+    def test_fork_is_independent(self):
+        locations = {"s0": Point(0.0, 0.0), "s1": Point(5.0, 0.0)}
+        tracker = STLocalTermTracker(locations, STLocalConfig(warmup=0))
+        for t in range(6):
+            tracker.process({"s0": 4.0 if 2 <= t <= 4 else 0.0})
+        fork = tracker.fork()
+        assert fork.clock == tracker.clock
+        assert fork.patterns("x") == tracker.patterns("x")
+        # Advancing the fork must not disturb the original...
+        before = tracker.patterns("x")
+        fork.process({"s1": 9.0})
+        assert tracker.patterns("x") == before
+        assert tracker.clock == 6 and fork.clock == 7
+        # ...and replaying the same snapshot on the original converges.
+        tracker.process({"s1": 9.0})
+        assert tracker.patterns("x") == fork.patterns("x")
+
+    def test_fork_of_pristine_tracker_can_fast_forward(self):
+        tracker = STLocalTermTracker({"s0": Point(0.0, 0.0)})
+        fork = tracker.fork()
+        assert fork.pristine
+        fork.fast_forward(5)
+        assert fork.clock == 5 and tracker.clock == 0
+
+
+class TestIncrementalFeeder:
+    def test_advance_then_preview_equals_cold_replay(self):
+        locations = {f"s{i}": Point(float(i), 0.0) for i in range(3)}
+        snapshots = {
+            3: {"s0": 5.0, "s1": 4.0},
+            4: {"s0": 6.0},
+            6: {"s2": 2.0},
+        }
+        feeder = IncrementalFeeder(locations, STLocalConfig(warmup=1))
+        # Commit sealed prefix [0, 5), preview through 7.
+        patterns = feeder.mine_term("t", snapshots, sealed=5, through=7)
+        cold = STLocalTermTracker(dict(locations), STLocalConfig(warmup=1))
+        for timestamp in range(7):
+            cold.process(snapshots.get(timestamp, {}))
+        assert patterns == cold.patterns("t")
+        # The durable tracker stayed at its sealed checkpoint.
+        assert feeder.tracker("t").clock == 5
+
+    def test_preview_horizon_validated(self):
+        feeder = IncrementalFeeder({"s0": Point(0.0, 0.0)})
+        with pytest.raises(StreamError):
+            feeder.mine_term("t", {}, sealed=5, through=4)
+
+    def test_mine_term_without_open_snapshots(self):
+        locations = {"s0": Point(0.0, 0.0), "s1": Point(4.0, 0.0)}
+        snapshots = {2: {"s0": 6.0, "s1": 5.0}, 3: {"s0": 4.0}}
+        feeder = IncrementalFeeder(locations, STLocalConfig(warmup=1))
+        # sealed == through: read the durable tracker directly, no fork.
+        patterns = feeder.mine_term("t", snapshots, sealed=5, through=5)
+        cold = STLocalTermTracker(dict(locations), STLocalConfig(warmup=1))
+        for timestamp in range(5):
+            cold.process(snapshots.get(timestamp, {}))
+        assert patterns == cold.patterns("t")
+        assert feeder.terms() == ["t"]
+
+    def test_quiet_prefix_fast_forwarded(self):
+        feeder = IncrementalFeeder({"s0": Point(0.0, 0.0)})
+        tracker = feeder.advance("t", {8: {"s0": 3.0}}, through=8)
+        # Nothing was active before 8, so no snapshot was replayed.
+        assert tracker.clock == 8
+        assert tracker.pristine
+
+
+class TestLiveSearchEngine:
+    def _seed_burst(self, live, engine=None, doc_id_start=100):
+        """Docs for 'boom' bursting on s0/s1 at t∈[6,8]."""
+        doc_id = doc_id_start
+        for t in range(10):
+            docs = []
+            if 6 <= t <= 8:
+                for sid in ("s0", "s1"):
+                    docs.append(Document(doc_id, sid, t, ("boom", "boom")))
+                    doc_id += 1
+            live.ingest_snapshot(t, docs)
+        return doc_id
+
+    def test_serves_burst_documents(self):
+        live = make_live(timeline=16)
+        engine = LiveSearchEngine(live, config=STLocalConfig(warmup=2))
+        self._seed_burst(live)
+        results = engine.search("boom", k=4)
+        assert results
+        for result in results:
+            assert result.document.frequency("boom") > 0
+            assert 6 <= result.document.timestamp <= 8
+
+    def test_lru_cache_hits_within_epoch(self):
+        live = make_live(timeline=16)
+        engine = LiveSearchEngine(live, config=STLocalConfig(warmup=2))
+        self._seed_burst(live)
+        first = engine.search("boom", k=3)
+        again = engine.search("boom", k=3)
+        assert again == first
+        assert engine.stats.cache_hits == 1
+
+    def test_ingest_invalidates_result_cache(self):
+        live = make_live(timeline=16)
+        engine = LiveSearchEngine(live, config=STLocalConfig(warmup=2))
+        self._seed_burst(live)
+        engine.search("boom", k=3)
+        live.ingest(Document(999, "s0", 9, ("boom", "boom", "boom")))
+        engine.search("boom", k=3)
+        assert engine.stats.cache_hits == 0
+        assert engine.stats.cache_misses == 2
+
+    def test_lru_cache_bounded(self):
+        live = make_live(timeline=16)
+        engine = LiveSearchEngine(
+            live, config=STLocalConfig(warmup=2), cache_size=2
+        )
+        self._seed_burst(live)
+        for query in ("boom", "one", "two", "three"):
+            engine.search(query, k=3)
+        assert engine.cached_queries == 2
+
+    def test_unseen_term_served_and_synced_once(self):
+        live = make_live(timeline=16)
+        engine = LiveSearchEngine(live, config=STLocalConfig(warmup=2))
+        self._seed_burst(live)
+        assert engine.search("neverseen", k=3) == []
+        engine.search("neverseen other", k=3)
+        # Second query re-used the synced state for both terms.
+        assert engine.stats.served_current >= 1
+
+    def test_delta_path_when_patterns_stable(self):
+        live = make_live(timeline=16)
+        engine = LiveSearchEngine(live, config=STLocalConfig(warmup=8))
+        # All activity inside the warm-up window: burstiness is forced
+        # to zero, so the pattern set stays stably empty while the
+        # term's documents keep arriving.
+        live.ingest_snapshot(0, [Document(1, "s0", 0, ("calm",))])
+        engine.search("calm", k=3)
+        live.ingest_snapshot(1, [Document(2, "s0", 1, ("calm",))])
+        engine.search("calm", k=3)
+        assert engine.stats.rebuilds == 1  # the first touch
+        assert engine.stats.delta_updates == 1
+
+    def test_rebuild_on_pattern_shift(self):
+        live = make_live(timeline=16)
+        engine = LiveSearchEngine(live, config=STLocalConfig(warmup=2))
+        doc_id = self._seed_burst(live)
+        engine.search("boom", k=3)
+        rebuilds = engine.stats.rebuilds
+        # A fresh burst document shifts the term's live windows.
+        live.ingest(Document(doc_id, "s0", 9, ("boom", "boom")))
+        engine.search("boom", k=3)
+        assert engine.stats.rebuilds > rebuilds
+
+    def test_patterns_for_tracks_ingestion(self):
+        live = make_live(timeline=16)
+        engine = LiveSearchEngine(live, config=STLocalConfig(warmup=2))
+        assert engine.patterns_for("boom") == []
+        self._seed_burst(live)
+        assert engine.patterns_for("boom")
+
+    def test_engine_usable_before_streams_registered(self):
+        live = LiveCollection(8)
+        engine = LiveSearchEngine(live)
+        assert engine.search("anything", k=1) == []
+        live.add_stream("s0", Point(0.0, 0.0))
+        live.ingest(Document(1, "s0", 0, ("anything",)))
+        # The feeder rebinds to the final stream set.
+        assert engine.search("anything", k=1) == []
+        assert len(engine.feeder.locations) == 1
+
+    def test_invalid_arguments(self):
+        live = make_live()
+        with pytest.raises(SearchError):
+            LiveSearchEngine(live, cache_size=0)
+        engine = LiveSearchEngine(live)
+        with pytest.raises(SearchError):
+            engine.search("   ")
+        with pytest.raises(SearchError):
+            LiveIndex(compaction_threshold=0)

@@ -313,3 +313,148 @@ class TestTemporalSearchEngine:
         pattern = TemporalPattern("quake", Interval(5, 7), 0.5)
         assert pattern.overlaps(Document(1, "anywhere", 6, ()))
         assert not pattern.overlaps(Document(1, "anywhere", 8, ()))
+
+
+class TestPostingListEdgeCases:
+    def test_empty_list(self):
+        plist = PostingList([])
+        assert len(plist) == 0
+        assert plist.sorted_access(0) is None
+        assert plist.random_access("a") is None
+        assert plist.top(3) == []
+        assert list(plist) == []
+
+    def test_truncated_empty_list(self):
+        truncated = PostingList([]).truncated(5)
+        assert len(truncated) == 0
+        assert truncated.sorted_access(0) is None
+
+    def test_truncated_depth_zero(self):
+        plist = PostingList([Posting("a", 2.0), Posting("b", 1.0)])
+        pruned = plist.truncated(0)
+        # Sorted access sees nothing...
+        assert pruned.sorted_access(0) is None
+        assert len(pruned) == 0
+        # ...but random access still resolves every original document.
+        assert pruned.random_access("a") == 2.0
+        assert pruned.random_access("b") == 1.0
+
+    def test_truncated_depth_beyond_length(self):
+        plist = PostingList([Posting("a", 2.0), Posting("b", 1.0)])
+        pruned = plist.truncated(10)
+        assert [p.doc_id for p in pruned] == [p.doc_id for p in plist]
+
+    def test_truncated_keeps_best_prefix(self):
+        plist = PostingList(
+            [Posting("a", 1.0), Posting("b", 3.0), Posting("c", 2.0)]
+        )
+        pruned = plist.truncated(2)
+        assert [p.doc_id for p in pruned] == ["b", "c"]
+        assert pruned.random_access("a") == 1.0
+
+    def test_duplicate_scores_order_deterministic(self):
+        # Equal scores fall back to the hash tiebreak: any insertion
+        # order must produce the same ranking.
+        postings = [Posting(f"d{i}", 1.5) for i in range(8)]
+        forward = PostingList(postings)
+        backward = PostingList(list(reversed(postings)))
+        assert [p.doc_id for p in forward] == [p.doc_id for p in backward]
+
+    def test_truncation_with_duplicate_scores_stable(self):
+        postings = [Posting(f"d{i}", 1.5) for i in range(8)]
+        full_order = [p.doc_id for p in PostingList(postings)]
+        pruned = PostingList(list(reversed(postings))).truncated(3)
+        assert [p.doc_id for p in pruned] == full_order[:3]
+
+
+class TestInvertedIndexGuards:
+    def test_duplicate_add_rejected(self):
+        index = InvertedIndex()
+        index.add("t", [Posting("a", 1.0)])
+        with pytest.raises(SearchError):
+            index.add("t", [Posting("b", 2.0)])
+        # The original list survives the rejected overwrite.
+        assert index.get("t").random_access("a") == 1.0
+
+    def test_explicit_replace_allowed(self):
+        index = InvertedIndex()
+        index.add("t", [Posting("a", 1.0)])
+        index.add("t", [Posting("b", 2.0)], replace=True)
+        assert index.get("t").random_access("a") is None
+        assert index.get("t").random_access("b") == 2.0
+
+    def test_discard_and_clear(self):
+        index = InvertedIndex()
+        index.add("t", [Posting("a", 1.0)])
+        index.add("u", [Posting("b", 1.0)])
+        assert index.discard("t") is True
+        assert index.discard("t") is False
+        index.clear()
+        assert len(index) == 0
+
+
+class TestEngineStalenessRegressions:
+    """The build-once engines must notice collection mutations.
+
+    Before the fix, posting lists, ``_doc_map`` and the TB pattern
+    cache were built once and served forever: a document appended after
+    the first query was invisible (or worse, inconsistently visible).
+    """
+
+    def test_bursty_engine_sees_documents_added_after_first_query(self):
+        coll, _ = build_event_collection()
+        patterns = STComb().mine(coll, terms=["quake"])
+        engine = BurstySearchEngine(coll, patterns)
+        before = engine.search("quake", k=20)
+        # A very heavy on-event document lands inside the mined window.
+        new_doc = Document(
+            9999, "s0", 6, ("quake",) * 12, event_id=1
+        )
+        coll.add_document(new_doc)
+        after = engine.search("quake", k=20)
+        assert 9999 in {hit.document.doc_id for hit in after}
+        assert 9999 not in {hit.document.doc_id for hit in before}
+
+    def test_doc_map_refreshed_not_just_postings(self):
+        coll, _ = build_event_collection()
+        patterns = STComb().mine(coll, terms=["quake"])
+        engine = BurstySearchEngine(coll, patterns)
+        engine.search("quake", k=5)  # builds the doc map
+        coll.add_document(Document(9999, "s1", 6, ("quake", "quake")))
+        # Before the fix this raised KeyError (stale _doc_map) or
+        # silently omitted the new document (stale postings).
+        hits = engine.search("quake", k=50)
+        assert any(hit.document.doc_id == 9999 for hit in hits)
+
+    def test_precompute_after_mutation_rebuilds(self):
+        coll, _ = build_event_collection()
+        patterns = STComb().mine(coll, terms=["quake"])
+        engine = BurstySearchEngine(coll, patterns, precompute=True)
+        coll.add_document(Document(9999, "s0", 6, ("quake",) * 3, event_id=1))
+        built = engine.precompute()
+        assert built >= 1  # the stale index was dropped and rebuilt
+        hits = engine.search("quake", k=50)
+        assert any(hit.document.doc_id == 9999 for hit in hits)
+
+    def test_temporal_engine_pattern_cache_invalidated(self):
+        coll, _ = build_event_collection()
+        engine = TemporalSearchEngine(coll)
+        stale_patterns = engine.patterns_for("quake")
+        doc_id = 10_000
+        # A bigger burst later in the timeline changes the merged
+        # sequence and thus the detected temporal patterns.
+        for t in (9, 10):
+            for _ in range(12):
+                coll.add_document(Document(doc_id, "s2", t, ("quake", "quake")))
+                doc_id += 1
+        fresh_patterns = engine.patterns_for("quake")
+        assert fresh_patterns != stale_patterns
+        hits = engine.search("quake", k=10)
+        assert any(hit.document.timestamp in (9, 10) for hit in hits)
+
+    def test_unchanged_collection_keeps_caches(self):
+        coll, _ = build_event_collection()
+        engine = TemporalSearchEngine(coll)
+        first = engine.patterns_for("quake")
+        engine.search("quake", k=3)
+        assert engine.patterns_for("quake") is first  # still cached

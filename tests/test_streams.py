@@ -129,6 +129,26 @@ class TestCollection:
         with pytest.raises(StreamError):
             coll.add_document(Document(9, "us", 5, ("a",)))
 
+    def test_version_counts_mutations(self):
+        coll = SpatiotemporalCollection(timeline=5)
+        assert coll.version == 0
+        coll.add_stream("us", Point(0, 0))
+        assert coll.version == 1
+        coll.add_document(Document(1, "us", 0, ("a",)))
+        assert coll.version == 2
+        coll.frequency("us", 0, "a")  # reads leave the version alone
+        assert coll.version == 2
+
+    def test_subscribe_notifies_after_routing(self):
+        coll = self._collection()
+        seen = []
+        coll.subscribe(
+            lambda doc: seen.append((doc.doc_id, coll.document_count))
+        )
+        coll.add_document(Document(9, "us", 1, ("c",)))
+        # The listener observed the document already counted in.
+        assert seen == [(9, 4)]
+
     def test_snapshot(self):
         snapshot = self._collection().snapshot(0)
         assert len(snapshot["us"]) == 1
