@@ -17,6 +17,7 @@ pattern output is byte-identical; the sharded output is value-identical
 processes).
 """
 
+import os
 import random
 import time
 
@@ -32,9 +33,13 @@ from repro import (
 )
 from repro.pipeline import BatchMiner
 
-N_STREAMS = 64
-TIMELINE = 520
-N_TERMS = 56
+#: CI smoke mode: shrink the workload and skip the wall-clock assertion
+#: (fixed costs dominate at smoke sizes; output parity still holds).
+TINY = os.environ.get("REPRO_BENCH_TINY", "") == "1"
+
+N_STREAMS = 32 if TINY else 64
+TIMELINE = 128 if TINY else 520
+N_TERMS = 12 if TINY else 56
 
 
 def build_event_corpus(
@@ -96,7 +101,10 @@ def run_pipeline_comparison():
     timings["stlocal_term_major"] = time.perf_counter() - start
 
     start = time.perf_counter()
-    snapshot_major = BatchMiner(stlocal=stlocal).mine_regional(
+    # columnar=False isolates the snapshot-major *order* win this
+    # benchmark is about; the columnar kernel on top is measured
+    # separately in bench_columnar.py.
+    snapshot_major = BatchMiner(stlocal=stlocal, columnar=False).mine_regional(
         tensor, terms, locations
     )
     timings["stlocal_snapshot_major"] = time.perf_counter() - start
@@ -158,4 +166,5 @@ def test_pipeline_speedup(benchmark):
     assert repr(comb_batch) == repr(comb_term_major)
 
     # The headline claim: one shared sweep beats per-term replay 3x+.
-    assert speedup >= 3.0, f"snapshot-major speedup only {speedup:.2f}x"
+    if not TINY:
+        assert speedup >= 3.0, f"snapshot-major speedup only {speedup:.2f}x"

@@ -30,6 +30,7 @@ Quickstart::
 """
 
 from repro._version import __version__
+from repro.columnar import ColumnarCollection, PostingArray
 from repro.core import (
     BaseConfig,
     BaseDetector,
@@ -66,6 +67,7 @@ __all__ = [
     "BaseDetector",
     "BatchMiner",
     "BurstySearchEngine",
+    "ColumnarCollection",
     "CombinatorialPattern",
     "Document",
     "DocumentStream",
@@ -79,6 +81,7 @@ __all__ = [
     "LiveSearchEngine",
     "OnlineMaxSegments",
     "Point",
+    "PostingArray",
     "Rectangle",
     "RegionalPattern",
     "ReproError",

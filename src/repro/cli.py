@@ -7,20 +7,29 @@ Usage::
     python -m repro.cli figure8 --streams 100 200 400
     python -m repro.cli all --background-rate 2.0
     python -m repro.cli mine --workers 4  # batch-mine the whole corpus
+    python -m repro.cli mine --workers 0  # explicit serial fast path
     python -m repro.cli ingest --query storm --report-every 8
     python -m repro.cli ingest --file feed.jsonl --verify
+    python -m repro.cli bench             # columnar vs legacy smoke run
 
 Every experiment subcommand prints the same rows/series the paper's
 table or figure reports (see EXPERIMENTS.md for the comparison); the
-``mine`` subcommand runs the snapshot-major batch pipeline over the
-corpus vocabulary and prints a per-term pattern summary; the ``ingest``
+``mine`` subcommand runs the columnar batch pipeline over the corpus
+vocabulary and prints a per-term pattern summary; the ``ingest``
 subcommand replays a JSONL feed (or a built-in demo feed) through the
-live ingestion + serving layer, querying as documents arrive.
+live ingestion + serving layer, querying as documents arrive; the
+``bench`` subcommand mines one synthetic corpus through the legacy and
+columnar paths and reports the wall-clock ratio.
+
+The subcommands share their flag groups through ``argparse`` parent
+parsers (one for corpus construction, one for mining, one for the
+synthetic-workload knobs), so a flag is declared exactly once.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Optional
@@ -51,99 +60,203 @@ _CORPUS_EXPERIMENTS = {
 }
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Reproduce the evaluation of 'On the Spatiotemporal "
-        "Burstiness of Terms' (VLDB 2012).",
-    )
-    parser.add_argument(
-        "experiment",
-        choices=sorted(
-            list(_CORPUS_EXPERIMENTS)
-            + ["table2", "figure8", "figure9", "all", "mine", "ingest"]
-        ),
-        help="which table/figure to regenerate, 'mine' to batch-mine "
-        "the corpus with the snapshot-major pipeline, or 'ingest' to "
-        "replay a document feed through the live serving layer",
-    )
-    parser.add_argument(
+def _corpus_parent() -> argparse.ArgumentParser:
+    """Shared corpus-construction flags (every corpus-backed command)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--background-rate",
         type=float,
         default=2.0,
         help="corpus background documents per country per week "
         "(paper-scale: 5.0)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--seed", type=int, default=0, help="corpus / generator seed"
     )
-    parser.add_argument(
+    return parent
+
+
+def _synthetic_parent() -> argparse.ArgumentParser:
+    """Shared synthetic-workload knobs (table2 / figure8 / all)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--patterns",
         type=int,
         default=120,
         help="injected patterns for table2 (paper: 1000)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--streams",
         type=int,
         nargs="+",
         default=None,
         help="stream counts for the figure8 sweep",
     )
-    parser.add_argument(
+    return parent
+
+
+def _workers_parent() -> argparse.ArgumentParser:
+    """Shared worker-count flag (mine / bench)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--workers",
         type=int,
         default=1,
-        help="worker processes for term-sharded batch mining (mine)",
+        help="worker processes for term-sharded batch mining; 0 (or 1) "
+        "is the serial fast path — on a single-CPU host the vectorized "
+        "serial sweep beats oversubscribed workers, and values above "
+        "the detected CPU count are clamped",
     )
-    parser.add_argument(
+    return parent
+
+
+def _mining_parent() -> argparse.ArgumentParser:
+    """Shared batch-mining flags (mine)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--miner",
         choices=("stlocal", "stcomb", "both"),
         default="both",
-        help="which pattern family to batch-mine (mine)",
+        help="which pattern family to batch-mine",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--top-terms",
         type=int,
         default=None,
-        help="restrict mining to the N heaviest terms (mine)",
+        help="restrict mining to the N heaviest terms",
     )
-    parser.add_argument(
+    return parent
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the evaluation of 'On the Spatiotemporal "
+        "Burstiness of Terms' (VLDB 2012).",
+    )
+    subparsers = parser.add_subparsers(
+        dest="experiment",
+        required=True,
+        metavar="command",
+        help="which table/figure to regenerate, 'mine' to batch-mine "
+        "the corpus with the columnar pipeline, 'ingest' to replay a "
+        "document feed through the live serving layer, or 'bench' for "
+        "a columnar-vs-legacy mining comparison",
+    )
+    corpus = _corpus_parent()
+    synthetic = _synthetic_parent()
+    workers = _workers_parent()
+    mining = _mining_parent()
+
+    for name in sorted(_CORPUS_EXPERIMENTS):
+        subparsers.add_parser(
+            name, parents=[corpus], help=f"regenerate {name}"
+        )
+    subparsers.add_parser(
+        "table2", parents=[corpus, synthetic], help="regenerate table2"
+    )
+    subparsers.add_parser(
+        "figure8", parents=[corpus, synthetic], help="regenerate figure8"
+    )
+    subparsers.add_parser("figure9", help="regenerate figure9")
+    subparsers.add_parser(
+        "all",
+        parents=[corpus, synthetic],
+        help="regenerate every table and figure",
+    )
+    subparsers.add_parser(
+        "mine",
+        parents=[corpus, workers, mining],
+        help="batch-mine the corpus vocabulary",
+    )
+    bench = subparsers.add_parser(
+        "bench",
+        parents=[workers],
+        help="mine a synthetic corpus through the legacy and columnar "
+        "paths and report the speedup",
+    )
+    bench.add_argument(
+        "--seed", type=int, default=11, help="synthetic corpus seed"
+    )
+    bench.add_argument(
+        "--bench-streams",
+        type=int,
+        default=64,
+        help="streams in the synthetic bench corpus",
+    )
+    bench.add_argument(
+        "--bench-terms",
+        type=int,
+        default=24,
+        help="terms in the synthetic bench corpus",
+    )
+    bench.add_argument(
+        "--bench-timeline",
+        type=int,
+        default=260,
+        help="timeline length of the synthetic bench corpus",
+    )
+
+    ingest = subparsers.add_parser(
+        "ingest", help="replay a feed through the live serving layer"
+    )
+    ingest.add_argument(
         "--file",
         default=None,
-        help="JSONL feed to replay (ingest); omit for a built-in demo "
-        "feed.  Lines: {\"type\":\"stream\",\"id\":...,\"x\":...,\"y\":...}, "
+        help="JSONL feed to replay; omit for a built-in demo feed.  "
+        "Lines: {\"type\":\"stream\",\"id\":...,\"x\":...,\"y\":...}, "
         "{\"doc_id\":...,\"stream\":...,\"timestamp\":...,\"text\":...}, "
         "{\"type\":\"advance\",\"timestamp\":...}",
     )
-    parser.add_argument(
+    ingest.add_argument(
         "--timeline",
         type=int,
         default=64,
-        help="timeline length for the live collection (ingest)",
+        help="timeline length for the live collection",
     )
-    parser.add_argument(
+    ingest.add_argument(
         "--query",
         action="append",
         default=None,
-        help="query to serve during the replay; repeatable (ingest)",
+        help="query to serve during the replay; repeatable",
     )
-    parser.add_argument(
-        "--k", type=int, default=5, help="results per query (ingest)"
+    ingest.add_argument(
+        "--k", type=int, default=5, help="results per query"
     )
-    parser.add_argument(
+    ingest.add_argument(
         "--report-every",
         type=int,
         default=10,
-        help="serve the queries every N ingested snapshots (ingest)",
+        help="serve the queries every N ingested snapshots",
     )
-    parser.add_argument(
+    ingest.add_argument(
         "--verify",
         action="store_true",
         help="after the replay, cross-check live results against a cold "
-        "batch rebuild (ingest)",
+        "batch rebuild",
     )
     return parser
+
+
+def _resolve_workers(requested: int) -> int:
+    """Clamp a worker count to the host's CPUs (0/1 → serial fast path).
+
+    Oversubscribing a single-CPU container with worker processes only
+    adds pickling and scheduling overhead on top of the same serial
+    compute; the columnar serial sweep is the fast path there.
+    """
+    cpus = os.cpu_count() or 1
+    if requested <= 1:
+        return 1
+    if requested > cpus:
+        print(
+            f"workers={requested} exceeds the {cpus} detected CPU(s); "
+            f"clamping to {cpus} (use --workers 0 for the serial fast "
+            "path)",
+            file=sys.stderr,
+        )
+        return cpus
+    return requested
 
 
 def _corpus_lab(args: argparse.Namespace) -> TopixLab:
@@ -176,9 +289,10 @@ def _run_mine(args: argparse.Namespace, lab: Optional[TopixLab]) -> Optional[Top
         terms = [term for term, _ in tensor.top_terms(args.top_terms)]
     else:
         terms = sorted(tensor.terms)
+    workers = _resolve_workers(args.workers)
     print(
         f"mining {len(terms)} terms "
-        f"({args.workers} worker{'s' if args.workers != 1 else ''})...",
+        f"({workers} worker{'s' if workers != 1 else ''})...",
         file=sys.stderr,
     )
     jobs = []
@@ -187,7 +301,7 @@ def _run_mine(args: argparse.Namespace, lab: Optional[TopixLab]) -> Optional[Top
     if args.miner in ("stcomb", "both"):
         jobs.append(("STComb", False))
     miner = BatchMiner(
-        stlocal=lab.stlocal, stcomb=lab.stcomb, workers=args.workers
+        stlocal=lab.stlocal, stcomb=lab.stcomb, workers=workers
     )
     for label, regional in jobs:
         started = time.perf_counter()
@@ -218,6 +332,91 @@ def _run_mine(args: argparse.Namespace, lab: Optional[TopixLab]) -> Optional[Top
                 f"streams={len(top.streams)}"
             )
     return lab
+
+
+def _run_bench(args: argparse.Namespace) -> None:
+    """Mine one synthetic corpus via the legacy and columnar paths."""
+    import random
+
+    from repro.pipeline import BatchMiner
+    from repro.spatial import Point
+    from repro.streams import (
+        Document,
+        FrequencyTensor,
+        SpatiotemporalCollection,
+    )
+
+    rng = random.Random(args.seed)
+    n_streams = max(4, args.bench_streams)
+    timeline = max(32, args.bench_timeline)
+    side = max(2, int(n_streams ** 0.5))
+    collection = SpatiotemporalCollection(timeline=timeline)
+    for i in range(n_streams):
+        collection.add_stream(
+            f"s{i:03d}", Point(float(i % side) * 5.0, float(i // side) * 5.0)
+        )
+    doc_id = 0
+    for index in range(max(1, args.bench_terms)):
+        term = f"event{index:03d}"
+        start = rng.randint(0, timeline - 24)
+        span = rng.randint(6, 12)
+        anchor = rng.randint(0, n_streams - 1)
+        members = {anchor}
+        while len(members) < rng.randint(2, 6):
+            step = rng.choice((-side - 1, -side, -1, 1, side, side + 1))
+            members.add(max(0, min(n_streams - 1, anchor + step)))
+        for t in range(start, start + span):
+            for member in members:
+                for _ in range(rng.randint(1, 3)):
+                    collection.add_document(
+                        Document(doc_id, f"s{member:03d}", t, (term,))
+                    )
+                    doc_id += 1
+        for _ in range(span * 3):
+            t = rng.randint(
+                max(0, start - 3), min(timeline - 1, start + span + 2)
+            )
+            collection.add_document(
+                Document(
+                    doc_id, f"s{rng.randint(0, n_streams-1):03d}", t, (term,)
+                )
+            )
+            doc_id += 1
+
+    tensor = FrequencyTensor(collection)
+    terms = sorted(tensor.terms)
+    locations = collection.locations()
+    workers = _resolve_workers(args.workers)
+    print(
+        f"bench corpus: {collection.document_count} documents, "
+        f"{n_streams} streams, {len(terms)} terms, timeline {timeline}",
+        file=sys.stderr,
+    )
+    legacy_miner = BatchMiner(workers=workers, columnar=False)
+    columnar_miner = BatchMiner(workers=workers, columnar=True)
+    # Warm both paths once so import/allocation costs stay out of the
+    # measured ratio.
+    columnar_miner.mine_regional(tensor, terms, locations)
+    legacy_miner.mine_regional(tensor, terms, locations)
+
+    started = time.perf_counter()
+    legacy = legacy_miner.mine_regional(tensor, terms, locations)
+    legacy_elapsed = time.perf_counter() - started
+    started = time.perf_counter()
+    columnar = columnar_miner.mine_regional(tensor, terms, locations)
+    columnar_elapsed = time.perf_counter() - started
+
+    identical = repr(legacy) == repr(columnar)
+    n_patterns = sum(len(patterns) for patterns in columnar.values())
+    print(f"legacy (per-snapshot replay)  {legacy_elapsed:8.3f}s")
+    print(f"columnar kernel               {columnar_elapsed:8.3f}s")
+    print(
+        f"speedup {legacy_elapsed / max(columnar_elapsed, 1e-9):.2f}x, "
+        f"{n_patterns} patterns over {len(columnar)} terms, "
+        f"byte-identical: {'yes' if identical else 'NO'}"
+    )
+    if not identical:
+        raise SystemExit(1)
 
 
 def _demo_feed(timeline: int):
@@ -358,6 +557,9 @@ def _run_one(name: str, args: argparse.Namespace, lab: Optional[TopixLab]) -> Op
     """Run one experiment, creating/reusing the corpus lab as needed."""
     if name == "ingest":
         _run_ingest(args)
+        return lab
+    if name == "bench":
+        _run_bench(args)
         return lab
     if name == "mine":
         return _run_mine(args, lab)

@@ -1,0 +1,161 @@
+"""Sorted posting arrays behind the ``PostingList`` API.
+
+A :class:`~repro.search.inverted_index.PostingList` sorts Python
+``Posting`` objects with a per-element key callable and keeps a dict for
+random access — fine per query term, expensive when the search layer
+builds postings for an entire vocabulary.  :class:`PostingArray` is the
+columnar drop-in: scores, tiebreaks and document ids live in parallel
+arrays, ordering is one ``np.lexsort`` over the same ``(-score,
+crc32(doc))`` key, and merge/compaction are array concatenations.
+
+Order is *byte-identical* to the legacy list: ``lexsort`` is a stable
+mergesort over the identical key values, so equal keys preserve input
+order exactly as Python's stable ``sorted`` does.  ``Posting`` objects
+are materialised lazily — the Threshold Algorithm usually touches only
+a short sorted-access prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.search.inverted_index import Posting, PostingList, rank_tiebreak
+
+__all__ = ["PostingArray"]
+
+
+class PostingArray(PostingList):
+    """A term's postings as struct-of-arrays, sorted by score descending.
+
+    Implements the full sorted-access / random-access protocol of
+    :class:`~repro.search.inverted_index.PostingList` (TA, delta merge
+    and compaction all operate on it unchanged).
+
+    Args:
+        doc_ids: Document identifiers, in scoring order.
+        scores: Per-document scores, parallel to ``doc_ids``.
+        tiebreaks: Optional precomputed ``rank_tiebreak`` values; computed
+            on demand when omitted.
+        presorted: Skip the sort when the inputs are already in posting
+            order (e.g. the output of :meth:`merged_with`).
+    """
+
+    def __init__(
+        self,
+        doc_ids: Sequence[Hashable],
+        scores: Sequence[float],
+        tiebreaks: Optional[Sequence[int]] = None,
+        presorted: bool = False,
+    ) -> None:
+        # Deliberately *not* calling PostingList.__init__: the arrays
+        # replace its _sorted/_by_doc storage wholesale.
+        ids = list(doc_ids)
+        score_arr = np.asarray(scores, dtype=float)
+        if tiebreaks is None:
+            tie_arr = np.fromiter(
+                (rank_tiebreak(doc_id) for doc_id in ids),
+                dtype=np.int64,
+                count=len(ids),
+            )
+        else:
+            tie_arr = np.asarray(tiebreaks, dtype=np.int64)
+        if not presorted and len(ids) > 1:
+            # Stable sort by (-score, tiebreak): lexsort keys are listed
+            # least-significant first.
+            order = np.lexsort((tie_arr, -score_arr))
+            ids = [ids[i] for i in order]
+            score_arr = score_arr[order]
+            tie_arr = tie_arr[order]
+        self._ids: List[Hashable] = ids
+        self._scores = score_arr
+        self._ties = tie_arr
+        self._score_list: Optional[List[float]] = None
+        self._postings: Dict[int, Posting] = {}
+        self._by_doc_lazy: Optional[Dict[Hashable, float]] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_postings(cls, postings: Sequence[Posting]) -> "PostingArray":
+        """Build from ``Posting`` objects (any order)."""
+        return cls(
+            [p.doc_id for p in postings], [p.score for p in postings]
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def _by_doc(self) -> Dict[Hashable, float]:
+        """Random-access map, built on first use."""
+        if self._by_doc_lazy is None:
+            self._by_doc_lazy = dict(zip(self._ids, self._float_scores()))
+        return self._by_doc_lazy
+
+    @_by_doc.setter
+    def _by_doc(self, value: Dict[Hashable, float]) -> None:
+        self._by_doc_lazy = dict(value)
+
+    def _float_scores(self) -> List[float]:
+        if self._score_list is None:
+            self._score_list = self._scores.tolist()
+        return self._score_list
+
+    def _posting_at(self, rank: int) -> Posting:
+        posting = self._postings.get(rank)
+        if posting is None:
+            posting = Posting(
+                doc_id=self._ids[rank], score=self._float_scores()[rank]
+            )
+            self._postings[rank] = posting
+        return posting
+
+    # ------------------------------------------------------------------
+    # PostingList protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __iter__(self) -> Iterator[Posting]:
+        return (self._posting_at(rank) for rank in range(len(self._ids)))
+
+    def sorted_access(self, rank: int) -> Optional[Posting]:
+        """The posting at a given rank, or ``None`` past the end."""
+        if 0 <= rank < len(self._ids):
+            return self._posting_at(rank)
+        return None
+
+    def random_access(self, doc_id: Hashable) -> Optional[float]:
+        """Score of a document in this list, or ``None`` if absent."""
+        return self._by_doc.get(doc_id)
+
+    def top(self, k: int) -> List[Posting]:
+        """The ``k`` best postings."""
+        return [self._posting_at(rank) for rank in range(min(k, len(self._ids)))]
+
+    def truncated(self, depth: int) -> "PostingArray":
+        """Impact-ordered pruning with full random access retained."""
+        clone = PostingArray(
+            self._ids[:depth],
+            self._scores[:depth],
+            tiebreaks=self._ties[:depth],
+            presorted=True,
+        )
+        clone._by_doc_lazy = dict(self._by_doc)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Columnar extensions
+    # ------------------------------------------------------------------
+    def merged_with(self, delta: "PostingArray") -> "PostingArray":
+        """Merge another sorted array into a fresh sorted array.
+
+        Equivalent to compacting a
+        :class:`~repro.live.index.DeltaPostingList` built over the two:
+        concatenating base-then-delta and stable-sorting by the shared
+        key yields the exact two-way merge order, base side preferred
+        on full-key ties.
+        """
+        ids = self._ids + delta._ids
+        scores = np.concatenate((self._scores, delta._scores))
+        ties = np.concatenate((self._ties, delta._ties))
+        return PostingArray(ids, scores, tiebreaks=ties)

@@ -371,13 +371,25 @@ class STLocalTermTracker:
         if not self.config.track_history:
             return None
         bursty = set()
+        start, end = timeframe.start, timeframe.end
+        frame_length = end - start + 1
         for sid in streams:
             history = self._history.get(sid)
             if history is None:
                 continue
-            total = sum(
-                history.get(timestamp, 0.0) for timestamp in timeframe
-            )
+            # Both walks add the same non-zero values in the same
+            # ascending order (history entries are recorded in
+            # timestamp order and zeros are inert), so take whichever
+            # side is shorter: the timeframe for a narrow window over a
+            # long history, the history for a sparse stream.
+            total = 0.0
+            if len(history) <= frame_length:
+                for timestamp, value in history.items():
+                    if start <= timestamp <= end:
+                        total += value
+            else:
+                for timestamp in timeframe:
+                    total += history.get(timestamp, 0.0)
             if total > 0.0:
                 bursty.add(sid)
         return frozenset(bursty)

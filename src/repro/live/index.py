@@ -13,6 +13,12 @@ merge prefix TA actually descends.
 
 When a term's delta outgrows ``compaction_threshold`` the two lists are
 compacted into a fresh base — the classic LSM trade-off in miniature.
+Bases are stored as columnar
+:class:`~repro.columnar.postings.PostingArray` segments, so compaction
+is one array concatenation plus a stable ``lexsort`` — byte-identical
+to the lazy two-way merge (:meth:`DeltaPostingList.compact` remains the
+reference path, and is still what serves reads while a delta is
+pending).
 
 The merge is *order-exact*: base and delta are each sorted by the same
 ``(-score, tiebreak)`` key as a from-scratch
@@ -26,6 +32,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.columnar.postings import PostingArray
 from repro.errors import SearchError
 from repro.search.inverted_index import Posting, PostingList, rank_tiebreak
 
@@ -142,8 +149,16 @@ class LiveIndex:
 
     # ------------------------------------------------------------------
     def set_base(self, term: str, postings: Sequence[Posting]) -> None:
-        """(Re)build a term's base list, dropping any pending delta."""
-        self._base[term] = PostingList(postings)
+        """(Re)build a term's base list, dropping any pending delta.
+
+        Accepts either raw postings or an already-built posting list
+        (e.g. a columnar :class:`PostingArray` from the vectorized
+        scorer).
+        """
+        if isinstance(postings, PostingList):
+            self._base[term] = postings
+        else:
+            self._base[term] = PostingArray.from_postings(postings)
         self._delta.pop(term, None)
         self._delta_ids.pop(term, None)
 
@@ -202,9 +217,16 @@ class LiveIndex:
 
     # ------------------------------------------------------------------
     def _compact(self, term: str) -> None:
-        merged = DeltaPostingList(
-            self._base[term], PostingList(self._delta.pop(term))
-        ).compact()
+        base = self._base[term]
+        delta = self._delta.pop(term)
+        if isinstance(base, PostingArray):
+            # Columnar: concatenate the sorted segments and stable-sort
+            # by the shared key — the exact two-way merge order, base
+            # side preferred on full-key ties.
+            merged = base.merged_with(PostingArray.from_postings(delta))
+        else:
+            # Reference path (also the differential-test oracle).
+            merged = DeltaPostingList(base, PostingList(delta)).compact()
         self._base[term] = merged
         self._delta_ids.pop(term, None)
         self.compactions += 1

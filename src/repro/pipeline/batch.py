@@ -25,6 +25,17 @@ sparse slices, with three structural savings over the term-major loop:
 
 One spatial index over the stream locations is shared by all trackers.
 
+On top of the snapshot-major order, the regional sweep itself runs on
+the columnar kernel by default (``columnar=True``): each term's whole
+burstiness matrix is vectorized in one pass and the per-snapshot
+R-Bursty stage runs scalar off that matrix
+(:mod:`repro.columnar.sweep`), producing byte-identical trackers.  The
+kernel only understands the paper-default running-mean baseline, so a
+custom ``baseline_factory`` automatically falls back to the legacy
+per-snapshot replay — which also remains available explicitly
+(``columnar=False``) as the reference oracle for the differential
+tests and benchmarks.
+
 The pipeline also shards terms across processes (``workers=N``) for
 STLocal and STComb alike; results are bit-identical to the serial sweep
 because the trackers evaluate streams in a fixed sorted order.
@@ -42,6 +53,7 @@ from typing import (
     Union,
 )
 
+from repro.columnar.sweep import columnar_supported
 from repro.core.patterns import CombinatorialPattern, RegionalPattern
 from repro.core.stcomb import STComb
 from repro.core.stlocal import STLocal, STLocalTermTracker, _resolve
@@ -63,12 +75,18 @@ class BatchMiner:
             (default: a fresh :class:`~repro.core.STLocal`).
         stcomb: The combinatorial miner whose detector/configuration to
             use (default: a fresh :class:`~repro.core.STComb`).
-        workers: Shard terms over this many processes; ``None``/``1``
-            mines serially in-process.
+        workers: Shard terms over this many processes; ``None``/``0``/
+            ``1`` mine serially in-process (``0`` is the documented
+            serial fast path — on single-CPU hosts the vectorized
+            serial sweep beats oversubscribed workers).
         truncate_tails: Stop feeding a term's tracker after its last
             active snapshot (see module docstring).  Patterns are
             identical either way for non-negative baselines; only the
             trackers' per-snapshot history series end earlier.
+        columnar: Use the vectorized columnar sweep for regional mining
+            when the configuration supports it (see
+            :func:`repro.columnar.sweep.columnar_supported`); disable
+            to force the legacy per-snapshot replay.
 
     Example::
 
@@ -87,11 +105,13 @@ class BatchMiner:
         stcomb: Optional[STComb] = None,
         workers: Optional[int] = None,
         truncate_tails: bool = True,
+        columnar: bool = True,
     ) -> None:
         self.stlocal = stlocal if stlocal is not None else STLocal()
         self.stcomb = stcomb if stcomb is not None else STComb()
         self.workers = max(1, int(workers)) if workers else 1
         self.truncate_tails = truncate_tails
+        self.columnar = columnar
 
     # ------------------------------------------------------------------
     # Regional (STLocal) pipeline
@@ -111,6 +131,8 @@ class BatchMiner:
         """
         tensor, locations = _resolve(data, locations)
         terms = self._term_list(tensor, terms)
+        if self.columnar and columnar_supported(self.stlocal.config):
+            return self._columnar_trackers(tensor, terms, locations)
         index: Optional[SpatialIndex] = None
         if len(locations) > STLocalTermTracker.INDEX_THRESHOLD:
             index = SpatialIndex(list(locations.items()))
@@ -161,6 +183,24 @@ class BatchMiner:
                 survivors.append(term)
             live = survivors
         return trackers
+
+    def _columnar_trackers(
+        self,
+        tensor,
+        terms: Sequence[str],
+        locations: Dict[Hashable, Point],
+    ) -> Dict[str, STLocalTermTracker]:
+        """Vectorized regional sweep: one columnar pass over all terms."""
+        from repro.columnar.sweep import LocationStore, sweep_terms
+
+        store = LocationStore(locations)
+        return sweep_terms(
+            {term: _term_snapshots(tensor, term) for term in terms},
+            store,
+            self.stlocal.config,
+            tensor.timeline,
+            truncate_tails=self.truncate_tails,
+        )
 
     def mine_regional(
         self,

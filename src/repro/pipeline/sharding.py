@@ -32,7 +32,9 @@ def split_terms(terms: Sequence[str], shards: int) -> List[List[str]]:
     return [list(terms[offset::shards]) for offset in range(shards)]
 
 
-def _mine_shard(kind, stlocal, stcomb, truncate_tails, tensor, terms, locations):
+def _mine_shard(
+    kind, stlocal, stcomb, truncate_tails, columnar, tensor, terms, locations
+):
     """Worker entry point: mine one shard serially in this process."""
     from repro.pipeline.batch import BatchMiner
 
@@ -41,6 +43,7 @@ def _mine_shard(kind, stlocal, stcomb, truncate_tails, tensor, terms, locations)
         stcomb=stcomb,
         workers=1,
         truncate_tails=truncate_tails,
+        columnar=columnar,
     )
     if kind == "regional":
         return miner.mine_regional(tensor, terms, locations)
@@ -71,10 +74,11 @@ def mine_shards(
         term order).
     """
     shards = split_terms(terms, workers)
+    columnar = getattr(miner, "columnar", True)
     if len(shards) <= 1:
         return _mine_shard(
             kind, miner.stlocal, miner.stcomb, miner.truncate_tails,
-            tensor, list(terms), locations,
+            columnar, tensor, list(terms), locations,
         )
     merged: Dict = {}
     with concurrent.futures.ProcessPoolExecutor(
@@ -87,6 +91,7 @@ def mine_shards(
                 miner.stlocal,
                 miner.stcomb,
                 miner.truncate_tails,
+                columnar,
                 tensor,
                 shard,
                 locations,

@@ -217,17 +217,41 @@ class BurstySearchEngine(_PatternEngineBase):
         relevance: RelevanceFunction = log_relevance,
         aggregate: Callable[[Sequence[float]], float] = _default_aggregate,
         precompute: bool = True,
+        columnar: bool = True,
     ) -> None:
         super().__init__(collection, relevance=relevance, aggregate=aggregate)
         self._patterns = dict(patterns)
+        self._columnar = columnar
+        self._store = None
         if precompute:
             self.precompute()
 
     def patterns_for(self, term: str) -> Sequence:
         return self._patterns.get(term, ())
 
+    def _invalidate_patterns(self) -> None:
+        # The columnar snapshot copies the collection's contents; any
+        # mutation invalidates it together with the posting lists.
+        self._store = None
+
+    def _columnar_store(self):
+        if self._store is None:
+            from repro.columnar.collection import ColumnarCollection
+
+            self._store = ColumnarCollection(self.collection)
+        return self._store
+
     def precompute(self, terms: Optional[Sequence[str]] = None) -> int:
         """Build posting lists for many terms in one document sweep.
+
+        With the default scoring configuration the sweep is columnar:
+        one :class:`~repro.columnar.collection.ColumnarCollection`
+        snapshot serves every term's postings from its term-major index
+        (vectorized overlap masks, cached log-relevance, one stable
+        ``lexsort``), byte-identical to the per-document loop, which
+        remains both as the fallback for custom relevance/aggregate
+        callables or pattern types and as the differential-test oracle
+        (``columnar=False``).
 
         Args:
             terms: Terms to index; defaults to every term with at least
@@ -245,20 +269,42 @@ class BurstySearchEngine(_PatternEngineBase):
         }
         if not pending:
             return 0
-        postings: Dict[str, List[Posting]] = {term: [] for term in pending}
-        for document in self.collection.documents():
-            for term in set(document.terms) & pending:
-                posting = score_posting(
-                    document,
-                    term,
-                    self._patterns.get(term, ()),
-                    self.relevance,
-                    self.aggregate,
+        remaining = set(pending)
+        from repro.columnar.scoring import (
+            columnar_postings,
+            vectorizable_relevance,
+        )
+
+        if (
+            self._columnar
+            and self.aggregate is _default_aggregate
+            and vectorizable_relevance(self.relevance)
+        ):
+            store = self._columnar_store()
+            for term in pending:
+                posting_list = columnar_postings(
+                    store, term, self._patterns.get(term, ()), self.relevance
                 )
-                if posting is not None:
-                    postings[term].append(posting)
-        for term in pending:
-            self._index.add(term, postings[term])
+                if posting_list is not None:
+                    self._index.add_built(term, posting_list)
+                    remaining.discard(term)
+        if remaining:
+            postings: Dict[str, List[Posting]] = {
+                term: [] for term in remaining
+            }
+            for document in self.collection.documents():
+                for term in set(document.terms) & remaining:
+                    posting = score_posting(
+                        document,
+                        term,
+                        self._patterns.get(term, ()),
+                        self.relevance,
+                        self.aggregate,
+                    )
+                    if posting is not None:
+                        postings[term].append(posting)
+            for term in remaining:
+                self._index.add(term, postings[term])
         return len(pending)
 
 

@@ -122,12 +122,24 @@ class InvertedIndex:
             SearchError: when the term is already indexed and
                 ``replace`` is false.
         """
+        return self.add_built(term, PostingList(postings), replace=replace)
+
+    def add_built(
+        self, term: str, posting_list: "PostingList", replace: bool = False
+    ) -> "PostingList":
+        """Register an already-constructed posting list.
+
+        The columnar search path builds
+        :class:`~repro.columnar.postings.PostingArray` lists from score
+        columns; this registers them without the constructor round-trip
+        through ``Posting`` objects.  Same duplicate-registration
+        contract as :meth:`add`.
+        """
         if not replace and term in self._lists:
             raise SearchError(
                 f"term {term!r} is already indexed; pass replace=True "
                 "(or discard() it first) to rebuild its posting list"
             )
-        posting_list = PostingList(postings)
         self._lists[term] = posting_list
         return posting_list
 

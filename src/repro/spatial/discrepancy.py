@@ -14,8 +14,10 @@ here, and we use the classic coordinate-compression + Kadane reduction:
    best contiguous column range with a vectorised prefix-min Kadane.
 
 Complexity is ``O(m² k)`` after an ``O(n log n)`` compression —
-polynomial like the original, and exact.  A brute-force verifier is
-included for the property tests.
+polynomial like the original, and exact.  Both steps live in the
+columnar kernel module (:mod:`repro.columnar.kernels`), which picks a
+scalar or vectorized execution of the identical operation sequence by
+grid size.  A brute-force verifier is included for the property tests.
 
 Zero-weight points are discarded up front: they cannot change any
 rectangle's score, and for real corpora the overwhelming majority of
@@ -26,9 +28,7 @@ per-term cost small in practice (Figure 5).
 from __future__ import annotations
 
 import dataclasses
-from typing import Hashable, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Hashable, Optional, Sequence, Tuple
 
 from repro.spatial.geometry import Point, Rectangle
 
@@ -73,29 +73,17 @@ class MaxRectangleResult:
     members: Tuple[WeightedPoint, ...]
 
 
-def _kadane_range(column_sums: np.ndarray) -> Tuple[int, int, float]:
-    """Best contiguous (non-empty) range of ``column_sums``.
-
-    Vectorised max-subarray via prefix sums: for every right end ``j``,
-    the best sum is ``P[j] − min(P[-1..j-1])``.
-
-    Returns:
-        ``(left, right, score)`` with inclusive column indices.
-    """
-    prefix = np.cumsum(column_sums)
-    shifted = np.concatenate(([0.0], prefix[:-1]))
-    running_min = np.minimum.accumulate(shifted)
-    gains = prefix - running_min
-    right = int(np.argmax(gains))
-    target = running_min[right]
-    left = int(np.flatnonzero(shifted[: right + 1] == target)[0])
-    return left, right, float(gains[right])
-
-
 def max_weight_rectangle(
     points: Sequence[WeightedPoint],
 ) -> Optional[MaxRectangleResult]:
     """Find the axis-aligned rectangle with the maximum total weight.
+
+    Delegates the coordinate compression and the batched prefix-min
+    Kadane to the columnar kernel
+    (:func:`repro.columnar.kernels.max_rectangle_points`), which runs
+    the identical operation sequence scalar below
+    :data:`~repro.columnar.kernels.SCALAR_GRID_CELLS` cells — the grids
+    one snapshot produces — and vectorized above.
 
     Args:
         points: Weighted map points; weights may be negative.
@@ -110,54 +98,24 @@ def max_weight_rectangle(
         rectangle is always *tight* — shrunk to the bounding box of the
         distinct coordinates it selects.
     """
+    from repro.columnar.kernels import max_rectangle_points
+
     active = [wp for wp in points if wp.weight != 0.0]
     if not any(wp.weight > 0.0 for wp in active):
         return None
-
-    xs = sorted({wp.point.x for wp in active})
-    ys = sorted({wp.point.y for wp in active})
-    x_index = {x: i for i, x in enumerate(xs)}
-    y_index = {y: i for i, y in enumerate(ys)}
-    k, m = len(xs), len(ys)
-
-    grid = np.zeros((m, k), dtype=float)
-    for wp in active:
-        grid[y_index[wp.point.y], x_index[wp.point.x]] += wp.weight
-
-    best_score = 0.0
-    best_bounds: Optional[Tuple[int, int, int, int]] = None  # y_lo, y_hi, x_lo, x_hi
-    # Batched Kadane: for each y_lo, evaluate all y_hi row-bands at once.
-    row_cumulative = np.cumsum(grid, axis=0)
-    zeros_column = np.zeros((m, 1))
-    for y_lo in range(m):
-        bands = row_cumulative[y_lo:]
-        if y_lo > 0:
-            bands = bands - row_cumulative[y_lo - 1]
-        prefix = np.cumsum(bands, axis=1)
-        shifted = np.concatenate(
-            (zeros_column[: bands.shape[0]], prefix[:, :-1]), axis=1
-        )
-        running_min = np.minimum.accumulate(shifted, axis=1)
-        gains = prefix - running_min
-        flat_best = int(np.argmax(gains))
-        row_rel, right = divmod(flat_best, k)
-        score = float(gains[row_rel, right])
-        if score > best_score:
-            target = running_min[row_rel, right]
-            left = int(
-                np.flatnonzero(shifted[row_rel, : right + 1] == target)[0]
-            )
-            best_score = score
-            best_bounds = (y_lo, y_lo + row_rel, left, right)
-
-    if best_bounds is None:
+    best = max_rectangle_points(
+        [wp.point.x for wp in active],
+        [wp.point.y for wp in active],
+        [wp.weight for wp in active],
+    )
+    if best is None:
         return None
-    y_lo, y_hi, x_lo, x_hi = best_bounds
-    rectangle = Rectangle(xs[x_lo], ys[y_lo], xs[x_hi], ys[y_hi])
+    score, min_x, min_y, max_x, max_y = best
+    rectangle = Rectangle(min_x, min_y, max_x, max_y)
     members = tuple(wp for wp in active if rectangle.contains_point(wp.point))
     return MaxRectangleResult(
         rectangle=rectangle,
-        score=best_score,
+        score=score,
         members=members,
     )
 

@@ -191,6 +191,11 @@ def burstiness_series(
 
     Convenience helper: walks the sequence once, emitting
     ``observed − expected`` (Eq. 7) at each step and feeding the model.
+    With the default model (``model=None``) the whole series is one
+    vectorized prefix-sum pass over the columnar kernel instead —
+    byte-identical, since the running mean is a cumulative total
+    divided by the timestamp.  A caller-supplied model always takes the
+    explicit walk: the model must observe every value as a side effect.
 
     Args:
         frequencies: The observed per-timestamp frequencies.
@@ -201,7 +206,15 @@ def burstiness_series(
         List of burstiness values, same length as ``frequencies``.
     """
     if model is None:
-        model = RunningMeanBaseline()
+        if len(frequencies) == 0:
+            return []
+        import numpy as np
+
+        from repro.columnar.kernels import running_mean_burstiness
+
+        counts = np.asarray([frequencies], dtype=float)
+        burstiness, _ = running_mean_burstiness(counts, 0, 0)
+        return burstiness[0].tolist()
     series = []
     for timestamp, value in enumerate(frequencies):
         series.append(value - model.expected(timestamp))

@@ -26,14 +26,23 @@ the run, which is Kleinberg's burst weight.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.columnar.kernels import binomial_cost_series
 from repro.errors import ConfigurationError
 from repro.intervals.interval import Interval
 from repro.intervals.interval_set import intervals_from_mask
 from repro.temporal.max_segments import ScoredSegment
 
 __all__ = ["KleinbergBurstDetector"]
+
+
+def _clipped_logs(probability: float) -> Tuple[float, float]:
+    """``(log p, log (1−p))`` of the clipped emission probability."""
+    probability = min(max(probability, 1e-12), 1.0 - 1e-12)
+    return math.log(probability), math.log(1.0 - probability)
 
 
 def _binomial_cost(probability: float, relevant: float, total: float) -> float:
@@ -119,6 +128,65 @@ class KleinbergBurstDetector:
         p1 = min(p0 * self.scaling, 1.0 - 1e-9)
         transition_cost = self.gamma * math.log(n + 1.0)
 
+        # Both emission-cost series at once: the logarithms are taken
+        # once per clipped *scalar* rate with math.log (np.log over an
+        # array may differ by an ulp), then broadcast — per element the
+        # identical arithmetic of _binomial_cost.
+        relevant_arr = np.asarray(relevant)
+        observed_arr = np.asarray(observed)
+        emit0 = binomial_cost_series(
+            *_clipped_logs(p0), relevant_arr, observed_arr
+        ).tolist()
+        emit1 = binomial_cost_series(
+            *_clipped_logs(p1), relevant_arr, observed_arr
+        ).tolist()
+
+        states = self._viterbi_costs(emit0, emit1, transition_cost)
+        runs = intervals_from_mask([state == 1 for state in states])
+        segments = []
+        for run in runs:
+            # Same alternating ``+= cost0; -= cost1`` accumulation as
+            # the reference _burst_weight, off the precomputed series.
+            weight = 0.0
+            for i in run:
+                weight += emit0[i]
+                weight -= emit1[i]
+            if weight > self.min_score:
+                segments.append(ScoredSegment(interval=run, score=weight))
+        return segments
+
+    def detect_reference(
+        self,
+        frequencies: Sequence[float],
+        totals: Optional[Sequence[float]] = None,
+    ) -> List[ScoredSegment]:
+        """The pure-Python reference path (differential-test oracle).
+
+        Recomputes every emission cost — logarithms included — inside
+        the Viterbi and weight loops; byte-identical to :meth:`detect`.
+        """
+        n = len(frequencies)
+        if n == 0:
+            return []
+        relevant = [float(v) for v in frequencies]
+        if totals is None:
+            envelope = 2.0 * max(relevant) + 1.0
+            observed = [envelope] * n
+        else:
+            if len(totals) != n:
+                raise ConfigurationError(
+                    "totals must have the same length as frequencies"
+                )
+            observed = [max(float(t), 1e-9) for t in totals]
+        total_relevant = sum(relevant)
+        total_observed = sum(observed)
+        if total_relevant <= 0.0:
+            return []
+
+        p0 = total_relevant / total_observed
+        p1 = min(p0 * self.scaling, 1.0 - 1e-9)
+        transition_cost = self.gamma * math.log(n + 1.0)
+
         states = self._viterbi(relevant, observed, p0, p1, transition_cost)
         runs = intervals_from_mask([state == 1 for state in states])
         segments = []
@@ -129,6 +197,39 @@ class KleinbergBurstDetector:
         return segments
 
     # ------------------------------------------------------------------
+    def _viterbi_costs(
+        self,
+        emit0: Sequence[float],
+        emit1: Sequence[float],
+        transition_cost: float,
+    ) -> List[int]:
+        """Minimum-cost state sequence over precomputed emission costs.
+
+        The same recurrence as :meth:`_viterbi` with the per-step
+        ``_binomial_cost`` calls replaced by series lookups.
+        """
+        n = len(emit0)
+        cost0 = 0.0
+        cost1 = transition_cost
+        back: List[List[int]] = []
+        for i in range(n):
+            e0 = emit0[i]
+            e1 = emit1[i]
+            new0 = min(cost0, cost1) + e0
+            prev0 = 0 if cost0 <= cost1 else 1
+            enter = cost0 + transition_cost
+            stay = cost1
+            new1 = min(enter, stay) + e1
+            prev1 = 0 if enter < stay else 1
+            back.append([prev0, prev1])
+            cost0, cost1 = new0, new1
+        states = [0] * n
+        state = 0 if cost0 <= cost1 else 1
+        for i in range(n - 1, -1, -1):
+            states[i] = state
+            state = back[i][state]
+        return states
+
     def _viterbi(
         self,
         relevant: Sequence[float],

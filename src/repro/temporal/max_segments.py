@@ -31,6 +31,7 @@ __all__ = [
     "ScoredSegment",
     "OnlineMaxSegments",
     "maximal_segments",
+    "maximal_segments_reference",
     "maximal_segments_bruteforce",
 ]
 
@@ -148,6 +149,32 @@ class OnlineMaxSegments:
         clone._candidates = list(self._candidates)
         return clone
 
+    @classmethod
+    def restore(
+        cls,
+        candidates: Iterable[Tuple[int, int, float, float]],
+        cumulative: float,
+        length: int,
+    ) -> "OnlineMaxSegments":
+        """Rebuild a tracker from batch-computed Ruzzo–Tompa state.
+
+        The columnar sweep computes a whole sequence's candidate set in
+        one pass (:func:`repro.columnar.kernels.maximal_segment_state`)
+        and materialises the equivalent online tracker through here;
+        ``candidates`` are ``(start, end, left_sum, right_sum)`` tuples
+        in left-to-right order.
+        """
+        tracker = cls()
+        tracker._cumulative = cumulative
+        tracker._length = length
+        tracker._candidates = [
+            _Candidate(
+                start=start, end=end, left_sum=left_sum, right_sum=right_sum
+            )
+            for start, end, left_sum, right_sum in candidates
+        ]
+        return tracker
+
     def _integrate(self, candidate: _Candidate) -> None:
         """Merge a new candidate into the list (the Appendix-C loop)."""
         candidates = self._candidates
@@ -191,12 +218,31 @@ class OnlineMaxSegments:
 def maximal_segments(values: Sequence[float]) -> List[ScoredSegment]:
     """All maximal scoring subsequences of ``values`` (offline GetMax).
 
-    Runs the online algorithm over the whole sequence; linear time.
+    Delegates to the columnar batch kernel — cumulative totals come
+    from one sequential ``cumsum`` and the candidate merge touches only
+    the positive entries — which is byte-identical to (and much faster
+    than) feeding :class:`OnlineMaxSegments` one value at a time; see
+    :func:`repro.columnar.kernels.maximal_segment_state`.  The online
+    form below (:func:`maximal_segments_reference`) is kept as the
+    property-test oracle.
 
     Returns:
         Maximal segments in left-to-right order (possibly empty when the
         sequence has no positive value).
     """
+    from repro.columnar.kernels import maximal_segment_state
+
+    candidates, _, _ = maximal_segment_state(values)
+    return [
+        ScoredSegment(
+            interval=Interval(start, end), score=right_sum - left_sum
+        )
+        for start, end, left_sum, right_sum in candidates
+    ]
+
+
+def maximal_segments_reference(values: Sequence[float]) -> List[ScoredSegment]:
+    """The online form of GetMax, kept as a differential-test oracle."""
     tracker = OnlineMaxSegments()
     tracker.extend(values)
     return tracker.segments()
