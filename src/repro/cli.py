@@ -8,18 +8,24 @@ Usage::
     python -m repro.cli all --background-rate 2.0
     python -m repro.cli mine --workers 4  # batch-mine the whole corpus
     python -m repro.cli mine --workers 0  # explicit serial fast path
+    python -m repro.cli search --query "financial crisis" --compare
+    python -m repro.cli search --query jackson --strategy blockmax
     python -m repro.cli ingest --query storm --report-every 8
-    python -m repro.cli ingest --file feed.jsonl --verify
+    python -m repro.cli ingest --file feed.jsonl --verify --strategy scan
     python -m repro.cli bench             # columnar vs legacy smoke run
 
 Every experiment subcommand prints the same rows/series the paper's
 table or figure reports (see EXPERIMENTS.md for the comparison); the
 ``mine`` subcommand runs the columnar batch pipeline over the corpus
-vocabulary and prints a per-term pattern summary; the ``ingest``
-subcommand replays a JSONL feed (or a built-in demo feed) through the
-live ingestion + serving layer, querying as documents arrive; the
-``bench`` subcommand mines one synthetic corpus through the legacy and
-columnar paths and reports the wall-clock ratio.
+vocabulary and prints a per-term pattern summary; the ``search``
+subcommand mines the queried terms and serves top-k retrieval through
+a selectable execution strategy (``auto``/``ta``/``blockmax``/``scan``,
+see :mod:`repro.search.topk`); the ``ingest`` subcommand replays a
+JSONL feed (or a built-in demo feed) through the live ingestion +
+serving layer, querying as documents arrive; the ``bench`` subcommand
+mines one synthetic corpus through the legacy and columnar paths,
+compares the top-k strategies on a synthetic posting workload, and
+reports the wall-clock ratios.
 
 The subcommands share their flag groups through ``argparse`` parent
 parsers (one for corpus construction, one for mining, one for the
@@ -110,6 +116,22 @@ def _workers_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _strategy_parent() -> argparse.ArgumentParser:
+    """Shared top-k strategy flag (search / ingest)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--strategy",
+        choices=("auto", "ta", "blockmax", "scan"),
+        default="auto",
+        help="top-k execution strategy: 'ta' is the reference "
+        "round-robin Threshold Algorithm, 'blockmax' the block-at-a-"
+        "time vectorized TA, 'scan' the full vectorized scan, and "
+        "'auto' (default) lets the selectivity planner pick per query; "
+        "all strategies return byte-identical rankings",
+    )
+    return parent
+
+
 def _mining_parent() -> argparse.ArgumentParser:
     """Shared batch-mining flags (mine)."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -147,6 +169,7 @@ def _build_parser() -> argparse.ArgumentParser:
     synthetic = _synthetic_parent()
     workers = _workers_parent()
     mining = _mining_parent()
+    strategy = _strategy_parent()
 
     for name in sorted(_CORPUS_EXPERIMENTS):
         subparsers.add_parser(
@@ -168,6 +191,34 @@ def _build_parser() -> argparse.ArgumentParser:
         "mine",
         parents=[corpus, workers, mining],
         help="batch-mine the corpus vocabulary",
+    )
+    search = subparsers.add_parser(
+        "search",
+        parents=[corpus, strategy],
+        help="mine the queried terms and serve top-k retrieval with a "
+        "selectable execution strategy",
+    )
+    search.add_argument(
+        "--query",
+        action="append",
+        default=None,
+        help="query to serve (repeatable); defaults to the Table 9 "
+        "multi-term query 'financial crisis'",
+    )
+    search.add_argument(
+        "--k", type=int, default=10, help="results per query"
+    )
+    search.add_argument(
+        "--miner",
+        choices=("stlocal", "stcomb"),
+        default="stlocal",
+        help="pattern family backing the engine",
+    )
+    search.add_argument(
+        "--compare",
+        action="store_true",
+        help="run every strategy on each query, verify the rankings "
+        "are identical, and report per-strategy wall-clock",
     )
     bench = subparsers.add_parser(
         "bench",
@@ -198,7 +249,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     ingest = subparsers.add_parser(
-        "ingest", help="replay a feed through the live serving layer"
+        "ingest",
+        parents=[strategy],
+        help="replay a feed through the live serving layer",
     )
     ingest.add_argument(
         "--file",
@@ -334,6 +387,116 @@ def _run_mine(args: argparse.Namespace, lab: Optional[TopixLab]) -> Optional[Top
     return lab
 
 
+def _run_search(args: argparse.Namespace, lab: Optional[TopixLab]) -> Optional[TopixLab]:
+    """Mine the queried terms, then serve them with a chosen strategy."""
+    from repro.pipeline import BatchMiner
+    from repro.search import BurstySearchEngine, normalize_query_terms
+    from repro.streams.document import tokenize
+
+    if lab is None:
+        lab = _corpus_lab(args)
+    queries = args.query or ["financial crisis"]
+    wanted = sorted(
+        {
+            term
+            for query in queries
+            for term in normalize_query_terms(tokenize(query))
+        }
+        & set(lab.tensor.terms)
+    )
+    print(
+        f"mining {len(wanted)} query term(s) with "
+        f"{'STLocal' if args.miner == 'stlocal' else 'STComb'}...",
+        file=sys.stderr,
+    )
+    miner = BatchMiner(stlocal=lab.stlocal, stcomb=lab.stcomb)
+    if args.miner == "stlocal":
+        mined = miner.mine_regional(lab.tensor, wanted, locations=lab.locations)
+    else:
+        mined = miner.mine_combinatorial(lab.tensor, wanted)
+    engine = BurstySearchEngine(
+        lab.collection, mined, strategy=args.strategy
+    )
+    strategies = (
+        ("ta", "blockmax", "scan", "auto") if args.compare else (args.strategy,)
+    )
+    for query in queries:
+        if args.compare:
+            # Warm every strategy once untimed (posting lists, doc map,
+            # random-access dicts, column caches), so the printed
+            # numbers are steady-state and no strategy pays one-time
+            # costs inside its timed region.
+            for strategy in strategies:
+                engine.search(query, k=args.k, strategy=strategy)
+        baseline = None
+        for strategy in strategies:
+            started = time.perf_counter()
+            results = engine.search(query, k=args.k, strategy=strategy)
+            elapsed = time.perf_counter() - started
+            ranking = [(r.document.doc_id, r.score) for r in results]
+            if baseline is None:
+                baseline = ranking
+                print(f"query {query!r}: {len(results)} result(s)")
+                for rank, hit in enumerate(results, start=1):
+                    doc = hit.document
+                    print(
+                        f"  {rank:2d}. doc {doc.doc_id!r} "
+                        f"(stream {doc.stream_id!r}, t={doc.timestamp}, "
+                        f"score {hit.score:.4f})"
+                    )
+            elif ranking != baseline:
+                print(f"  {strategy:<8} MISMATCH vs {strategies[0]}")
+                raise SystemExit(1)
+            print(f"  [{strategy:<8}] {elapsed * 1000.0:8.2f}ms")
+        if args.compare:
+            print("  rankings byte-identical across strategies: yes")
+    return lab
+
+
+def _search_kernel_bench(seed: int, list_len: int, n_lists: int, k: int):
+    """Multi-term top-k strategy comparison over synthetic PostingArrays.
+
+    A compact single-regime cousin of ``benchmarks/bench_search.py``
+    (which owns the multi-regime workload and the speedup assertions);
+    returns per-strategy wall-clock plus the verified-identical flag.
+    """
+    import numpy as np
+
+    from repro.search import threshold_topk, topk
+    from repro.columnar.postings import PostingArray
+
+    rng = np.random.default_rng(seed)
+    universe = list_len * 2
+    columns = []
+    for _ in range(n_lists):
+        ids = np.sort(
+            rng.choice(universe, size=list_len, replace=False)
+        ).tolist()
+        scores = rng.random(list_len)
+        columns.append((ids, scores))
+
+    def fresh_lists():
+        # New PostingArray objects per run: every strategy pays its own
+        # materialisation (column caches ride on object identity).
+        return [PostingArray(ids, scores) for ids, scores in columns]
+
+    timings = {}
+    rankings = {}
+    for strategy in ("ta", "blockmax", "scan", "auto"):
+        lists = fresh_lists()
+        started = time.perf_counter()
+        if strategy == "ta":
+            results, _ = threshold_topk(lists, k)
+        else:
+            results, _ = topk(lists, k, strategy)
+        timings[strategy] = time.perf_counter() - started
+        rankings[strategy] = [(r.doc_id, r.score) for r in results]
+    identical = all(
+        rankings[name] == rankings["ta"] for name in rankings
+    )
+    return timings, identical
+
+
 def _run_bench(args: argparse.Namespace) -> None:
     """Mine one synthetic corpus via the legacy and columnar paths."""
     import random
@@ -418,6 +581,28 @@ def _run_bench(args: argparse.Namespace) -> None:
     if not identical:
         raise SystemExit(1)
 
+    # Serving-side comparison: top-k strategies over synthetic posting
+    # arrays (benchmarks/bench_search.py runs the same shape at scale).
+    list_len = max(2000, args.bench_timeline * 100)
+    timings, search_identical = _search_kernel_bench(
+        seed=args.seed, list_len=list_len, n_lists=4, k=10
+    )
+    print(
+        f"top-k strategies (4 lists x {list_len} postings, k=10):"
+    )
+    for name in ("ta", "blockmax", "scan", "auto"):
+        ratio = timings["ta"] / max(timings[name], 1e-9)
+        print(
+            f"  {name:<8} {timings[name] * 1000.0:8.2f}ms "
+            f"({ratio:5.2f}x vs reference TA)"
+        )
+    print(
+        "  rankings byte-identical: "
+        f"{'yes' if search_identical else 'NO'}"
+    )
+    if not search_identical:
+        raise SystemExit(1)
+
 
 def _demo_feed(timeline: int):
     """Deterministic built-in feed: background chatter + one outbreak.
@@ -474,7 +659,7 @@ def _run_ingest(args: argparse.Namespace) -> None:
         records = list(_demo_feed(args.timeline))
 
     live = LiveCollection(args.timeline)
-    engine = LiveSearchEngine(live)
+    engine = LiveSearchEngine(live, strategy=args.strategy)
     queries = args.query or ["storm"]
 
     def serve(label: str) -> None:
@@ -563,6 +748,8 @@ def _run_one(name: str, args: argparse.Namespace, lab: Optional[TopixLab]) -> Op
         return lab
     if name == "mine":
         return _run_mine(args, lab)
+    if name == "search":
+        return _run_search(args, lab)
     if name in _CORPUS_EXPERIMENTS:
         if lab is None:
             lab = _corpus_lab(args)

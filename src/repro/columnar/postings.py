@@ -146,6 +146,16 @@ class PostingArray(PostingList):
     # ------------------------------------------------------------------
     # Columnar extensions
     # ------------------------------------------------------------------
+    def columns(self):
+        """The raw sorted columns ``(doc_ids, scores, tiebreaks)``.
+
+        The vectorized top-k kernel (:mod:`repro.search.topk`) reads
+        these directly — no ``Posting`` materialisation, no recomputed
+        ``crc32`` tiebreaks.  Callers must treat the arrays as
+        immutable.
+        """
+        return self._ids, self._scores, self._ties
+
     def merged_with(self, delta: "PostingArray") -> "PostingArray":
         """Merge another sorted array into a fresh sorted array.
 

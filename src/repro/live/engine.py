@@ -46,7 +46,7 @@ from repro.pipeline.incremental import IncrementalFeeder
 from repro.search.engine import SearchResult, _default_aggregate, score_posting
 from repro.search.inverted_index import Posting
 from repro.search.relevance import RelevanceFunction, log_relevance
-from repro.search.threshold_algorithm import threshold_topk
+from repro.search.topk import STRATEGIES, normalize_query_terms, topk
 from repro.streams.document import Document, tokenize
 
 __all__ = ["LiveSearchEngine", "ServingStats"]
@@ -91,7 +91,18 @@ class LiveSearchEngine:
         config: STLocal settings for the live miners.
         cache_size: Capacity of the LRU result cache.
         compaction_threshold: Delta size that triggers a posting-list
-            compaction (see :class:`~repro.live.index.LiveIndex`).
+            compaction *on the ingest path* (see
+            :class:`~repro.live.index.LiveIndex`), bounding delta
+            growth for terms that are written but not queried.  A
+            *queried* term compacts its pending delta immediately
+            regardless of the threshold: the vectorized kernel reads
+            the compacted columnar base directly, whereas serving a
+            lazy merge view would re-materialise the whole list on
+            every query — strictly more work than compacting once.
+        strategy: Default top-k execution strategy (``auto`` lets the
+            planner pick per query; see :mod:`repro.search.topk`).
+            Strategies are byte-identical in output, so the result
+            cache is shared across them.
     """
 
     def __init__(
@@ -102,9 +113,15 @@ class LiveSearchEngine:
         config: Optional[STLocalConfig] = None,
         cache_size: int = 128,
         compaction_threshold: int = 32,
+        strategy: str = "auto",
     ) -> None:
         if cache_size < 1:
             raise SearchError("cache_size must be >= 1")
+        if strategy not in STRATEGIES:
+            raise SearchError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        self.strategy = strategy
         self.live = live
         self.relevance = relevance
         self.aggregate = aggregate
@@ -119,16 +136,31 @@ class LiveSearchEngine:
     # ------------------------------------------------------------------
     # Querying
     # ------------------------------------------------------------------
-    def search(self, query: str, k: int = 10) -> List[SearchResult]:
+    def search(
+        self, query: str, k: int = 10, strategy: Optional[str] = None
+    ) -> List[SearchResult]:
         """Top-k bursty documents for a text query, served live.
 
+        Query terms are normalised (deduplicated, sorted) before both
+        the posting-list lookup and the LRU cache key, so a repeated
+        term is never double-counted and ``"a b"`` / ``"b a"`` /
+        ``"a a b"`` share one cache entry.  The key deliberately omits
+        the strategy — every strategy returns the identical ranking.
+
         Raises:
-            SearchError: on an empty query or non-positive ``k``.
+            SearchError: on an empty query, non-positive ``k`` or an
+                unknown strategy.
         """
-        terms = list(tokenize(query))
+        if strategy is not None and strategy not in STRATEGIES:
+            # Validated before the cache lookup: a typoed strategy must
+            # fail identically whether or not the query is cached.
+            raise SearchError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        terms = normalize_query_terms(tokenize(query))
         if not terms:
             raise SearchError("empty query")
-        key = (tuple(terms), k, self.live.epoch)
+        key = (terms, k, self.live.epoch)
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
@@ -136,7 +168,7 @@ class LiveSearchEngine:
             return list(cached)
         self.stats.cache_misses += 1
         lists = [self._term_list(term) for term in terms]
-        ranked, _ = threshold_topk(lists, k)
+        ranked, _ = topk(lists, k, strategy or self.strategy)
         results = [
             SearchResult(
                 document=self.live.document(result.doc_id), score=result.score
@@ -179,6 +211,11 @@ class LiveSearchEngine:
     # ------------------------------------------------------------------
     def _term_list(self, term: str):
         self._sync_term(term)
+        # Compact any pending delta before querying: the compacted base
+        # is a columnar PostingArray whose score/tiebreak columns the
+        # vectorized top-k kernel consumes directly (order-exact, so
+        # results are unchanged).
+        self.index.compact_pending(term)
         return self.index.get(term)
 
     def _sync_term(self, term: str) -> None:

@@ -34,7 +34,12 @@ from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple, Un
 
 from repro.columnar.postings import PostingArray
 from repro.errors import SearchError
-from repro.search.inverted_index import Posting, PostingList, rank_tiebreak
+from repro.search.inverted_index import (
+    Posting,
+    PostingList,
+    random_access_map,
+    rank_tiebreak,
+)
 
 __all__ = ["DeltaPostingList", "LiveIndex"]
 
@@ -57,6 +62,7 @@ class DeltaPostingList:
         self._merged: List[Posting] = []
         self._base_rank = 0
         self._delta_rank = 0
+        self._by_doc_cache: Optional[Dict[Hashable, float]] = None
 
     def __len__(self) -> int:
         return len(self._base) + len(self._delta)
@@ -94,6 +100,21 @@ class DeltaPostingList:
         if score is not None:
             return score
         return self._base.random_access(doc_id)
+
+    @property
+    def _by_doc(self) -> Dict[Hashable, float]:
+        """Merged random-access map (delta overrides base).
+
+        Exposes the same relation as :meth:`random_access` so
+        :func:`repro.search.inverted_index.random_access_map` — and
+        through it the vectorized top-k kernel — can gather scores from
+        a merged view without per-document probes.
+        """
+        if self._by_doc_cache is None:
+            merged = dict(random_access_map(self._base))
+            merged.update(random_access_map(self._delta))
+            self._by_doc_cache = merged
+        return self._by_doc_cache
 
     def top(self, k: int) -> List[Posting]:
         """The ``k`` best postings of the merged view."""
@@ -197,6 +218,28 @@ class LiveIndex:
         known.update(batch_ids)
         if len(self._delta[term]) >= self.compaction_threshold:
             self._compact(term)
+
+    def compact_pending(self, term: str) -> bool:
+        """Compact a term's pending delta (if any) into its base.
+
+        The serving path calls this before handing a term's postings to
+        the vectorized top-k kernel: the compacted base is a columnar
+        :class:`~repro.columnar.postings.PostingArray` whose score and
+        tiebreak columns the kernel consumes directly, whereas a lazy
+        :class:`DeltaPostingList` merge view is rebuilt per read and
+        would re-materialise the whole list on every query.  Reads
+        therefore compact eagerly; ``compaction_threshold`` still
+        bounds delta growth for terms that only see writes.  Compaction
+        is order-exact, so results are unchanged — only the execution
+        strategy is.
+
+        Returns:
+            True when a pending delta was compacted.
+        """
+        if term not in self._base or not self._delta.get(term):
+            return False
+        self._compact(term)
+        return True
 
     def invalidate(self, term: str) -> bool:
         """Drop a term entirely; True when it was indexed."""

@@ -12,6 +12,16 @@ from repro.search.threshold_algorithm import (
     exhaustive_topk,
     threshold_topk,
 )
+from repro.search.topk import (
+    STRATEGIES,
+    TopKStats,
+    blockmax_topk,
+    normalize_query_terms,
+    plan_strategy,
+    scan_topk,
+    topk,
+    topk_many,
+)
 from repro.search.engine import (
     BurstySearchEngine,
     SearchResult,
@@ -28,13 +38,21 @@ __all__ = [
     "Posting",
     "PostingList",
     "RelevanceFunction",
+    "STRATEGIES",
     "SearchResult",
     "TemporalPattern",
     "TemporalSearchEngine",
     "TopKResult",
+    "TopKStats",
     "binary_relevance",
+    "blockmax_topk",
     "exhaustive_topk",
     "log_relevance",
+    "normalize_query_terms",
+    "plan_strategy",
     "raw_relevance",
+    "scan_topk",
     "threshold_topk",
+    "topk",
+    "topk_many",
 ]

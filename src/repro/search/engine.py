@@ -27,7 +27,12 @@ from repro.errors import SearchError
 from repro.intervals.interval import Interval
 from repro.search.inverted_index import InvertedIndex, Posting
 from repro.search.relevance import RelevanceFunction, log_relevance
-from repro.search.threshold_algorithm import TopKResult, threshold_topk
+from repro.search.topk import (
+    STRATEGIES,
+    normalize_query_terms,
+    topk,
+    topk_many,
+)
 from repro.streams.collection import SpatiotemporalCollection
 from repro.streams.document import Document, tokenize
 from repro.temporal.lappas import LappasBurstDetector
@@ -96,17 +101,23 @@ def score_posting(
 
 
 class _PatternEngineBase:
-    """Shared machinery: postings construction + TA querying."""
+    """Shared machinery: postings construction + top-k querying."""
 
     def __init__(
         self,
         collection: SpatiotemporalCollection,
         relevance: RelevanceFunction = log_relevance,
         aggregate: Callable[[Sequence[float]], float] = _default_aggregate,
+        strategy: str = "auto",
     ) -> None:
+        if strategy not in STRATEGIES:
+            raise SearchError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
         self.collection = collection
         self.relevance = relevance
         self.aggregate = aggregate
+        self.strategy = strategy
         self._index = InvertedIndex()
         self._doc_map: Optional[Dict[Hashable, Document]] = None
         self._built_version = collection.version
@@ -155,27 +166,80 @@ class _PatternEngineBase:
         return self._index.add(term, postings)
 
     # -- querying --------------------------------------------------------
-    def search(self, query: str, k: int = 10) -> List[SearchResult]:
+    def search(
+        self, query: str, k: int = 10, strategy: Optional[str] = None
+    ) -> List[SearchResult]:
         """Retrieve the top-k bursty documents for a text query.
 
         Args:
             query: Free text; tokenised into terms (so ``"air france"``
-                becomes the two-term query ``{air, france}``).
+                becomes the two-term query ``{air, france}``).  Terms
+                are deduplicated and sorted — repeating a term does not
+                double-count its score.
             k: Number of documents.
+            strategy: Top-k execution strategy for this query
+                (``auto``/``ta``/``blockmax``/``scan``); defaults to
+                the engine-level setting.  Every strategy returns the
+                identical ranking.
 
         Raises:
-            SearchError: on an empty query.
+            SearchError: on an empty query or unknown strategy.
         """
-        terms = list(tokenize(query))
+        terms = normalize_query_terms(tokenize(query))
         if not terms:
             raise SearchError("empty query")
         self._check_freshness()
         lists = [self._posting_list(term) for term in terms]
-        results, _ = threshold_topk(lists, k)
+        results, _ = topk(lists, k, strategy or self.strategy)
         documents = self._documents_by_id_map()
         return [
             SearchResult(document=documents[result.doc_id], score=result.score)
             for result in results
+        ]
+
+    def search_many(
+        self,
+        queries: Sequence[str],
+        k: int = 10,
+        strategy: Optional[str] = None,
+    ) -> List[List[SearchResult]]:
+        """Batched :meth:`search` over a query workload.
+
+        Posting lists are resolved once per distinct term and their
+        columnar views are shared across the whole batch (see
+        :func:`repro.search.topk.topk_many`), so a workload touching
+        overlapping vocabularies pays each term's materialisation cost
+        once.  The batch executes against a single collection snapshot.
+
+        Raises:
+            SearchError: when any query is empty.
+        """
+        per_query = []
+        for query in queries:
+            terms = normalize_query_terms(tokenize(query))
+            if not terms:
+                raise SearchError("empty query")
+            per_query.append(terms)
+        self._check_freshness()
+        lists_by_term = {
+            term: self._posting_list(term)
+            for terms in per_query
+            for term in terms
+        }
+        outcomes = topk_many(
+            [[lists_by_term[term] for term in terms] for terms in per_query],
+            k,
+            strategy=strategy or self.strategy,
+        )
+        documents = self._documents_by_id_map()
+        return [
+            [
+                SearchResult(
+                    document=documents[result.doc_id], score=result.score
+                )
+                for result in results
+            ]
+            for results, _ in outcomes
         ]
 
     def _documents_by_id_map(self) -> Dict[Hashable, Document]:
@@ -208,6 +272,8 @@ class BurstySearchEngine(_PatternEngineBase):
         aggregate: Aggregation of overlapping-pattern scores
             (default max, the paper's best).
         precompute: Build all posting lists up front (default).
+        strategy: Default top-k execution strategy (``auto`` lets the
+            planner pick per query; see :mod:`repro.search.topk`).
     """
 
     def __init__(
@@ -218,8 +284,14 @@ class BurstySearchEngine(_PatternEngineBase):
         aggregate: Callable[[Sequence[float]], float] = _default_aggregate,
         precompute: bool = True,
         columnar: bool = True,
+        strategy: str = "auto",
     ) -> None:
-        super().__init__(collection, relevance=relevance, aggregate=aggregate)
+        super().__init__(
+            collection,
+            relevance=relevance,
+            aggregate=aggregate,
+            strategy=strategy,
+        )
         self._patterns = dict(patterns)
         self._columnar = columnar
         self._store = None
@@ -321,6 +393,8 @@ class TemporalSearchEngine(_PatternEngineBase):
         detector: Temporal burst detector for the merged sequences.
         relevance: Per-term relevance function.
         aggregate: Aggregation over overlapping temporal patterns.
+        strategy: Default top-k execution strategy (``auto`` plans per
+            query).
     """
 
     def __init__(
@@ -329,8 +403,14 @@ class TemporalSearchEngine(_PatternEngineBase):
         detector: Optional[LappasBurstDetector] = None,
         relevance: RelevanceFunction = log_relevance,
         aggregate: Callable[[Sequence[float]], float] = _default_aggregate,
+        strategy: str = "auto",
     ) -> None:
-        super().__init__(collection, relevance=relevance, aggregate=aggregate)
+        super().__init__(
+            collection,
+            relevance=relevance,
+            aggregate=aggregate,
+            strategy=strategy,
+        )
         self.detector = detector if detector is not None else LappasBurstDetector()
         self._cache: Dict[str, List[TemporalPattern]] = {}
 

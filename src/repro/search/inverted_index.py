@@ -17,7 +17,13 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.errors import SearchError
 
-__all__ = ["Posting", "PostingList", "InvertedIndex", "rank_tiebreak"]
+__all__ = [
+    "Posting",
+    "PostingList",
+    "InvertedIndex",
+    "random_access_map",
+    "rank_tiebreak",
+]
 
 
 def rank_tiebreak(doc_id: Hashable) -> int:
@@ -90,6 +96,29 @@ class PostingList:
         clone = PostingList(self._sorted[:depth])
         clone._by_doc = dict(self._by_doc)
         return clone
+
+
+def random_access_map(posting_list) -> Dict[Hashable, float]:
+    """The full random-access relation of a posting list, as a dict.
+
+    Equivalent to calling :meth:`PostingList.random_access` for every
+    document the list knows about — including documents a pruned
+    (:meth:`PostingList.truncated`) list no longer exposes to sorted
+    access.  The single-pass ``exhaustive_topk`` and the vectorized
+    kernels in :mod:`repro.search.topk` both gather scores from this
+    map instead of probing ``random_access`` once per document.
+
+    Every posting-list implementation in the repo (``PostingList``,
+    ``PostingArray``, ``DeltaPostingList``) exposes its map as
+    ``_by_doc``; unknown implementations fall back to materialising the
+    sorted-access sequence, with later (lower-ranked) duplicates
+    overwriting earlier ones exactly as the ``PostingList`` constructor
+    does.
+    """
+    by_doc = getattr(posting_list, "_by_doc", None)
+    if isinstance(by_doc, dict):
+        return by_doc
+    return {posting.doc_id: posting.score for posting in posting_list}
 
 
 class InvertedIndex:

@@ -33,7 +33,11 @@ import math
 from typing import Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SearchError
-from repro.search.inverted_index import PostingList, rank_tiebreak
+from repro.search.inverted_index import (
+    PostingList,
+    random_access_map,
+    rank_tiebreak,
+)
 
 __all__ = ["TopKResult", "threshold_topk", "exhaustive_topk"]
 
@@ -149,6 +153,16 @@ def exhaustive_topk(
 
     Used by the property tests to verify TA returns exactly the same
     ranking.
+
+    Candidates are the documents visible to *sorted* access in at least
+    one list; a candidate's aggregate comes from each list's *random*
+    access relation and the candidate is excluded when missing from any
+    list — exactly the semantics of running :func:`_full_score` per
+    candidate, but in a single accumulation pass per list instead of
+    one ``random_access`` probe per (candidate, list) pair.  Per
+    document the per-list scores are added in list order starting from
+    ``0.0``, so the floating-point sums are bit-identical to
+    :func:`_full_score`.
     """
     if k < 1:
         raise SearchError("k must be positive")
@@ -158,10 +172,17 @@ def exhaustive_topk(
     for posting_list in lists:
         for posting in posting_list:
             candidates.add(posting.doc_id)
-    scored = []
-    for doc_id in candidates:
-        total = _full_score(lists, doc_id)
-        if total is not None:
-            scored.append(TopKResult(doc_id=doc_id, score=total))
+    totals: dict = {}
+    appearances: dict = {}
+    for posting_list in lists:
+        for doc_id, score in random_access_map(posting_list).items():
+            totals[doc_id] = totals.get(doc_id, 0.0) + score
+            appearances[doc_id] = appearances.get(doc_id, 0) + 1
+    everywhere = len(lists)
+    scored = [
+        TopKResult(doc_id=doc_id, score=totals[doc_id])
+        for doc_id in candidates
+        if appearances.get(doc_id, 0) == everywhere
+    ]
     scored.sort(key=lambda result: (-result.score, rank_tiebreak(result.doc_id)))
     return scored[:k]

@@ -367,6 +367,84 @@ class TestLiveSearchEngine:
         assert again == first
         assert engine.stats.cache_hits == 1
 
+    def test_cache_key_normalised_across_term_order_and_duplicates(self):
+        live = make_live(timeline=16)
+        engine = LiveSearchEngine(live, config=STLocalConfig(warmup=2))
+        self._seed_burst(live)
+        for offset in range(4):
+            live.ingest(Document(500 + offset, "s0", 9, ("calm",)))
+        reference = engine.search("boom calm", k=3)
+        assert engine.stats.cache_misses == 1
+        # Reordered and duplicated spellings hit the same cache entry.
+        assert engine.search("calm boom", k=3) == reference
+        assert engine.search("boom boom calm", k=3) == reference
+        assert engine.stats.cache_hits == 2
+        assert engine.stats.cache_misses == 1
+
+    def test_duplicate_term_not_double_counted_live(self):
+        live = make_live(timeline=16)
+        engine = LiveSearchEngine(live, config=STLocalConfig(warmup=2))
+        self._seed_burst(live)
+        single = [
+            (r.document.doc_id, r.score) for r in engine.search("boom", k=4)
+        ]
+        repeated = [
+            (r.document.doc_id, r.score)
+            for r in engine.search("boom boom", k=4)
+        ]
+        assert repeated == single
+
+    def test_all_strategies_identical_live(self):
+        live = make_live(timeline=16)
+        engine = LiveSearchEngine(live, config=STLocalConfig(warmup=2))
+        self._seed_burst(live)
+        reference = [
+            (r.document.doc_id, r.score)
+            for r in engine.search("boom", k=4, strategy="ta")
+        ]
+        assert reference
+        for strategy in ("auto", "blockmax", "scan"):
+            # The result cache is strategy-agnostic (rankings are
+            # byte-identical by contract), so it must be dropped for
+            # each strategy to actually execute through the live path.
+            engine._cache.clear()
+            live_results = [
+                (r.document.doc_id, r.score)
+                for r in engine.search("boom", k=4, strategy=strategy)
+            ]
+            assert live_results == reference
+        assert engine.stats.cache_misses == 4
+
+    def test_unknown_strategy_rejected(self):
+        live = make_live(timeline=16)
+        with pytest.raises(SearchError):
+            LiveSearchEngine(live, strategy="quantum")
+
+    def test_unknown_strategy_rejected_even_when_cached(self):
+        live = make_live(timeline=16)
+        engine = LiveSearchEngine(live, config=STLocalConfig(warmup=2))
+        self._seed_burst(live)
+        engine.search("boom", k=3)  # primes the result cache
+        with pytest.raises(SearchError):
+            engine.search("boom", k=3, strategy="quantum")
+
+    def test_query_compacts_pending_delta_to_columnar_base(self):
+        from repro.columnar.postings import PostingArray
+
+        live = make_live(timeline=16)
+        engine = LiveSearchEngine(
+            live, config=STLocalConfig(warmup=2), compaction_threshold=1000
+        )
+        self._seed_burst(live)
+        engine.search("boom", k=3)
+        # New documents join the delta; the next query compacts it so
+        # the kernel reads a columnar base, with identical results.
+        live.ingest(Document(999, "s0", 9, ("boom", "boom", "boom")))
+        results = engine.search("boom", k=5)
+        assert engine.index.delta_size("boom") == 0
+        assert isinstance(engine.index.get("boom"), PostingArray)
+        assert any(r.document.doc_id == 999 for r in results)
+
     def test_ingest_invalidates_result_cache(self):
         live = make_live(timeline=16)
         engine = LiveSearchEngine(live, config=STLocalConfig(warmup=2))

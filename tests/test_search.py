@@ -289,6 +289,71 @@ class TestBurstySearchEngine:
         assert engine_min.search("quake", k=3)
 
 
+class TestQueryNormalization:
+    """Duplicate / reordered query terms (the double-count regression)."""
+
+    def test_duplicate_term_not_double_counted(self):
+        coll, _ = build_event_collection()
+        patterns = STComb().mine(coll, terms=["quake"])
+        engine = BurstySearchEngine(coll, patterns)
+        single = [(h.document.doc_id, h.score) for h in engine.search("quake", k=8)]
+        repeated = [
+            (h.document.doc_id, h.score)
+            for h in engine.search("quake quake quake", k=8)
+        ]
+        assert repeated == single
+
+    def test_term_order_does_not_change_results(self):
+        coll, _ = build_event_collection()
+        patterns = STComb().mine(coll, terms=["quake", "damage"])
+        engine = BurstySearchEngine(coll, patterns)
+        forward = [(h.document.doc_id, h.score) for h in engine.search("quake damage", k=8)]
+        backward = [(h.document.doc_id, h.score) for h in engine.search("damage quake", k=8)]
+        assert forward == backward
+
+
+class TestEngineStrategies:
+    def test_all_strategies_identical_through_engine(self):
+        coll, _ = build_event_collection()
+        patterns = STComb().mine(coll, terms=["quake", "damage"])
+        engine = BurstySearchEngine(coll, patterns)
+        reference = [
+            (h.document.doc_id, h.score)
+            for h in engine.search("quake damage", k=8, strategy="ta")
+        ]
+        for strategy in ("auto", "blockmax", "scan"):
+            assert [
+                (h.document.doc_id, h.score)
+                for h in engine.search("quake damage", k=8, strategy=strategy)
+            ] == reference
+
+    def test_unknown_strategy_rejected(self):
+        coll, _ = build_event_collection()
+        with pytest.raises(SearchError):
+            BurstySearchEngine(coll, {}, strategy="quantum")
+        engine = BurstySearchEngine(coll, {})
+        with pytest.raises(SearchError):
+            engine.search("quake", k=3, strategy="quantum")
+
+    def test_search_many_matches_search(self):
+        coll, _ = build_event_collection()
+        patterns = STComb().mine(coll, terms=["quake", "damage"])
+        engine = BurstySearchEngine(coll, patterns)
+        queries = ["quake", "quake damage", "damage"]
+        batched = engine.search_many(queries, k=6)
+        for query, results in zip(queries, batched):
+            solo = engine.search(query, k=6)
+            assert [(h.document.doc_id, h.score) for h in results] == [
+                (h.document.doc_id, h.score) for h in solo
+            ]
+
+    def test_search_many_rejects_empty_query(self):
+        coll, _ = build_event_collection()
+        engine = BurstySearchEngine(coll, {})
+        with pytest.raises(SearchError):
+            engine.search_many(["quake", "  "], k=3)
+
+
 class TestTemporalSearchEngine:
     def test_tb_ignores_location(self):
         coll, event_docs = build_event_collection()

@@ -1,0 +1,294 @@
+"""Differential suite: every top-k strategy returns the identical ranking.
+
+Pins ``threshold_topk`` (reference TA) == ``blockmax_topk`` ==
+``scan_topk`` == planner-selected ``topk`` == ``exhaustive_topk`` over
+random workloads spanning:
+
+* both posting containers — legacy ``PostingList`` and columnar
+  ``PostingArray`` — mixed within one query;
+* truncated (pruned-prefix) lists, where random access answers for
+  documents sorted access no longer reaches, including depth-0 pruning
+  and the exhausted-list threshold-bound regression;
+* heavy score ties (small integer scores) exercising the deterministic
+  ``crc32`` tiebreak, negative scores, and k beyond the candidate set;
+* integer ids (the kernel's fully vectorized path) and string/mixed
+  ids (the dict-gather fallback).
+
+"Identical" is exact: same document ids, same floating-point score
+bits, same order.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnar.postings import PostingArray
+from repro.errors import SearchError
+from repro.search import (
+    Posting,
+    PostingList,
+    blockmax_topk,
+    exhaustive_topk,
+    normalize_query_terms,
+    plan_strategy,
+    scan_topk,
+    threshold_topk,
+    topk,
+    topk_many,
+)
+
+
+def ranking(results):
+    return [(result.doc_id, result.score) for result in results]
+
+
+def assert_all_strategies_agree(lists, k, blocks=(1, 3, 64)):
+    """Every strategy — and the planner — must agree exactly."""
+    reference = ranking(exhaustive_topk(lists, k))
+    ta, _ = threshold_topk(lists, k)
+    assert ranking(ta) == reference
+    for block in blocks:
+        blockmax, _ = blockmax_topk(lists, k, block=block)
+        assert ranking(blockmax) == reference, f"block={block}"
+    scan, _ = scan_topk(lists, k)
+    assert ranking(scan) == reference
+    auto, stats = topk(lists, k, "auto")
+    assert ranking(auto) == reference
+    assert stats.planned and stats.strategy in ("blockmax", "scan")
+    return reference
+
+
+def build_lists(spec, rng, id_pool=None):
+    """Posting lists from ``spec`` (one doc→score dict per list).
+
+    Randomly mixes ``PostingList``/``PostingArray`` containers and
+    truncation depths, mirroring what the engines and the live index
+    can serve.
+    """
+    lists = []
+    for entries in spec:
+        docs = list(entries)
+        if id_pool is not None:
+            docs = [id_pool[doc % len(id_pool)] for doc in docs]
+            entries = dict(zip(docs, entries.values()))
+        postings = [Posting(doc, score) for doc, score in entries.items()]
+        if rng.random() < 0.5:
+            plist = PostingArray(
+                [p.doc_id for p in postings], [p.score for p in postings]
+            )
+        else:
+            plist = PostingList(postings)
+        if len(plist) and rng.random() < 0.4:
+            plist = plist.truncated(rng.randint(0, len(plist)))
+        lists.append(plist)
+    return lists
+
+
+_SPEC = st.lists(
+    st.dictionaries(
+        st.integers(0, 25),
+        # Small integer scores force heavy ties; negatives included.
+        st.integers(-4, 7).map(float),
+        max_size=14,
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestDifferential:
+    @settings(max_examples=120, deadline=None)
+    @given(_SPEC, st.integers(1, 8), st.randoms(use_true_random=False))
+    def test_integer_ids(self, spec, k, rng):
+        assert_all_strategies_agree(build_lists(spec, rng), k)
+
+    @settings(max_examples=80, deadline=None)
+    @given(_SPEC, st.integers(1, 8), st.randoms(use_true_random=False))
+    def test_string_and_mixed_ids(self, spec, k, rng):
+        """Non-integer ids exercise the dict-gather fallback path."""
+        pool = ["a", "b", "cc", "d0", "e", "f9", 31, 45, "g", "h7"]
+        assert_all_strategies_agree(
+            build_lists(spec, rng, id_pool=pool), k
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        _SPEC,
+        st.integers(1, 6),
+        st.floats(0.0, 10.0, allow_nan=False),
+        st.randoms(use_true_random=False),
+    )
+    def test_float_scores(self, spec, k, jitter, rng):
+        spec = [
+            {doc: score + jitter * (doc % 3) for doc, score in entries.items()}
+            for entries in spec
+        ]
+        assert_all_strategies_agree(build_lists(spec, rng), k)
+
+
+class TestRegressions:
+    def test_exhausted_pruned_list_keeps_bounding(self):
+        """The PR-1 stopping-rule regression, now pinned across every
+        strategy: a pruned list's final score must stay in the bound."""
+        full = PostingList([Posting("x", 10.0), Posting("y", 9.0)])
+        pruned = full.truncated(1)
+        other = PostingList(
+            [
+                Posting("d1", 3.0),
+                Posting("d2", 2.9),
+                Posting("y", 2.5),
+                Posting("x", 0.1),
+            ]
+        )
+        reference = assert_all_strategies_agree([pruned, other], 1)
+        assert reference == [("y", 11.5)]
+
+    def test_depth_zero_truncation_random_access_only(self):
+        """A depth-0 pruned list exposes nothing to sorted access but
+        still scores candidates discovered in the other lists."""
+        hidden = PostingArray([1, 2], [2.0, 1.0]).truncated(0)
+        visible = PostingArray([1, 2, 3], [5.0, 4.0, 3.0])
+        reference = assert_all_strategies_agree([hidden, visible], 3)
+        assert [doc for doc, _ in reference] == [1, 2]
+
+    def test_kth_score_tie_resolved_by_tiebreak(self):
+        """An unseen document tying the k-th aggregate can still win
+        the crc32 tiebreak — every strategy must agree."""
+        from repro.search.inverted_index import rank_tiebreak
+
+        pool = sorted((f"doc{i}" for i in range(200)), key=rank_tiebreak)
+        b1, b2, a2, a3, y, w = (*pool[:5], pool[-1])
+        list_a = PostingList(
+            [Posting(w, 5.0), Posting(a2, 3.0), Posting(a3, 3.0), Posting(y, 3.0)]
+        )
+        list_b = PostingList(
+            [Posting(b1, 3.0), Posting(b2, 3.0), Posting(y, 3.0), Posting(w, 1.0)]
+        )
+        reference = assert_all_strategies_agree([list_a, list_b], 1)
+        assert [doc for doc, _ in reference] == [y]
+
+    def test_empty_list_excludes_everything(self):
+        lists = [
+            PostingArray([], []),
+            PostingArray([1, 2], [2.0, 1.0]),
+        ]
+        assert assert_all_strategies_agree(lists, 3) == []
+
+    def test_duplicate_ids_within_a_list(self):
+        """Dict semantics (last sorted occurrence wins) hold across
+        containers and strategies."""
+        lists = [
+            PostingArray([3, 3, 1], [5.0, 2.0, 4.0]),
+            PostingList([Posting(3, 1.0), Posting(1, 1.0)]),
+        ]
+        assert_all_strategies_agree(lists, 3)
+
+    def test_single_list_k_beyond_length(self):
+        lists = [PostingArray([5, 6, 7], [3.0, 2.0, 1.0])]
+        reference = assert_all_strategies_agree(lists, 10)
+        assert len(reference) == 3
+
+    def test_conjunctive_intersection_smaller_than_k(self):
+        """TA's full-exhaustion case: fewer survivors than k."""
+        lists = [
+            PostingArray(list(range(0, 40)), [float(40 - i) for i in range(40)]),
+            PostingArray(
+                list(range(38, 78)), [float(78 - i) for i in range(38, 78)]
+            ),
+        ]
+        reference = assert_all_strategies_agree(lists, 10)
+        assert len(reference) == 2  # docs 38, 39 only
+
+
+class TestDispatchAndPlanner:
+    def test_unknown_strategy_rejected(self):
+        lists = [PostingArray([1], [1.0])]
+        with pytest.raises(SearchError):
+            topk(lists, 1, "quantum")
+
+    def test_invalid_k_and_empty_lists(self):
+        lists = [PostingArray([1], [1.0])]
+        with pytest.raises(SearchError):
+            topk(lists, 0)
+        with pytest.raises(SearchError):
+            topk([], 1)
+        with pytest.raises(SearchError):
+            blockmax_topk(lists, 1, block=0)
+
+    def test_explicit_strategies_run_what_was_asked(self):
+        lists = [PostingArray(list(range(50)), [float(i) for i in range(50)])]
+        for name in ("ta", "blockmax", "scan"):
+            _, stats = topk(lists, 3, name)
+            assert stats.strategy == name
+            assert not stats.planned
+
+    def test_planner_prefers_scan_for_small_inputs(self):
+        lists = [PostingArray([1, 2, 3], [3.0, 2.0, 1.0])] * 2
+        assert plan_strategy(lists, 2) == "scan"
+
+    def test_planner_prefers_scan_for_large_k(self):
+        n = 4000
+        lists = [PostingArray(list(range(n)), [float(i) for i in range(n)])]
+        assert plan_strategy(lists, n // 2) == "scan"
+
+    def test_planner_prefers_blockmax_for_selective_deep_queries(self):
+        n = 4000
+        lists = [
+            PostingArray(list(range(n)), [float(i) for i in range(n)])
+            for _ in range(2)
+        ]
+        assert plan_strategy(lists, 5) == "blockmax"
+
+    def test_topk_many_matches_per_query_topk(self):
+        shared = PostingArray(
+            list(range(300)), [float((i * 17) % 101) for i in range(300)]
+        )
+        other = PostingArray(
+            list(range(0, 300, 2)), [float((i * 29) % 97) for i in range(150)]
+        )
+        queries = [[shared, other], [shared], [other, shared]]
+        batched = topk_many(queries, 5)
+        for lists, (results, _) in zip(queries, batched):
+            solo, _ = topk(lists, 5)
+            assert ranking(results) == ranking(solo)
+
+    def test_normalize_query_terms(self):
+        assert normalize_query_terms(["b", "a", "b", "a"]) == ("a", "b")
+        assert normalize_query_terms([]) == ()
+
+
+class TestExhaustiveSemantics:
+    """The single-pass ``exhaustive_topk`` rewrite keeps the original
+    exclude-if-missing-anywhere semantics."""
+
+    def test_hidden_document_still_scored_via_random_access(self):
+        pruned = PostingList(
+            [Posting("a", 9.0), Posting("b", 8.0)]
+        ).truncated(1)  # "b" hidden from sorted access, map intact
+        other = PostingList([Posting("b", 5.0), Posting("a", 1.0)])
+        results = exhaustive_topk([pruned, other], 2)
+        assert ranking(results) == [("b", 13.0), ("a", 10.0)]
+
+    def test_document_missing_from_one_list_excluded(self):
+        lists = [
+            PostingList([Posting("a", 9.0), Posting("b", 1.0)]),
+            PostingList([Posting("b", 1.0), Posting("c", 9.0)]),
+        ]
+        results = exhaustive_topk(lists, 5)
+        assert ranking(results) == [("b", 2.0)]
+
+    def test_hidden_everywhere_is_not_a_candidate(self):
+        """A document visible to no list's sorted access never surfaces,
+        even though every random-access map knows it."""
+        lists = [
+            PostingList([Posting("a", 5.0), Posting("b", 4.0)]).truncated(1),
+            PostingList([Posting("b", 9.0), Posting("a", 1.0)]).truncated(1),
+        ]
+        # "a" is visible in list 0; "b" is visible in list 1; both are
+        # candidates here.  Truncate deeper to hide "b" everywhere:
+        deeper = [
+            PostingList([Posting("a", 5.0), Posting("b", 4.0)]).truncated(1),
+            PostingList([Posting("a", 1.0), Posting("b", 0.5)]).truncated(1),
+        ]
+        results = exhaustive_topk(deeper, 5)
+        assert ranking(results) == [("a", 6.0)]
