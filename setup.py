@@ -8,9 +8,16 @@ from setuptools import find_packages, setup
 
 def read_version() -> str:
     here = os.path.dirname(os.path.abspath(__file__))
-    with open(os.path.join(here, "src", "repro", "_version.py")) as handle:
+    path = os.path.join(here, "src", "repro", "_version.py")
+    with open(path) as handle:
         match = re.search(r'__version__ = "([^"]+)"', handle.read())
-    assert match is not None
+    if match is None:
+        # An assert here used to fall through to an opaque TypeError
+        # (`match.group` on None) — fail with the actual problem.
+        raise RuntimeError(
+            f"could not parse __version__ from {path}: expected a line "
+            'like __version__ = "X.Y.Z"'
+        )
     return match.group(1)
 
 

@@ -49,6 +49,13 @@ from repro.live import LiveCollection, LiveIndex, LiveSearchEngine
 from repro.pipeline import BatchMiner, IncrementalFeeder
 from repro.search import BurstySearchEngine, SearchResult, TemporalSearchEngine
 from repro.spatial import Point, Rectangle
+from repro.store import (
+    load_patterns,
+    load_search_engine,
+    save_patterns,
+    save_search_index,
+    verify_store,
+)
 from repro.streams import (
     Document,
     DocumentStream,
@@ -94,6 +101,11 @@ __all__ = [
     "SpatiotemporalWindow",
     "TemporalSearchEngine",
     "__version__",
+    "load_patterns",
+    "load_search_engine",
     "maximal_segments",
     "r_bursty",
+    "save_patterns",
+    "save_search_index",
+    "verify_store",
 ]

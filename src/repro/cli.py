@@ -13,6 +13,11 @@ Usage::
     python -m repro.cli ingest --query storm --report-every 8
     python -m repro.cli ingest --file feed.jsonl --verify --strategy scan
     python -m repro.cli bench             # columnar vs legacy smoke run
+    python -m repro.cli save --out idx --top-terms 24
+    python -m repro.cli load --store idx --verify
+    python -m repro.cli search --from-store idx --query "financial crisis"
+    python -m repro.cli ingest --checkpoint-to ckpt
+    python -m repro.cli ingest --from-store ckpt --query storm
 
 Every experiment subcommand prints the same rows/series the paper's
 table or figure reports (see EXPERIMENTS.md for the comparison); the
@@ -22,7 +27,12 @@ subcommand mines the queried terms and serves top-k retrieval through
 a selectable execution strategy (``auto``/``ta``/``blockmax``/``scan``,
 see :mod:`repro.search.topk`); the ``ingest`` subcommand replays a
 JSONL feed (or a built-in demo feed) through the live ingestion +
-serving layer, querying as documents arrive; the ``bench`` subcommand
+serving layer, querying as documents arrive; the ``save`` subcommand
+mines the corpus and persists a complete serving snapshot as a durable
+segment store, ``load`` opens one (``--verify`` byte-compares it
+against a cold rebuild), and ``--from-store`` on ``search``/``ingest``
+cold-starts serving straight from segments, skipping the rebuild
+entirely; the ``bench`` subcommand
 mines one synthetic corpus through the legacy and columnar paths,
 compares the top-k strategies on a synthetic posting workload, and
 reports the wall-clock ratios.
@@ -192,11 +202,52 @@ def _build_parser() -> argparse.ArgumentParser:
         parents=[corpus, workers, mining],
         help="batch-mine the corpus vocabulary",
     )
+    save = subparsers.add_parser(
+        "save",
+        parents=[corpus],
+        help="mine the corpus and persist a durable serving snapshot "
+        "(documents, patterns, posting columns, tracker state)",
+    )
+    save.add_argument(
+        "--out", required=True, help="target store directory (new or empty)"
+    )
+    save.add_argument(
+        "--miner",
+        choices=("stlocal", "stcomb"),
+        default="stlocal",
+        help="pattern family backing the persisted index",
+    )
+    save.add_argument(
+        "--top-terms",
+        type=int,
+        default=None,
+        help="restrict mining to the N heaviest terms",
+    )
+    load = subparsers.add_parser(
+        "load",
+        help="open a segment store, check its integrity and summarise it",
+    )
+    load.add_argument(
+        "--store", required=True, help="store directory to open"
+    )
+    load.add_argument(
+        "--verify",
+        action="store_true",
+        help="byte-compare the loaded index against a cold rebuild of "
+        "its own corpus (ids, score float bits, crc32 tie order)",
+    )
     search = subparsers.add_parser(
         "search",
         parents=[corpus, strategy],
         help="mine the queried terms and serve top-k retrieval with a "
         "selectable execution strategy",
+    )
+    search.add_argument(
+        "--from-store",
+        default=None,
+        metavar="DIR",
+        help="serve from a saved segment store instead of building and "
+        "mining the corpus (cold-start-from-disk path)",
     )
     search.add_argument(
         "--query",
@@ -287,6 +338,21 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="after the replay, cross-check live results against a cold "
         "batch rebuild",
+    )
+    ingest.add_argument(
+        "--from-store",
+        default=None,
+        metavar="DIR",
+        help="restore the live engine from a checkpoint before replaying; "
+        "records the checkpoint already covers are skipped, so ingestion "
+        "resumes from the persisted watermark instead of replaying the "
+        "whole feed",
+    )
+    ingest.add_argument(
+        "--checkpoint-to",
+        default=None,
+        metavar="DIR",
+        help="persist the live engine as a checkpoint after the replay",
     )
     return parser
 
@@ -387,36 +453,141 @@ def _run_mine(args: argparse.Namespace, lab: Optional[TopixLab]) -> Optional[Top
     return lab
 
 
+def _run_save(args: argparse.Namespace, lab: Optional[TopixLab]) -> Optional[TopixLab]:
+    """Mine the corpus and persist a complete serving snapshot."""
+    from repro.pipeline import BatchMiner
+    from repro.search import BurstySearchEngine
+    from repro.store import save_search_index
+    from repro.store.format import check_save_target
+
+    # Fail on an unusable target *before* paying for corpus + mining.
+    check_save_target(args.out)
+    if lab is None:
+        lab = _corpus_lab(args)
+    tensor = lab.tensor
+    if args.top_terms and args.top_terms > 0:
+        terms = [term for term, _ in tensor.top_terms(args.top_terms)]
+    else:
+        terms = sorted(tensor.terms)
+    print(
+        f"mining {len(terms)} term(s) with "
+        f"{'STLocal' if args.miner == 'stlocal' else 'STComb'}...",
+        file=sys.stderr,
+    )
+    miner = BatchMiner(stlocal=lab.stlocal, stcomb=lab.stcomb)
+    trackers = None
+    if args.miner == "stlocal":
+        trackers = miner.regional_trackers(
+            tensor, terms, locations=lab.locations
+        )
+        mined = {}
+        for term in terms:
+            patterns = trackers[term].patterns(term)
+            if patterns:
+                mined[term] = patterns
+    else:
+        mined = miner.mine_combinatorial(tensor, terms)
+    engine = BurstySearchEngine(lab.collection, mined)
+    started = time.perf_counter()
+    save_search_index(
+        args.out,
+        engine,
+        "regional" if args.miner == "stlocal" else "combinatorial",
+        terms=terms,
+        trackers=trackers,
+        miner_config=(
+            lab.stlocal.config if args.miner == "stlocal" else lab.stcomb.config
+        ),
+        metadata={
+            "background_rate": args.background_rate,
+            "seed": args.seed,
+        },
+    )
+    n_patterns = sum(len(patterns) for patterns in mined.values())
+    print(
+        f"saved {args.out}: {lab.collection.document_count} documents, "
+        f"{n_patterns} patterns over {len(mined)} terms, "
+        f"{len(mined)} posting lists "
+        f"({time.perf_counter() - started:.2f}s)"
+    )
+    return lab
+
+
+def _run_load(args: argparse.Namespace) -> None:
+    """Open a store (verifying checksums), summarise, optionally verify."""
+    from repro.store import open_store, verify_store
+
+    started = time.perf_counter()
+    store = open_store(args.store)
+    n_files = len(store.files())
+    total = sum(entry["size"] for entry in store.files().values())
+    print(
+        f"store {args.store}: kind={store.kind!r} "
+        f"format=v{store.format_version} "
+        f"library={store.library_version} "
+        f"files={n_files} bytes={total} "
+        f"({time.perf_counter() - started:.2f}s, checksums OK)"
+    )
+    for key in ("documents", "streams", "terms", "watermark", "epoch"):
+        if key in store.metadata:
+            value = store.metadata[key]
+            if isinstance(value, list):
+                value = len(value)
+            print(f"  {key}: {value}")
+    if args.verify:
+        started = time.perf_counter()
+        for line in verify_store(store):
+            print(f"  verify: {line}")
+        print(
+            f"  verified against cold rebuild in "
+            f"{time.perf_counter() - started:.2f}s"
+        )
+
+
 def _run_search(args: argparse.Namespace, lab: Optional[TopixLab]) -> Optional[TopixLab]:
     """Mine the queried terms, then serve them with a chosen strategy."""
     from repro.pipeline import BatchMiner
     from repro.search import BurstySearchEngine, normalize_query_terms
     from repro.streams.document import tokenize
 
-    if lab is None:
-        lab = _corpus_lab(args)
     queries = args.query or ["financial crisis"]
-    wanted = sorted(
-        {
-            term
-            for query in queries
-            for term in normalize_query_terms(tokenize(query))
-        }
-        & set(lab.tensor.terms)
-    )
-    print(
-        f"mining {len(wanted)} query term(s) with "
-        f"{'STLocal' if args.miner == 'stlocal' else 'STComb'}...",
-        file=sys.stderr,
-    )
-    miner = BatchMiner(stlocal=lab.stlocal, stcomb=lab.stcomb)
-    if args.miner == "stlocal":
-        mined = miner.mine_regional(lab.tensor, wanted, locations=lab.locations)
+    if args.from_store:
+        started = time.perf_counter()
+        engine = BurstySearchEngine.from_store(
+            args.from_store, strategy=args.strategy
+        )
+        print(
+            f"cold-started engine from store {args.from_store!r} in "
+            f"{time.perf_counter() - started:.3f}s "
+            f"({engine.collection.document_count} documents)",
+            file=sys.stderr,
+        )
     else:
-        mined = miner.mine_combinatorial(lab.tensor, wanted)
-    engine = BurstySearchEngine(
-        lab.collection, mined, strategy=args.strategy
-    )
+        if lab is None:
+            lab = _corpus_lab(args)
+        wanted = sorted(
+            {
+                term
+                for query in queries
+                for term in normalize_query_terms(tokenize(query))
+            }
+            & set(lab.tensor.terms)
+        )
+        print(
+            f"mining {len(wanted)} query term(s) with "
+            f"{'STLocal' if args.miner == 'stlocal' else 'STComb'}...",
+            file=sys.stderr,
+        )
+        miner = BatchMiner(stlocal=lab.stlocal, stcomb=lab.stcomb)
+        if args.miner == "stlocal":
+            mined = miner.mine_regional(
+                lab.tensor, wanted, locations=lab.locations
+            )
+        else:
+            mined = miner.mine_combinatorial(lab.tensor, wanted)
+        engine = BurstySearchEngine(
+            lab.collection, mined, strategy=args.strategy
+        )
     strategies = (
         ("ta", "blockmax", "scan", "auto") if args.compare else (args.strategy,)
     )
@@ -651,6 +822,11 @@ def _run_ingest(args: argparse.Namespace) -> None:
     from repro.spatial import Point
     from repro.streams import Document
 
+    if args.checkpoint_to:
+        from repro.store.format import check_save_target
+
+        # Fail on an unusable checkpoint target before the replay.
+        check_save_target(args.checkpoint_to)
     if args.file:
         with open(args.file) as handle:
             records = [json.loads(line) for line in handle if line.strip()]
@@ -658,8 +834,39 @@ def _run_ingest(args: argparse.Namespace) -> None:
         print("no --file given; replaying the built-in demo feed", file=sys.stderr)
         records = list(_demo_feed(args.timeline))
 
-    live = LiveCollection(args.timeline)
-    engine = LiveSearchEngine(live, strategy=args.strategy)
+    if args.from_store:
+        started = time.perf_counter()
+        engine = LiveSearchEngine.from_checkpoint(
+            args.from_store, strategy=args.strategy
+        )
+        live = engine.live
+        print(
+            f"restored checkpoint {args.from_store!r} in "
+            f"{time.perf_counter() - started:.3f}s: "
+            f"{live.document_count} documents, watermark t={live.watermark}, "
+            f"epoch {live.epoch} — resuming ingestion (records the "
+            "checkpoint covers are skipped)",
+            file=sys.stderr,
+        )
+        known_streams = set(live.locations())
+        records = [
+            record
+            for record in records
+            if not (
+                (record.get("type") == "stream" and record["id"] in known_streams)
+                or (
+                    record.get("type") == "advance"
+                    and record["timestamp"] <= live.watermark
+                )
+                or (
+                    record.get("type", "doc") == "doc"
+                    and live.has_document(record["doc_id"])
+                )
+            )
+        ]
+    else:
+        live = LiveCollection(args.timeline)
+        engine = LiveSearchEngine(live, strategy=args.strategy)
     queries = args.query or ["storm"]
 
     def serve(label: str) -> None:
@@ -712,12 +919,23 @@ def _run_ingest(args: argparse.Namespace) -> None:
         f"{engine.index.compactions} compaction(s)"
     )
 
+    if args.checkpoint_to:
+        started = time.perf_counter()
+        engine.checkpoint(args.checkpoint_to)
+        print(
+            f"checkpoint written to {args.checkpoint_to} "
+            f"({time.perf_counter() - started:.3f}s); resume with "
+            f"--from-store {args.checkpoint_to}"
+        )
+
     if args.verify:
         from repro.pipeline import BatchMiner
         from repro.search import BurstySearchEngine
         from repro.streams import SpatiotemporalCollection
 
-        cold = SpatiotemporalCollection(args.timeline)
+        # live.timeline, not args.timeline: a restored checkpoint keeps
+        # the timeline it was written with, whatever this run's flag says.
+        cold = SpatiotemporalCollection(live.timeline)
         for sid, point in live.locations().items():
             cold.add_stream(sid, point)
         for document in live.collection.documents():
@@ -750,6 +968,11 @@ def _run_one(name: str, args: argparse.Namespace, lab: Optional[TopixLab]) -> Op
         return _run_mine(args, lab)
     if name == "search":
         return _run_search(args, lab)
+    if name == "save":
+        return _run_save(args, lab)
+    if name == "load":
+        _run_load(args)
+        return lab
     if name in _CORPUS_EXPERIMENTS:
         if lab is None:
             lab = _corpus_lab(args)
@@ -770,6 +993,8 @@ def _run_one(name: str, args: argparse.Namespace, lab: Optional[TopixLab]) -> Op
 
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.errors import ReproError
+
     args = _build_parser().parse_args(argv)
     names = (
         ["table1", "figure4", "table2", "table3", "figure5", "figure6",
@@ -780,7 +1005,14 @@ def main(argv: Optional[list] = None) -> int:
     lab: Optional[TopixLab] = None
     for name in names:
         started = time.perf_counter()
-        lab = _run_one(name, args, lab)
+        try:
+            lab = _run_one(name, args, lab)
+        except ReproError as exc:
+            # Library failures (missing/corrupted stores, bad requests)
+            # are user-facing conditions, not bugs: report them plainly
+            # and exit nonzero instead of dumping a traceback.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         print(
             f"[{name} finished in {time.perf_counter() - started:.1f}s]",
             file=sys.stderr,

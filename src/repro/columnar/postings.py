@@ -83,6 +83,28 @@ class PostingArray(PostingList):
             [p.doc_id for p in postings], [p.score for p in postings]
         )
 
+    @classmethod
+    def from_columns(
+        cls,
+        doc_ids: Sequence[Hashable],
+        scores,
+        tiebreaks,
+        random_access: Optional[Dict[Hashable, float]] = None,
+    ) -> "PostingArray":
+        """Wrap already-sorted columns without copying or re-sorting.
+
+        The segment-store load path (:mod:`repro.store`) hands in
+        memory-mapped score/tiebreak slices; they are served as-is.
+        ``random_access`` optionally seeds the full random-access map —
+        a reloaded *pruned* list knows more documents than its sorted
+        columns expose (see
+        :meth:`~repro.search.inverted_index.PostingList.truncated`).
+        """
+        array = cls(doc_ids, scores, tiebreaks=tiebreaks, presorted=True)
+        if random_access is not None:
+            array._by_doc_lazy = dict(random_access)
+        return array
+
     # ------------------------------------------------------------------
     @property
     def _by_doc(self) -> Dict[Hashable, float]:

@@ -44,5 +44,10 @@ class SearchError(ReproError, ValueError):
     """Raised for invalid search-engine requests (e.g. empty query)."""
 
 
+class StoreError(ReproError, ValueError):
+    """Raised for durable-store failures: missing or corrupted manifests,
+    checksum mismatches, incompatible formats, unsafe save targets."""
+
+
 class GenerationError(ReproError, ValueError):
     """Raised when a data generator is given unsatisfiable parameters."""

@@ -257,6 +257,21 @@ class LiveCollection:
             return []
         return documents[start:]
 
+    def ingested_documents(self) -> List[Document]:
+        """Every ingested document, in arrival order.
+
+        The arrival order is what a checkpoint must persist: replaying
+        it through a fresh collection reproduces the per-term views,
+        watermark and sealing behaviour exactly (ingest admits only
+        non-decreasing timestamps, so the recorded order always
+        revalidates).
+        """
+        return list(self._docs_by_id.values())
+
+    def has_document(self, doc_id: Hashable) -> bool:
+        """True when a document id has already been ingested."""
+        return doc_id in self._docs_by_id
+
     def document(self, doc_id: Hashable) -> Document:
         """Look up an ingested document by id.
 

@@ -185,6 +185,56 @@ class LiveSearchEngine:
         self._sync_term(term)
         return list(self._states[term].patterns)
 
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: str) -> None:
+        """Persist this engine's full serving state as a ``live`` store.
+
+        Captures the arrival-ordered document table, the sealed tracker
+        state of every mined term, the compacted posting bases, the
+        per-term sync cursors, and the collection's watermark and epoch
+        — everything :meth:`restore` needs to resume ingestion and
+        serving without replaying the feed.  Pending posting deltas are
+        compacted first, so the persisted bases are exact.
+
+        Raises:
+            StoreError: when the target directory is not empty, or the
+                engine state has no stable binary encoding (custom
+                expectation models).
+        """
+        from repro.store import save_live_checkpoint
+
+        save_live_checkpoint(path, self)
+
+    def restore(self, path: str) -> None:
+        """Replace this engine's state with a persisted checkpoint.
+
+        The backing index identity changes wholesale, so the serving
+        statistics are reset and the result cache cleared: counters
+        carried across a restore would report hit-rates for an index
+        they never measured.
+
+        Raises:
+            StoreError: for a missing/corrupted store, a non-``live``
+                store, or STLocal settings that contradict this
+                engine's ``config``.
+        """
+        from repro.store import restore_live_checkpoint
+
+        restore_live_checkpoint(path, self)
+
+    @classmethod
+    def from_checkpoint(cls, path, **engine_kwargs) -> "LiveSearchEngine":
+        """Construct an engine directly from a ``live`` checkpoint.
+
+        Accepts the constructor's keyword arguments except ``live``
+        (the collection is rebuilt from the checkpoint).
+        """
+        engine = cls(LiveCollection(1), **engine_kwargs)
+        engine.restore(path)
+        return engine
+
     @property
     def cached_queries(self) -> int:
         """Entries currently held by the LRU result cache."""

@@ -207,8 +207,17 @@ class BatchMiner:
         data: TensorLike,
         terms: Optional[Sequence[str]] = None,
         locations: Optional[Dict[Hashable, Point]] = None,
+        save_to: Optional[str] = None,
     ) -> Dict[str, List[RegionalPattern]]:
         """Regional patterns for many terms in one timeline sweep.
+
+        Args:
+            save_to: Optionally persist the mining result as a
+                ``patterns`` segment store (see :mod:`repro.store`).
+                The mined tracker state rides along whenever it is
+                persistable — serial mining with the default baseline;
+                sharded runs save patterns only (workers return
+                patterns, not trackers).
 
         Returns:
             Map of term → its maximal windows, identical to per-term
@@ -217,14 +226,27 @@ class BatchMiner:
         """
         tensor, locations = _resolve(data, locations)
         terms = self._term_list(tensor, terms)
+        trackers: Optional[Dict[str, STLocalTermTracker]] = None
         if self.workers > 1:
-            return self._mine_sharded("regional", tensor, terms, locations)
-        trackers = self.regional_trackers(tensor, terms, locations)
-        results: Dict[str, List[RegionalPattern]] = {}
-        for term in terms:
-            patterns = trackers[term].patterns(term)
-            if patterns:
-                results[term] = patterns
+            results = self._mine_sharded("regional", tensor, terms, locations)
+        else:
+            trackers = self.regional_trackers(tensor, terms, locations)
+            results = {}
+            for term in terms:
+                patterns = trackers[term].patterns(term)
+                if patterns:
+                    results[term] = patterns
+        if save_to is not None:
+            from repro.store import save_patterns
+
+            save_patterns(
+                save_to,
+                results,
+                "regional",
+                terms=terms,
+                trackers=trackers,
+                locations=locations,
+            )
         return results
 
     # ------------------------------------------------------------------
@@ -234,22 +256,30 @@ class BatchMiner:
         self,
         data: TensorLike,
         terms: Optional[Sequence[str]] = None,
+        save_to: Optional[str] = None,
     ) -> Dict[str, List[CombinatorialPattern]]:
         """Combinatorial patterns for many terms off one shared tensor.
 
         A raw collection is indexed into a tensor exactly once, so the
         per-term stage only touches the streams that actually contain
         the term (the collection path scanned every stream per term).
+        Pass ``save_to`` to persist the result as a ``patterns``
+        segment store.
         """
         tensor = self._as_tensor(data)
         terms = self._term_list(tensor, terms)
         if self.workers > 1:
-            return self._mine_sharded("combinatorial", tensor, terms, None)
-        results: Dict[str, List[CombinatorialPattern]] = {}
-        for term in terms:
-            patterns = self.stcomb.patterns_for_term(tensor, term)
-            if patterns:
-                results[term] = patterns
+            results = self._mine_sharded("combinatorial", tensor, terms, None)
+        else:
+            results = {}
+            for term in terms:
+                patterns = self.stcomb.patterns_for_term(tensor, term)
+                if patterns:
+                    results[term] = patterns
+        if save_to is not None:
+            from repro.store import save_patterns
+
+            save_patterns(save_to, results, "combinatorial", terms=terms)
         return results
 
     # ------------------------------------------------------------------

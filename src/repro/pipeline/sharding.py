@@ -27,7 +27,14 @@ __all__ = ["mine_shards", "split_terms"]
 
 def split_terms(terms: Sequence[str], shards: int) -> List[List[str]]:
     """Round-robin split: balances heavy terms across shards even when
-    term weight correlates with vocabulary order."""
+    term weight correlates with vocabulary order.
+
+    An empty vocabulary yields *no* shards (``[]``, not ``[[]]``) — a
+    single empty shard used to make :func:`mine_shards` spawn a worker
+    process just to mine nothing.
+    """
+    if not terms:
+        return []
     shards = max(1, min(shards, len(terms)))
     return [list(terms[offset::shards]) for offset in range(shards)]
 
@@ -74,6 +81,8 @@ def mine_shards(
         term order).
     """
     shards = split_terms(terms, workers)
+    if not shards:
+        return {}
     columnar = getattr(miner, "columnar", True)
     if len(shards) <= 1:
         return _mine_shard(

@@ -295,16 +295,59 @@ class BurstySearchEngine(_PatternEngineBase):
         self._patterns = dict(patterns)
         self._columnar = columnar
         self._store = None
+        self._segments = None
         if precompute:
             self.precompute()
+
+    @classmethod
+    def from_store(cls, path, **engine_kwargs) -> "BurstySearchEngine":
+        """Cold-start an engine from a saved ``index`` segment store.
+
+        The collection, mined patterns and per-term posting columns are
+        served from the on-disk segments (posting columns stay
+        memory-mapped and materialise lazily per queried term), so no
+        mining or posting construction runs — the store *is* the
+        serving state.  Accepts the keyword arguments of the
+        constructor except ``patterns``/``precompute``, plus
+        ``mmap``/``verify`` for the store open.
+
+        Raises:
+            StoreError: for a missing, corrupted or non-``index`` store.
+        """
+        from repro.store import load_search_engine
+
+        return load_search_engine(path, **engine_kwargs)
+
+    def save(self, path, pattern_type: str = "regional", **kwargs) -> None:
+        """Persist this engine as an ``index`` segment store.
+
+        See :func:`repro.store.save_search_index` for the layout and
+        the optional ``terms``/``trackers``/``metadata`` arguments.
+        """
+        from repro.store import save_search_index
+
+        save_search_index(path, self, pattern_type, **kwargs)
 
     def patterns_for(self, term: str) -> Sequence:
         return self._patterns.get(term, ())
 
     def _invalidate_patterns(self) -> None:
         # The columnar snapshot copies the collection's contents; any
-        # mutation invalidates it together with the posting lists.
+        # mutation invalidates it together with the posting lists —
+        # and with any attached store segments, which describe the
+        # pre-mutation corpus.
         self._store = None
+        self._segments = None
+
+    def _posting_list(self, term: str):
+        if self._segments is not None:
+            cached = self._index.get(term)
+            if cached is not None:
+                return cached
+            loaded = self._segments.posting_array(term)
+            if loaded is not None:
+                return self._index.add_built(term, loaded)
+        return super()._posting_list(term)
 
     def _columnar_store(self):
         if self._store is None:
@@ -342,6 +385,17 @@ class BurstySearchEngine(_PatternEngineBase):
         if not pending:
             return 0
         remaining = set(pending)
+        if self._segments is not None:
+            # Attached store segments already hold these terms' columns;
+            # loading them is both faster than rescoring and exactly the
+            # bytes the store was verified against.
+            for term in sorted(remaining, key=repr):
+                loaded = self._segments.posting_array(term)
+                if loaded is not None:
+                    self._index.add_built(term, loaded)
+                    remaining.discard(term)
+            if not remaining:
+                return len(pending)
         from repro.columnar.scoring import (
             columnar_postings,
             vectorizable_relevance,

@@ -1,0 +1,274 @@
+"""Lazy document materialisation over stored collection segments.
+
+Cold-starting a serving engine must not pay for objects the first
+query never touches: a 50k-document corpus reconstructed eagerly costs
+hundreds of milliseconds of pure ``Document``/dict churn, which is the
+difference between a milliseconds cold start and one that merely
+shaves the mining.  This module keeps the loaded document table in its
+columnar (memory-mapped) form and materialises:
+
+* **single documents on demand** — :class:`LazyDocumentMap` backs the
+  engine's doc-id → document map; serving a top-k result materialises
+  exactly ``k`` documents;
+* **the full collection only when something genuinely needs it** —
+  :class:`StoredCollection` answers scalar queries (``vocabulary``,
+  ``document_count``, ``locations``) straight from the segment
+  metadata and inflates the underlying
+  :class:`~repro.streams.SpatiotemporalCollection` the first time a
+  caller iterates documents, reads frequencies, or mutates it.  After
+  inflation it *is* a plain collection (same iteration order as the
+  one that was saved), so the mutation-staleness machinery of the
+  engines behaves identically.
+
+Materialisation is not a mutation: the documents were always logically
+present, so the collection's ``version`` counter is restored afterwards
+— otherwise the first query after a cold start would look like a
+corpus change and throw the freshly-loaded posting segments away.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Dict, Hashable, Iterator, List, Optional
+
+from repro.spatial.geometry import Point
+from repro.streams.collection import SpatiotemporalCollection
+from repro.streams.document import Document
+
+__all__ = [
+    "DocumentTable",
+    "LazyDocumentMap",
+    "LazyPatternMap",
+    "StoredCollection",
+]
+
+
+class LazyPatternMap(Mapping):
+    """term → patterns mapping that decodes its segment on first read.
+
+    Pure serving never touches the mined patterns — posting columns are
+    already scored — so a cold start defers the (potentially
+    many-thousand-dataclass) pattern decode until something actually
+    asks for them (``patterns_for``, a posting rebuild, a re-save).
+    """
+
+    def __init__(self, reader, prefix: str) -> None:
+        self._reader = reader
+        self._prefix = prefix
+        self._decoded: Optional[Dict[str, list]] = None
+
+    def _load(self) -> Dict[str, list]:
+        if self._decoded is None:
+            from repro.store.segments import decode_patterns
+
+            _, self._decoded = decode_patterns(self._reader, self._prefix)
+        return self._decoded
+
+    def __getitem__(self, term: str):
+        return self._load()[term]
+
+    def __iter__(self):
+        return iter(self._load())
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+
+class DocumentTable:
+    """Columnar document table with per-row materialisation.
+
+    Wraps the decoded segment columns; :meth:`document_at` builds (and
+    caches) one :class:`Document`, so the collection view and the
+    lazy doc-id map hand out the *same* object per row.
+    """
+
+    def __init__(self, reader, prefix: str) -> None:
+        meta = reader.json(f"{prefix}/meta.json")
+        from repro.store.segments import _read_id_column
+
+        self.timeline: int = int(meta["timeline"])
+        stream_ids = _read_id_column(
+            reader, prefix, "stream_ids", meta["stream_id_kind"]
+        )
+        xs = reader.array(f"{prefix}/stream_x.npy").tolist()
+        ys = reader.array(f"{prefix}/stream_y.npy").tolist()
+        self.locations: Dict[Hashable, Point] = {
+            sid: Point(x, y) for sid, x, y in zip(stream_ids, xs, ys)
+        }
+        self._stream_ids = stream_ids
+        self.doc_ids: List[Hashable] = _read_id_column(
+            reader, prefix, "doc_ids", meta["doc_id_kind"]
+        )
+        self._stream_codes = reader.array(f"{prefix}/stream_codes.npy")
+        self._timestamps = reader.array(f"{prefix}/timestamps.npy")
+        self._indptr = reader.array(f"{prefix}/term_indptr.npy")
+        self._term_codes = reader.array(f"{prefix}/term_codes.npy")
+        self._term_counts = reader.array(f"{prefix}/term_counts.npy")
+        self.vocabulary: List[str] = list(meta["vocabulary"])
+        self._event_ids: Dict[str, Hashable] = meta.get("event_ids", {})
+        self._cache: Dict[int, Document] = {}
+        self._row_of: Optional[Dict[Hashable, int]] = None
+
+    def __len__(self) -> int:
+        return len(self.doc_ids)
+
+    def row_of(self, doc_id: Hashable) -> Optional[int]:
+        if self._row_of is None:
+            self._row_of = {
+                doc_id: row for row, doc_id in enumerate(self.doc_ids)
+            }
+        return self._row_of.get(doc_id)
+
+    def document_at(self, row: int) -> Document:
+        document = self._cache.get(row)
+        if document is None:
+            terms: List[str] = []
+            vocabulary = self.vocabulary
+            for position in range(
+                int(self._indptr[row]), int(self._indptr[row + 1])
+            ):
+                terms.extend(
+                    [vocabulary[int(self._term_codes[position])]]
+                    * int(self._term_counts[position])
+                )
+            document = Document(
+                doc_id=self.doc_ids[row],
+                stream_id=self._stream_ids[int(self._stream_codes[row])],
+                timestamp=int(self._timestamps[row]),
+                terms=tuple(terms),
+                event_id=self._event_ids.get(str(row)),
+            )
+            self._cache[row] = document
+        return document
+
+    def all_documents(self) -> Iterator[Document]:
+        """Materialise every row, in stored (save-time) order."""
+        # Bulk path: plain Python lists beat per-row memmap indexing.
+        indptr = self._indptr.tolist()
+        codes = self._term_codes.tolist()
+        counts = self._term_counts.tolist()
+        stream_codes = self._stream_codes.tolist()
+        timestamps = self._timestamps.tolist()
+        vocabulary = self.vocabulary
+        cache = self._cache
+        for row, doc_id in enumerate(self.doc_ids):
+            document = cache.get(row)
+            if document is None:
+                terms: List[str] = []
+                for position in range(indptr[row], indptr[row + 1]):
+                    terms.extend([vocabulary[codes[position]]] * counts[position])
+                document = Document(
+                    doc_id=doc_id,
+                    stream_id=self._stream_ids[stream_codes[row]],
+                    timestamp=timestamps[row],
+                    terms=tuple(terms),
+                    event_id=self._event_ids.get(str(row)),
+                )
+                cache[row] = document
+            yield document
+
+
+class LazyDocumentMap(dict):
+    """doc-id → :class:`Document` map materialising entries on miss.
+
+    A drop-in for the dict the engines build from
+    ``collection.documents()``: serving a query touches only the
+    result documents, so a cold start materialises ``k`` rows, not the
+    corpus.
+    """
+
+    def __init__(self, table: DocumentTable) -> None:
+        super().__init__()
+        self._table = table
+
+    def __missing__(self, doc_id: Hashable) -> Document:
+        row = self._table.row_of(doc_id)
+        if row is None:
+            raise KeyError(doc_id)
+        document = self._table.document_at(row)
+        self[doc_id] = document
+        return document
+
+
+class StoredCollection(SpatiotemporalCollection):
+    """A collection view over a document segment, inflated on demand.
+
+    Scalar reads (``vocabulary``, ``document_count``, ``locations``,
+    ``stream_ids``) come straight from the segment metadata; anything
+    that walks or mutates documents triggers one full materialisation,
+    after which the instance behaves exactly like the collection it was
+    saved from (same ``documents()`` order, same per-stream state).
+    """
+
+    def __init__(self, table: DocumentTable) -> None:
+        super().__init__(table.timeline if table.timeline > 0 else 1)
+        self._table = table
+        self._materialised = False
+        for sid, point in table.locations.items():
+            self.add_stream(sid, point)
+        self._vocabulary.update(table.vocabulary)
+
+    # -- materialisation ------------------------------------------------
+    def _materialise(self) -> None:
+        if self._materialised:
+            return
+        self._materialised = True
+        version = self._version
+        for document in self._table.all_documents():
+            super().add_document(document)
+        # Loading is not a mutation: derived views (posting segments,
+        # doc maps) built against the store remain exactly current.
+        self._version = version
+
+    # -- mutations ------------------------------------------------------
+    def add_document(self, document: Document) -> None:
+        self._materialise()
+        super().add_document(document)
+
+    # -- document-backed reads ------------------------------------------
+    def documents(self):
+        self._materialise()
+        return super().documents()
+
+    def documents_matching(self, terms):
+        self._materialise()
+        return super().documents_matching(terms)
+
+    def snapshot(self, timestamp: int):
+        self._materialise()
+        return super().snapshot(timestamp)
+
+    def frequency(self, stream_id, timestamp: int, term: str) -> int:
+        self._materialise()
+        return super().frequency(stream_id, timestamp, term)
+
+    def frequency_sequence(self, stream_id, term: str):
+        self._materialise()
+        return super().frequency_sequence(stream_id, term)
+
+    def frequency_matrix(self, term: str):
+        self._materialise()
+        return super().frequency_matrix(term)
+
+    def merged_frequency_sequence(self, term: str):
+        self._materialise()
+        return super().merged_frequency_sequence(term)
+
+    def terms_at(self, timestamp: int):
+        self._materialise()
+        return super().terms_at(timestamp)
+
+    def stream(self, stream_id):
+        self._materialise()
+        return super().stream(stream_id)
+
+    def streams(self):
+        self._materialise()
+        return super().streams()
+
+    # -- scalar reads served from metadata ------------------------------
+    @property
+    def document_count(self) -> int:
+        if not self._materialised:
+            return len(self._table)
+        return self._document_count

@@ -1,0 +1,358 @@
+"""On-disk segment format: little-endian buffers under a crash-safe manifest.
+
+A *store* is a directory of immutable segment files — NumPy arrays in
+``.npy`` containers, structural metadata in JSON — described by one
+``MANIFEST.json`` at the root.  The manifest is the commit record:
+
+* every segment file is written first, flushed and ``fsync``-ed;
+* the manifest (which names every file with its size and CRC-32) is
+  then written to a temporary sibling, ``fsync``-ed, and atomically
+  renamed into place; the directory is ``fsync``-ed last.
+
+A crash at any point therefore leaves either a complete store or a
+directory without a manifest — never a manifest describing files that
+were not fully written.  Readers refuse directories without a manifest
+and (by default) verify every file's checksum before serving from it.
+
+Arrays are stored in fixed little-endian dtypes (``<i8``/``<i4``/
+``<f8``), so a store written on any host loads on any other, and are
+read back with ``np.load(..., mmap_mode="r")`` — the serving path
+operates directly on the page cache without materialising copies.
+
+The manifest also stamps the producing library's ``__version__`` and
+the store ``FORMAT_VERSION``; readers reject stores written by a newer
+incompatible format with an explicit message instead of misparsing
+them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._version import __version__
+from repro.errors import StoreError
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "SegmentReader",
+    "SegmentWriter",
+    "check_save_target",
+    "decode_id_column",
+    "encode_id_column",
+]
+
+FORMAT_NAME = "repro-segment-store"
+#: Bump on any incompatible layout change; readers refuse newer majors.
+FORMAT_VERSION = 1
+MANIFEST_NAME = "MANIFEST.json"
+
+_CHUNK = 1 << 20
+
+#: Canonical little-endian storage dtypes per NumPy kind.
+_STORE_DTYPES = {"i": "<i8", "u": "<i8", "f": "<f8", "b": "|b1"}
+
+
+def _file_crc32(path: str) -> Tuple[int, int]:
+    """CRC-32 and byte size of a file, streamed."""
+    crc = 0
+    size = 0
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(_CHUNK)
+            if not chunk:
+                break
+            crc = zlib.crc32(chunk, crc)
+            size += len(chunk)
+    return crc & 0xFFFFFFFF, size
+
+
+def _fsync_file(path: str) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: str) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync unsupported on dirs
+        pass
+    finally:
+        os.close(fd)
+
+
+def _json_scalar(value: Any) -> bool:
+    return value is None or isinstance(value, (str, int, float, bool))
+
+
+def encode_id_column(ids: Sequence[Hashable]) -> Dict[str, Any]:
+    """Encode document/stream identifiers for persistence.
+
+    Plain ``int`` ids (the engines' common case) become an ``int64``
+    array payload; any other JSON scalar type round-trips through a
+    JSON list (``json.dumps`` emits ``repr``-exact floats).  Ids that
+    are not JSON scalars cannot be persisted faithfully and raise.
+
+    Returns a dict with either ``{"kind": "int64", "array": ndarray}``
+    or ``{"kind": "json", "values": list}``.
+    """
+    as_ints: Optional[List[int]] = []
+    for value in ids:
+        if type(value) is int and -(2**63) <= value < 2**63:
+            as_ints.append(value)
+            continue
+        as_ints = None
+        break
+    if as_ints is not None:
+        return {"kind": "int64", "array": np.asarray(as_ints, dtype="<i8")}
+    for value in ids:
+        if not _json_scalar(value):
+            raise StoreError(
+                f"identifier {value!r} of type {type(value).__name__} is "
+                "not persistable: ids must be ints, strings, floats, "
+                "bools or None to survive a store round-trip"
+            )
+    return {"kind": "json", "values": list(ids)}
+
+
+def decode_id_column(kind: str, payload) -> List[Hashable]:
+    """Inverse of :func:`encode_id_column`."""
+    if kind == "int64":
+        return [int(v) for v in payload.tolist()]
+    return list(payload)
+
+
+def check_save_target(path: str) -> None:
+    """Validate a store save target without creating anything.
+
+    Raises:
+        StoreError: when ``path`` exists and is not an empty directory
+            — refusing to write into a populated directory is what
+            keeps a typoed ``repro save`` from shredding unrelated
+            files.  Callers about to do expensive work before the save
+            (mining a corpus) should check up front.
+    """
+    if os.path.exists(path):
+        if not os.path.isdir(path):
+            raise StoreError(
+                f"cannot save store: {path!r} exists and is not a directory"
+            )
+        if os.listdir(path):
+            raise StoreError(
+                f"cannot save store: directory {path!r} is not empty — "
+                "choose a fresh path or remove its contents first"
+            )
+
+
+class SegmentWriter:
+    """Writes one store directory, committing via the manifest.
+
+    Args:
+        path: Target directory.  Must not exist, or be an existing
+            *empty* directory (see :func:`check_save_target`).
+    """
+
+    def __init__(self, path: str) -> None:
+        check_save_target(path)
+        os.makedirs(path, exist_ok=True)
+        self.path = path
+        self._files: Dict[str, Dict[str, Any]] = {}
+        self._committed = False
+
+    # ------------------------------------------------------------------
+    def _target(self, name: str) -> str:
+        if name in self._files:
+            raise StoreError(f"segment file {name!r} written twice")
+        target = os.path.join(self.path, name)
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        return target
+
+    def _register(self, name: str, target: str, kind: str, **extra) -> None:
+        _fsync_file(target)
+        crc, size = _file_crc32(target)
+        entry = {"type": kind, "crc32": crc, "size": size}
+        entry.update(extra)
+        self._files[name] = entry
+
+    def add_array(self, name: str, array: np.ndarray) -> None:
+        """Persist one array as ``<name>`` in canonical little-endian form."""
+        arr = np.asarray(array)
+        store_dtype = _STORE_DTYPES.get(arr.dtype.kind)
+        if store_dtype is None:
+            raise StoreError(
+                f"array segment {name!r} has unsupported dtype {arr.dtype}"
+            )
+        arr = np.ascontiguousarray(arr.astype(store_dtype, copy=False))
+        target = self._target(name)
+        with open(target, "wb") as handle:
+            np.save(handle, arr, allow_pickle=False)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._register(
+            name, target, "array", dtype=store_dtype, shape=list(arr.shape)
+        )
+
+    def add_json(self, name: str, payload: Any) -> None:
+        """Persist one JSON document (floats round-trip bit-exactly)."""
+        target = self._target(name)
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._register(name, target, "json")
+
+    # ------------------------------------------------------------------
+    def commit(self, kind: str, metadata: Optional[Dict[str, Any]] = None) -> None:
+        """Write the manifest atomically, making the store visible.
+
+        Until this returns, the directory holds no manifest and no
+        reader will serve from it — the crash-safety contract.
+        """
+        if self._committed:
+            raise StoreError("store already committed")
+        manifest = {
+            "format": FORMAT_NAME,
+            "format_version": FORMAT_VERSION,
+            "library_version": __version__,
+            "kind": kind,
+            "metadata": dict(metadata or {}),
+            "files": self._files,
+        }
+        temporary = os.path.join(self.path, MANIFEST_NAME + ".tmp")
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=1, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, os.path.join(self.path, MANIFEST_NAME))
+        _fsync_dir(self.path)
+        self._committed = True
+
+
+class SegmentReader:
+    """Reads one committed store directory.
+
+    Args:
+        path: The store directory.
+        mmap: Serve arrays through ``np.memmap`` (zero-copy; default)
+            instead of materialising them.
+        verify: Stream-checksum every file against the manifest before
+            serving (default).  Disable only for trusted local stores
+            where open latency matters more than corruption detection.
+    """
+
+    def __init__(self, path: str, mmap: bool = True, verify: bool = True) -> None:
+        manifest_path = os.path.join(path, MANIFEST_NAME)
+        if not os.path.isdir(path):
+            raise StoreError(
+                f"store {path!r} does not exist or is not a directory"
+            )
+        if not os.path.exists(manifest_path):
+            raise StoreError(
+                f"no {MANIFEST_NAME} in {path!r}: not a segment store, or "
+                "a save was interrupted before commit — re-run `repro save`"
+            )
+        try:
+            with open(manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise StoreError(
+                f"corrupted manifest in {path!r}: {exc} — the store cannot "
+                "be trusted; re-create it with `repro save`"
+            ) from None
+        if not isinstance(manifest, dict) or manifest.get("format") != FORMAT_NAME:
+            raise StoreError(
+                f"{path!r} is not a {FORMAT_NAME} store (manifest format "
+                f"field: {manifest.get('format') if isinstance(manifest, dict) else manifest!r})"
+            )
+        version = manifest.get("format_version")
+        if not isinstance(version, int) or version > FORMAT_VERSION:
+            raise StoreError(
+                f"store {path!r} uses format version {version} (written by "
+                f"library {manifest.get('library_version')!r}), but this "
+                f"library ({__version__}) reads versions <= {FORMAT_VERSION}"
+                " — upgrade the library or re-save the store"
+            )
+        self.path = path
+        self.manifest = manifest
+        self.kind: str = manifest.get("kind", "")
+        self.metadata: Dict[str, Any] = manifest.get("metadata", {})
+        self.library_version: str = manifest.get("library_version", "")
+        self.format_version: int = version
+        self._mmap = mmap
+        if verify:
+            self.verify_checksums()
+
+    # ------------------------------------------------------------------
+    def verify_checksums(self) -> None:
+        """Stream-verify every segment file against the manifest."""
+        for name, entry in self.files().items():
+            target = os.path.join(self.path, name)
+            if not os.path.exists(target):
+                raise StoreError(
+                    f"store {self.path!r} is missing segment file {name!r} "
+                    "named by its manifest — the store is corrupted"
+                )
+            crc, size = _file_crc32(target)
+            if size != entry.get("size") or crc != entry.get("crc32"):
+                raise StoreError(
+                    f"checksum mismatch in segment file {name!r} of store "
+                    f"{self.path!r} (expected crc32 "
+                    f"{entry.get('crc32'):#010x}/{entry.get('size')}B, "
+                    f"found {crc:#010x}/{size}B) — the store is corrupted; "
+                    "re-create it with `repro save`"
+                )
+
+    def files(self) -> Dict[str, Dict[str, Any]]:
+        return dict(self.manifest.get("files", {}))
+
+    def has(self, name: str) -> bool:
+        return name in self.manifest.get("files", {})
+
+    def _resolve(self, name: str, kind: str) -> str:
+        entry = self.manifest.get("files", {}).get(name)
+        if entry is None:
+            raise StoreError(
+                f"store {self.path!r} has no segment {name!r} "
+                f"(kind {self.kind!r})"
+            )
+        if entry.get("type") != kind:
+            raise StoreError(
+                f"segment {name!r} is a {entry.get('type')!r} segment, "
+                f"not {kind!r}"
+            )
+        return os.path.join(self.path, name)
+
+    def array(self, name: str) -> np.ndarray:
+        """Load an array segment (memory-mapped read-only by default)."""
+        target = self._resolve(name, "array")
+        mode = "r" if self._mmap else None
+        try:
+            return np.load(target, mmap_mode=mode, allow_pickle=False)
+        except (OSError, ValueError) as exc:
+            raise StoreError(
+                f"cannot read array segment {name!r}: {exc}"
+            ) from None
+
+    def json(self, name: str) -> Any:
+        """Load a JSON segment."""
+        target = self._resolve(name, "json")
+        try:
+            with open(target, encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise StoreError(
+                f"cannot read JSON segment {name!r}: {exc}"
+            ) from None

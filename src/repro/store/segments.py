@@ -1,0 +1,839 @@
+"""Segment codecs: library objects ⇄ little-endian buffers + JSON skeletons.
+
+Each codec pairs an ``encode_*`` (writes into a
+:class:`~repro.store.format.SegmentWriter` under a name prefix) with a
+``decode_*`` (reads from a :class:`~repro.store.format.SegmentReader`).
+The split follows one rule everywhere: **numeric payloads** — scores,
+tiebreaks, geometry, timestamps, Ruzzo–Tompa state, expectation-model
+sums — live in binary NumPy buffers so every float round-trips bit for
+bit (NaN payloads and subnormals included); **structure** — term names,
+identifier lists, per-term counts — lives in JSON skeletons whose list
+order preserves the in-memory iteration order the algorithms depend on.
+
+Codecs:
+
+* **documents** — the :class:`~repro.columnar.collection.
+  ColumnarCollection` column set in document-major form: doc-id table,
+  stream codes, timestamps, precomputed ``rank_tiebreak`` values, and a
+  CSR of int-coded per-document term counts.  Decoding rebuilds the
+  exact :class:`~repro.streams.SpatiotemporalCollection` document
+  iteration order (term multiplicity is preserved; intra-document token
+  interleaving, which no algorithm observes, is not).
+* **postings** — per-term :class:`~repro.columnar.postings.
+  PostingArray` columns as one CSR over a shared doc-id table, plus a
+  *shadow* CSR for random-access-only entries (documents a
+  :meth:`~repro.search.inverted_index.PostingList.truncated` list still
+  answers for but no longer exposes to sorted access).
+* **patterns** — :class:`~repro.core.patterns.RegionalPattern` /
+  :class:`~repro.core.patterns.CombinatorialPattern` maps.
+* **trackers** — full :class:`~repro.core.stlocal.STLocalTermTracker`
+  streaming state (expectation models, open region sequences with their
+  online Ruzzo–Tompa candidates, archived windows, histories), so a
+  restored tracker keeps consuming snapshots exactly where the saved
+  one stopped.  Only the paper-default
+  :class:`~repro.temporal.baselines.RunningMeanBaseline` has a stable
+  numeric state representation; exotic models are rejected explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import STLocalConfig
+from repro.core.patterns import CombinatorialPattern, RegionalPattern
+from repro.core.stlocal import RegionSequence, STLocalTermTracker
+from repro.errors import StoreError
+from repro.intervals.interval import Interval
+from repro.search.inverted_index import (
+    PostingList,
+    random_access_map,
+    rank_tiebreak,
+)
+from repro.spatial.geometry import Point, Rectangle
+from repro.spatial.index import SpatialIndex
+from repro.store.format import (
+    SegmentReader,
+    SegmentWriter,
+    decode_id_column,
+    encode_id_column,
+)
+from repro.streams.document import Document
+from repro.temporal.baselines import RunningMeanBaseline
+from repro.temporal.max_segments import OnlineMaxSegments
+
+__all__ = [
+    "decode_collection",
+    "decode_config",
+    "decode_documents",
+    "decode_patterns",
+    "decode_posting_list",
+    "decode_trackers",
+    "encode_config",
+    "encode_documents",
+    "encode_patterns",
+    "encode_posting_lists",
+    "encode_trackers",
+    "trackers_persistable",
+    "PostingSegment",
+]
+
+
+def _ordered_ids(values) -> List[Hashable]:
+    """Deterministic listing of a set-like of ids (sorted by repr).
+
+    Ids embedded in JSON skeletons must be JSON scalars to survive a
+    round trip (a tuple id would silently decode as a list and break
+    frozenset reconstruction), so non-scalars are rejected at save
+    time — a store that commits must always load.
+    """
+    ordered = sorted(values, key=repr)
+    for value in ordered:
+        _check_json_id(value)
+    return ordered
+
+
+def _check_json_id(value: Hashable) -> None:
+    if value is not None and not isinstance(value, (str, int, float, bool)):
+        raise StoreError(
+            f"stream id {value!r} of type {type(value).__name__} is "
+            "not persistable: ids must be ints, strings, floats, "
+            "bools or None to survive a store round-trip"
+        )
+
+
+def _write_id_column(writer: SegmentWriter, prefix: str, name: str, ids) -> str:
+    """Persist an id column, returning the kind recorded in the skeleton."""
+    encoded = encode_id_column(ids)
+    if encoded["kind"] == "int64":
+        writer.add_array(f"{prefix}/{name}.npy", encoded["array"])
+    else:
+        writer.add_json(f"{prefix}/{name}.json", encoded["values"])
+    return encoded["kind"]
+
+
+def _read_id_column(
+    reader: SegmentReader, prefix: str, name: str, kind: str
+) -> List[Hashable]:
+    if kind == "int64":
+        return decode_id_column(kind, reader.array(f"{prefix}/{name}.npy"))
+    return decode_id_column(kind, reader.json(f"{prefix}/{name}.json"))
+
+
+# ----------------------------------------------------------------------
+# Documents / collection
+# ----------------------------------------------------------------------
+def encode_documents(
+    writer: SegmentWriter,
+    prefix: str,
+    timeline: int,
+    locations: Dict[Hashable, Point],
+    documents: Sequence[Document],
+) -> None:
+    """Persist a document table plus the stream table under ``prefix``.
+
+    ``documents`` order is authoritative: batch stores pass
+    ``collection.documents()`` order, live checkpoints pass arrival
+    order — decoding replays the same order either way.
+    """
+    stream_ids = list(locations)
+    stream_code = {sid: code for code, sid in enumerate(stream_ids)}
+    streams_kind = _write_id_column(writer, prefix, "stream_ids", stream_ids)
+    writer.add_array(
+        f"{prefix}/stream_x.npy",
+        np.asarray([locations[sid].x for sid in stream_ids], dtype="<f8"),
+    )
+    writer.add_array(
+        f"{prefix}/stream_y.npy",
+        np.asarray([locations[sid].y for sid in stream_ids], dtype="<f8"),
+    )
+
+    vocabulary: Dict[str, int] = {}
+    doc_ids: List[Hashable] = []
+    stream_codes: List[int] = []
+    timestamps: List[int] = []
+    indptr: List[int] = [0]
+    term_codes: List[int] = []
+    term_counts: List[int] = []
+    event_ids: Dict[str, Hashable] = {}
+    for row, document in enumerate(documents):
+        doc_ids.append(document.doc_id)
+        stream_codes.append(stream_code[document.stream_id])
+        timestamps.append(document.timestamp)
+        for term, count in document.term_counts().items():
+            term_codes.append(vocabulary.setdefault(term, len(vocabulary)))
+            term_counts.append(count)
+        indptr.append(len(term_codes))
+        if document.event_id is not None:
+            event_ids[str(row)] = document.event_id
+    for event_id in event_ids.values():
+        if not isinstance(event_id, (str, int, float, bool)):
+            raise StoreError(
+                f"event id {event_id!r} is not a JSON scalar and cannot "
+                "be persisted"
+            )
+
+    doc_kind = _write_id_column(writer, prefix, "doc_ids", doc_ids)
+    writer.add_array(
+        f"{prefix}/stream_codes.npy", np.asarray(stream_codes, dtype="<i8")
+    )
+    writer.add_array(
+        f"{prefix}/timestamps.npy", np.asarray(timestamps, dtype="<i8")
+    )
+    writer.add_array(f"{prefix}/term_indptr.npy", np.asarray(indptr, dtype="<i8"))
+    writer.add_array(
+        f"{prefix}/term_codes.npy", np.asarray(term_codes, dtype="<i8")
+    )
+    writer.add_array(
+        f"{prefix}/term_counts.npy", np.asarray(term_counts, dtype="<i8")
+    )
+    writer.add_json(
+        f"{prefix}/meta.json",
+        {
+            "timeline": timeline,
+            "documents": len(doc_ids),
+            "doc_id_kind": doc_kind,
+            "stream_id_kind": streams_kind,
+            "vocabulary": list(vocabulary),
+            "event_ids": event_ids,
+        },
+    )
+
+
+def decode_documents(
+    reader: SegmentReader, prefix: str
+) -> Tuple[int, Dict[Hashable, Point], List[Document]]:
+    """Rebuild ``(timeline, locations, documents)`` from a doc segment.
+
+    Eager counterpart of the serve-from-disk path: one
+    :class:`~repro.store.collection.DocumentTable` is the single
+    decoder of this layout; here every row is materialised up front
+    (live restores re-ingest the whole table anyway).
+    """
+    from repro.store.collection import DocumentTable
+
+    table = DocumentTable(reader, prefix)
+    return table.timeline, dict(table.locations), list(table.all_documents())
+
+
+def decode_collection(reader: SegmentReader, prefix: str):
+    """Rebuild a full :class:`SpatiotemporalCollection` from a segment."""
+    from repro.streams.collection import SpatiotemporalCollection
+
+    timeline, locations, documents = decode_documents(reader, prefix)
+    collection = SpatiotemporalCollection(timeline)
+    for sid, point in locations.items():
+        collection.add_stream(sid, point)
+    for document in documents:
+        collection.add_document(document)
+    return collection
+
+
+# ----------------------------------------------------------------------
+# Posting lists
+# ----------------------------------------------------------------------
+def encode_posting_lists(
+    writer: SegmentWriter, prefix: str, lists: Dict[str, PostingList]
+) -> None:
+    """Persist per-term posting columns as one CSR over a doc-id table.
+
+    The *visible* CSR holds each list's sorted-access columns (document
+    rows, score bits, tiebreaks); the *shadow* CSR holds random-access
+    entries beyond the visible prefix, which pruned
+    (:meth:`~repro.search.inverted_index.PostingList.truncated`) lists
+    carry — both sides round-trip, so a reloaded pruned list answers
+    random access for exactly the documents the original did.
+    """
+    table: Dict[Hashable, int] = {}
+    terms = list(lists)
+    indptr: List[int] = [0]
+    rows: List[int] = []
+    scores: List[float] = []
+    ties: List[int] = []
+    shadow_indptr: List[int] = [0]
+    shadow_rows: List[int] = []
+    shadow_scores: List[float] = []
+    for term in terms:
+        posting_list = lists[term]
+        visible_ids: List[Hashable] = []
+        if hasattr(posting_list, "columns"):
+            col_ids, col_scores, col_ties = posting_list.columns()
+            visible_ids = list(col_ids)
+            scores.extend(float(s) for s in np.asarray(col_scores, dtype=float))
+            ties.extend(int(t) for t in np.asarray(col_ties, dtype=np.int64))
+        else:
+            for posting in posting_list:
+                visible_ids.append(posting.doc_id)
+                scores.append(posting.score)
+                ties.append(rank_tiebreak(posting.doc_id))
+        for doc_id in visible_ids:
+            rows.append(table.setdefault(doc_id, len(table)))
+        indptr.append(len(rows))
+        seen = set(visible_ids)
+        for doc_id, score in random_access_map(posting_list).items():
+            if doc_id in seen:
+                continue
+            shadow_rows.append(table.setdefault(doc_id, len(table)))
+            shadow_scores.append(score)
+        shadow_indptr.append(len(shadow_rows))
+
+    doc_kind = _write_id_column(writer, prefix, "doc_table", list(table))
+    writer.add_json(
+        f"{prefix}/meta.json",
+        {"terms": terms, "doc_id_kind": doc_kind, "entries": len(rows)},
+    )
+    writer.add_array(f"{prefix}/indptr.npy", np.asarray(indptr, dtype="<i8"))
+    writer.add_array(f"{prefix}/rows.npy", np.asarray(rows, dtype="<i8"))
+    writer.add_array(f"{prefix}/scores.npy", np.asarray(scores, dtype="<f8"))
+    writer.add_array(f"{prefix}/ties.npy", np.asarray(ties, dtype="<i8"))
+    writer.add_array(
+        f"{prefix}/shadow_indptr.npy", np.asarray(shadow_indptr, dtype="<i8")
+    )
+    writer.add_array(
+        f"{prefix}/shadow_rows.npy", np.asarray(shadow_rows, dtype="<i8")
+    )
+    writer.add_array(
+        f"{prefix}/shadow_scores.npy", np.asarray(shadow_scores, dtype="<f8")
+    )
+
+
+class PostingSegment:
+    """Lazy reader over a persisted posting segment.
+
+    The score and tiebreak columns stay memory-mapped; a term's
+    :class:`~repro.columnar.postings.PostingArray` is materialised only
+    when that term is first requested (its doc-id list is gathered from
+    the shared table; the numeric columns are served as zero-copy
+    slices of the mapped buffers).
+    """
+
+    def __init__(self, reader: SegmentReader, prefix: str) -> None:
+        self._reader = reader
+        self._prefix = prefix
+        meta = reader.json(f"{prefix}/meta.json")
+        self.terms: List[str] = list(meta["terms"])
+        self._term_index = {term: i for i, term in enumerate(self.terms)}
+        self._table = _read_id_column(
+            reader, prefix, "doc_table", meta["doc_id_kind"]
+        )
+        self._indptr = reader.array(f"{prefix}/indptr.npy")
+        self._rows = reader.array(f"{prefix}/rows.npy")
+        self._scores = reader.array(f"{prefix}/scores.npy")
+        self._ties = reader.array(f"{prefix}/ties.npy")
+        self._shadow_indptr = reader.array(f"{prefix}/shadow_indptr.npy")
+        self._shadow_rows = reader.array(f"{prefix}/shadow_rows.npy")
+        self._shadow_scores = reader.array(f"{prefix}/shadow_scores.npy")
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._term_index
+
+    def posting_array(self, term: str):
+        """The term's reloaded posting list, or ``None`` when absent."""
+        index = self._term_index.get(term)
+        if index is None:
+            return None
+        return decode_posting_list(self, index)
+
+    # -- raw column access (verification) ------------------------------
+    def columns(self, term: str):
+        """Raw ``(doc_ids, scores, ties)`` of a stored term's visible CSR."""
+        index = self._term_index[term]
+        lo, hi = int(self._indptr[index]), int(self._indptr[index + 1])
+        ids = [self._table[row] for row in self._rows[lo:hi].tolist()]
+        return ids, self._scores[lo:hi], self._ties[lo:hi]
+
+
+def decode_posting_list(segment: PostingSegment, index: int):
+    """Materialise one term's :class:`PostingArray` from a segment.
+
+    The score/tiebreak slices stay zero-copy views of the mapped
+    buffers; only the doc-id list is gathered.
+    """
+    from repro.columnar.postings import PostingArray
+
+    lo, hi = int(segment._indptr[index]), int(segment._indptr[index + 1])
+    ids = [segment._table[row] for row in segment._rows[lo:hi].tolist()]
+    by_doc = None
+    s_lo = int(segment._shadow_indptr[index])
+    s_hi = int(segment._shadow_indptr[index + 1])
+    if s_hi > s_lo:
+        by_doc = dict(zip(ids, segment._scores[lo:hi].tolist()))
+        for row, score in zip(
+            segment._shadow_rows[s_lo:s_hi].tolist(),
+            segment._shadow_scores[s_lo:s_hi].tolist(),
+        ):
+            by_doc[segment._table[row]] = score
+    return PostingArray.from_columns(
+        ids,
+        segment._scores[lo:hi],
+        segment._ties[lo:hi],
+        random_access=by_doc,
+    )
+
+
+# ----------------------------------------------------------------------
+# Patterns
+# ----------------------------------------------------------------------
+def encode_patterns(
+    writer: SegmentWriter,
+    prefix: str,
+    patterns: Dict[str, Sequence],
+    pattern_type: str,
+) -> None:
+    """Persist a term → patterns map (``regional`` or ``combinatorial``)."""
+    if pattern_type not in ("regional", "combinatorial"):
+        raise StoreError(f"unknown pattern type {pattern_type!r}")
+    skeleton: List[Dict[str, Any]] = []
+    geometry: List[Tuple[float, float, float, float]] = []
+    frames: List[Tuple[int, int]] = []
+    scores: List[float] = []
+    member_frames: List[Tuple[int, int]] = []
+    member_scores: List[float] = []
+    for term, term_patterns in patterns.items():
+        entries = []
+        for pattern in term_patterns:
+            frames.append((pattern.timeframe.start, pattern.timeframe.end))
+            scores.append(pattern.score)
+            entry: Dict[str, Any] = {
+                "streams": _ordered_ids(pattern.streams)
+            }
+            if pattern_type == "regional":
+                region = pattern.region
+                geometry.append(
+                    (region.min_x, region.min_y, region.max_x, region.max_y)
+                )
+                entry["bursty"] = (
+                    None
+                    if pattern.bursty_streams is None
+                    else _ordered_ids(pattern.bursty_streams)
+                )
+            else:
+                members = []
+                for sid, interval, score in pattern.member_intervals:
+                    _check_json_id(sid)
+                    member_frames.append((interval.start, interval.end))
+                    member_scores.append(score)
+                    members.append(sid)
+                entry["members"] = members
+            entries.append(entry)
+        skeleton.append({"term": term, "patterns": entries})
+    writer.add_json(
+        f"{prefix}/meta.json", {"type": pattern_type, "terms": skeleton}
+    )
+    writer.add_array(f"{prefix}/frames.npy", np.asarray(frames, dtype="<i8"))
+    writer.add_array(f"{prefix}/scores.npy", np.asarray(scores, dtype="<f8"))
+    if pattern_type == "regional":
+        writer.add_array(
+            f"{prefix}/geometry.npy", np.asarray(geometry, dtype="<f8")
+        )
+    else:
+        writer.add_array(
+            f"{prefix}/member_frames.npy",
+            np.asarray(member_frames, dtype="<i8"),
+        )
+        writer.add_array(
+            f"{prefix}/member_scores.npy",
+            np.asarray(member_scores, dtype="<f8"),
+        )
+
+
+def decode_patterns(
+    reader: SegmentReader, prefix: str
+) -> Tuple[str, Dict[str, List]]:
+    """Rebuild ``(pattern_type, term → patterns)`` from a segment."""
+    meta = reader.json(f"{prefix}/meta.json")
+    pattern_type: str = meta["type"]
+    # One bulk conversion per column: per-element indexing of a memmap
+    # re-enters NumPy on every scalar and dominates cold-start time.
+    frames = reader.array(f"{prefix}/frames.npy").tolist()
+    scores = reader.array(f"{prefix}/scores.npy").tolist()
+    if pattern_type == "regional":
+        geometry = reader.array(f"{prefix}/geometry.npy").tolist()
+    else:
+        member_frames = reader.array(f"{prefix}/member_frames.npy").tolist()
+        member_scores = reader.array(f"{prefix}/member_scores.npy").tolist()
+    patterns: Dict[str, List] = {}
+    cursor = 0
+    member_cursor = 0
+    for term_entry in meta["terms"]:
+        term = term_entry["term"]
+        decoded = []
+        for entry in term_entry["patterns"]:
+            frame = Interval(int(frames[cursor][0]), int(frames[cursor][1]))
+            score = float(scores[cursor])
+            if pattern_type == "regional":
+                bounds = geometry[cursor]
+                bursty = entry.get("bursty")
+                decoded.append(
+                    RegionalPattern(
+                        term=term,
+                        region=Rectangle(*(float(v) for v in bounds)),
+                        streams=frozenset(entry["streams"]),
+                        timeframe=frame,
+                        score=score,
+                        bursty_streams=(
+                            None if bursty is None else frozenset(bursty)
+                        ),
+                    )
+                )
+            else:
+                members = []
+                for sid in entry["members"]:
+                    members.append(
+                        (
+                            sid,
+                            Interval(
+                                int(member_frames[member_cursor][0]),
+                                int(member_frames[member_cursor][1]),
+                            ),
+                            float(member_scores[member_cursor]),
+                        )
+                    )
+                    member_cursor += 1
+                decoded.append(
+                    CombinatorialPattern(
+                        term=term,
+                        streams=frozenset(entry["streams"]),
+                        timeframe=frame,
+                        score=score,
+                        member_intervals=tuple(members),
+                    )
+                )
+            cursor += 1
+        patterns[term] = decoded
+    return pattern_type, patterns
+
+
+# ----------------------------------------------------------------------
+# STLocal configuration
+# ----------------------------------------------------------------------
+def encode_config(config: STLocalConfig) -> Dict[str, Any]:
+    """STLocal settings as a JSON-safe dict (baseline must be default)."""
+    try:
+        probe = config.baseline_factory()
+    except Exception:
+        probe = None
+    if type(probe) is not RunningMeanBaseline:
+        raise StoreError(
+            "only the paper-default RunningMeanBaseline expectation model "
+            "has a persistable state representation; a custom "
+            "baseline_factory cannot be checkpointed"
+        )
+    return {
+        "warmup": config.warmup,
+        "key_by_geometry": config.key_by_geometry,
+        "min_window_score": config.min_window_score,
+        "track_history": config.track_history,
+        "baseline_prior": probe._prior,
+    }
+
+
+def decode_config(payload: Dict[str, Any]) -> STLocalConfig:
+    prior = payload.get("baseline_prior", 0.0)
+    if prior == 0.0:
+        factory = RunningMeanBaseline
+    else:  # pragma: no cover - non-zero priors are a config edge case
+        def factory(prior=prior):
+            return RunningMeanBaseline(prior)
+
+    return STLocalConfig(
+        baseline_factory=factory,
+        key_by_geometry=bool(payload["key_by_geometry"]),
+        min_window_score=float(payload["min_window_score"]),
+        warmup=int(payload["warmup"]),
+        track_history=bool(payload["track_history"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Trackers
+# ----------------------------------------------------------------------
+def trackers_persistable(
+    trackers: Dict[str, STLocalTermTracker],
+) -> bool:
+    """True when every tracker's state has a stable binary encoding."""
+    for tracker in trackers.values():
+        try:
+            encode_config(tracker.config)
+        except StoreError:
+            return False
+        for model in tracker._models.values():
+            if type(model) is not RunningMeanBaseline:
+                return False
+    return True
+
+
+def encode_trackers(
+    writer: SegmentWriter,
+    prefix: str,
+    trackers: Dict[str, STLocalTermTracker],
+) -> None:
+    """Persist full streaming state for a map of term trackers.
+
+    Raises:
+        StoreError: when any tracker holds expectation models other
+            than the default :class:`RunningMeanBaseline` (their state
+            has no stable representation).
+    """
+    skeleton: List[Dict[str, Any]] = []
+    config_payload: Optional[Dict[str, Any]] = None
+    rect_history: List[int] = []
+    open_history: List[int] = []
+    model_counts: List[int] = []
+    model_totals: List[float] = []
+    model_priors: List[float] = []
+    seq_geometry: List[Tuple[float, float, float, float]] = []
+    seq_start: List[int] = []
+    seq_cumulative: List[float] = []
+    seq_length: List[int] = []
+    cand_bounds: List[Tuple[int, int]] = []
+    cand_sums: List[Tuple[float, float]] = []
+    arch_geometry: List[Tuple[float, float, float, float]] = []
+    arch_frames: List[Tuple[int, int]] = []
+    arch_scores: List[float] = []
+    hist_timestamps: List[int] = []
+    hist_values: List[float] = []
+
+    for term, tracker in trackers.items():
+        term_config = encode_config(tracker.config)
+        if config_payload is None:
+            config_payload = term_config
+        elif config_payload != term_config:
+            raise StoreError(
+                "trackers with heterogeneous STLocal configurations cannot "
+                "share one store segment"
+            )
+        entry: Dict[str, Any] = {"term": term, "clock": tracker.clock}
+        rect_history.extend(tracker.rectangle_history)
+        open_history.extend(tracker.open_history)
+        entry["rect_history"] = len(tracker.rectangle_history)
+        entry["open_history"] = len(tracker.open_history)
+
+        model_ids = []
+        for sid, model in tracker._models.items():
+            if type(model) is not RunningMeanBaseline:
+                raise StoreError(
+                    f"tracker for term {term!r} holds a "
+                    f"{type(model).__name__} expectation model; only the "
+                    "default RunningMeanBaseline state is persistable"
+                )
+            _check_json_id(sid)
+            model_ids.append(sid)
+            model_counts.append(model._count)
+            model_totals.append(model._total)
+            model_priors.append(model._prior)
+        entry["models"] = model_ids
+
+        sequences = []
+        for sequence in tracker._sequences.values():
+            region = sequence.region
+            seq_geometry.append(
+                (region.min_x, region.min_y, region.max_x, region.max_y)
+            )
+            seq_start.append(sequence.start)
+            seq_cumulative.append(sequence.tracker._cumulative)
+            seq_length.append(len(sequence.tracker))
+            candidates = sequence.tracker._candidates
+            for candidate in candidates:
+                cand_bounds.append((candidate.start, candidate.end))
+                cand_sums.append((candidate.left_sum, candidate.right_sum))
+            sequences.append(
+                {
+                    "members": _ordered_ids(sequence.stream_ids),
+                    "candidates": len(candidates),
+                }
+            )
+        entry["sequences"] = sequences
+
+        archived = []
+        for region, streams, timeframe, score in tracker._archived:
+            arch_geometry.append(
+                (region.min_x, region.min_y, region.max_x, region.max_y)
+            )
+            arch_frames.append((timeframe.start, timeframe.end))
+            arch_scores.append(score)
+            archived.append({"members": _ordered_ids(streams)})
+        entry["archived"] = archived
+
+        history = []
+        for sid, values in tracker._history.items():
+            _check_json_id(sid)
+            history.append({"stream": sid, "entries": len(values)})
+            for timestamp, value in values.items():
+                hist_timestamps.append(timestamp)
+                hist_values.append(value)
+        entry["history"] = history
+        skeleton.append(entry)
+
+    writer.add_json(
+        f"{prefix}/meta.json",
+        {"config": config_payload, "terms": skeleton},
+    )
+    writer.add_array(
+        f"{prefix}/rect_history.npy", np.asarray(rect_history, dtype="<i8")
+    )
+    writer.add_array(
+        f"{prefix}/open_history.npy", np.asarray(open_history, dtype="<i8")
+    )
+    writer.add_array(
+        f"{prefix}/model_counts.npy", np.asarray(model_counts, dtype="<i8")
+    )
+    writer.add_array(
+        f"{prefix}/model_totals.npy", np.asarray(model_totals, dtype="<f8")
+    )
+    writer.add_array(
+        f"{prefix}/model_priors.npy", np.asarray(model_priors, dtype="<f8")
+    )
+    writer.add_array(
+        f"{prefix}/seq_geometry.npy", np.asarray(seq_geometry, dtype="<f8")
+    )
+    writer.add_array(
+        f"{prefix}/seq_start.npy", np.asarray(seq_start, dtype="<i8")
+    )
+    writer.add_array(
+        f"{prefix}/seq_cumulative.npy",
+        np.asarray(seq_cumulative, dtype="<f8"),
+    )
+    writer.add_array(
+        f"{prefix}/seq_length.npy", np.asarray(seq_length, dtype="<i8")
+    )
+    writer.add_array(
+        f"{prefix}/cand_bounds.npy", np.asarray(cand_bounds, dtype="<i8")
+    )
+    writer.add_array(
+        f"{prefix}/cand_sums.npy", np.asarray(cand_sums, dtype="<f8")
+    )
+    writer.add_array(
+        f"{prefix}/arch_geometry.npy", np.asarray(arch_geometry, dtype="<f8")
+    )
+    writer.add_array(
+        f"{prefix}/arch_frames.npy", np.asarray(arch_frames, dtype="<i8")
+    )
+    writer.add_array(
+        f"{prefix}/arch_scores.npy", np.asarray(arch_scores, dtype="<f8")
+    )
+    writer.add_array(
+        f"{prefix}/hist_timestamps.npy",
+        np.asarray(hist_timestamps, dtype="<i8"),
+    )
+    writer.add_array(
+        f"{prefix}/hist_values.npy", np.asarray(hist_values, dtype="<f8")
+    )
+
+
+def decode_trackers(
+    reader: SegmentReader,
+    prefix: str,
+    locations: Dict[Hashable, Point],
+    config: Optional[STLocalConfig] = None,
+    index: Optional[SpatialIndex] = None,
+) -> Tuple[STLocalConfig, Dict[str, STLocalTermTracker]]:
+    """Rebuild term trackers, sharing one location map (and index)."""
+    meta = reader.json(f"{prefix}/meta.json")
+    config_payload = meta.get("config")
+    if config is None:
+        config = (
+            decode_config(config_payload)
+            if config_payload is not None
+            else STLocalConfig()
+        )
+    rect_history = reader.array(f"{prefix}/rect_history.npy").tolist()
+    open_history = reader.array(f"{prefix}/open_history.npy").tolist()
+    model_counts = reader.array(f"{prefix}/model_counts.npy").tolist()
+    model_totals = reader.array(f"{prefix}/model_totals.npy").tolist()
+    model_priors = reader.array(f"{prefix}/model_priors.npy").tolist()
+    seq_geometry = reader.array(f"{prefix}/seq_geometry.npy").tolist()
+    seq_start = reader.array(f"{prefix}/seq_start.npy").tolist()
+    seq_cumulative = reader.array(f"{prefix}/seq_cumulative.npy").tolist()
+    seq_length = reader.array(f"{prefix}/seq_length.npy").tolist()
+    cand_bounds = reader.array(f"{prefix}/cand_bounds.npy").tolist()
+    cand_sums = reader.array(f"{prefix}/cand_sums.npy").tolist()
+    arch_geometry = reader.array(f"{prefix}/arch_geometry.npy").tolist()
+    arch_frames = reader.array(f"{prefix}/arch_frames.npy").tolist()
+    arch_scores = reader.array(f"{prefix}/arch_scores.npy").tolist()
+    hist_timestamps = reader.array(f"{prefix}/hist_timestamps.npy").tolist()
+    hist_values = reader.array(f"{prefix}/hist_values.npy").tolist()
+
+    trackers: Dict[str, STLocalTermTracker] = {}
+    rect_at = open_at = model_at = seq_at = cand_at = arch_at = hist_at = 0
+    for entry in meta["terms"]:
+        tracker = STLocalTermTracker(
+            locations, config=config, index=index, copy_locations=False
+        )
+        tracker._clock = int(entry["clock"])
+        tracker.rectangle_history = rect_history[
+            rect_at : rect_at + entry["rect_history"]
+        ]
+        rect_at += entry["rect_history"]
+        tracker.open_history = open_history[
+            open_at : open_at + entry["open_history"]
+        ]
+        open_at += entry["open_history"]
+
+        for sid in entry["models"]:
+            model = RunningMeanBaseline(model_priors[model_at])
+            model._count = int(model_counts[model_at])
+            model._total = float(model_totals[model_at])
+            tracker._models[sid] = model
+            model_at += 1
+
+        for sequence_entry in entry["sequences"]:
+            bounds = seq_geometry[seq_at]
+            region = Rectangle(*(float(v) for v in bounds))
+            members = frozenset(sequence_entry["members"])
+            n_candidates = sequence_entry["candidates"]
+            candidates = [
+                (
+                    int(cand_bounds[cand_at + i][0]),
+                    int(cand_bounds[cand_at + i][1]),
+                    float(cand_sums[cand_at + i][0]),
+                    float(cand_sums[cand_at + i][1]),
+                )
+                for i in range(n_candidates)
+            ]
+            cand_at += n_candidates
+            sequence = RegionSequence(
+                region=region,
+                stream_ids=members,
+                start=int(seq_start[seq_at]),
+                tracker=OnlineMaxSegments.restore(
+                    candidates,
+                    float(seq_cumulative[seq_at]),
+                    int(seq_length[seq_at]),
+                ),
+            )
+            key: Hashable
+            if config.key_by_geometry:
+                key = (region.min_x, region.min_y, region.max_x, region.max_y)
+            else:
+                key = members
+            tracker._sequences[key] = sequence
+            seq_at += 1
+
+        for archived_entry in entry["archived"]:
+            bounds = arch_geometry[arch_at]
+            tracker._archived.append(
+                (
+                    Rectangle(*(float(v) for v in bounds)),
+                    frozenset(archived_entry["members"]),
+                    Interval(
+                        int(arch_frames[arch_at][0]),
+                        int(arch_frames[arch_at][1]),
+                    ),
+                    float(arch_scores[arch_at]),
+                )
+            )
+            arch_at += 1
+
+        for history_entry in entry["history"]:
+            count = history_entry["entries"]
+            tracker._history[history_entry["stream"]] = dict(
+                zip(
+                    hist_timestamps[hist_at : hist_at + count],
+                    hist_values[hist_at : hist_at + count],
+                )
+            )
+            hist_at += count
+        trackers[entry["term"]] = tracker
+    return config, trackers

@@ -1,0 +1,606 @@
+"""Durable index stores: save, load, verify.
+
+Three store *kinds*, all sharing the segment format of
+:mod:`repro.store.format`:
+
+* ``index`` — a complete serving snapshot: document/stream tables,
+  mined patterns, per-term posting columns and (when persistable) the
+  mined tracker state.  :meth:`repro.search.BurstySearchEngine.
+  from_store` cold-starts a query-ready engine from one of these
+  without re-mining anything.
+* ``patterns`` — mining output only (term → patterns, plus tracker
+  state when available): what ``BatchMiner.mine_*(save_to=...)``
+  writes, for pipelines that mine once and score elsewhere.
+* ``live`` — a :class:`repro.live.LiveSearchEngine` checkpoint:
+  arrival-ordered document table, sealed tracker state, compacted
+  posting bases, per-term sync cursors, watermark and epoch — enough
+  to resume ingestion and serving exactly where the saved engine
+  stopped, without replaying the feed.
+
+``verify_store`` is the acceptance oracle behind ``repro load
+--verify``: it cold-rebuilds the index from the store's own document
+table and byte-compares patterns, posting columns (ids, float bits,
+crc32 tiebreaks) and top-k rankings across every execution strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Union
+
+from repro.errors import StoreError
+from repro.store.format import SegmentReader, SegmentWriter
+from repro.store.segments import (
+    PostingSegment,
+    decode_config,
+    decode_documents,
+    decode_patterns,
+    decode_trackers,
+    encode_config,
+    encode_documents,
+    encode_patterns,
+    encode_posting_lists,
+    encode_trackers,
+    trackers_persistable,
+)
+
+__all__ = [
+    "load_patterns",
+    "load_search_engine",
+    "load_trackers",
+    "open_store",
+    "save_patterns",
+    "save_search_index",
+    "verify_store",
+]
+
+StoreLike = Union[str, SegmentReader]
+
+
+def open_store(
+    path: StoreLike, mmap: bool = True, verify: bool = True
+) -> SegmentReader:
+    """Open a store directory (pass-through for an already-open reader)."""
+    if isinstance(path, SegmentReader):
+        return path
+    return SegmentReader(path, mmap=mmap, verify=verify)
+
+
+# ----------------------------------------------------------------------
+# Pattern stores (BatchMiner.save_to)
+# ----------------------------------------------------------------------
+def save_patterns(
+    path: str,
+    patterns: Dict[str, Sequence],
+    pattern_type: str,
+    terms: Optional[Sequence[str]] = None,
+    trackers: Optional[Dict] = None,
+    locations: Optional[Dict] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Persist a mining result (and, when possible, its tracker state).
+
+    Tracker state is stored only when every tracker uses the default
+    persistable expectation model; otherwise the patterns still save
+    and ``metadata["trackers"]`` records the omission.
+    """
+    writer = SegmentWriter(path)
+    encode_patterns(writer, "patterns", patterns, pattern_type)
+    meta = dict(metadata or {})
+    meta["pattern_type"] = pattern_type
+    meta["terms"] = list(terms) if terms is not None else list(patterns)
+    meta["trackers"] = False
+    if trackers and locations is not None and trackers_persistable(trackers):
+        encode_documents_streams_only(writer, "trackers_streams", locations)
+        encode_trackers(writer, "trackers", trackers)
+        meta["trackers"] = True
+    writer.commit("patterns", meta)
+
+
+def encode_documents_streams_only(writer, prefix, locations) -> None:
+    """Persist just a stream table (for tracker-only segments)."""
+    encode_documents(writer, prefix, 0, locations, [])
+
+
+def load_patterns(path: StoreLike, **open_kwargs) -> Dict[str, List]:
+    """Load the term → patterns map of a ``patterns`` or ``index`` store."""
+    store = open_store(path, **open_kwargs)
+    _, patterns = decode_patterns(store, "patterns")
+    return patterns
+
+
+def load_trackers(path: StoreLike, **open_kwargs):
+    """Load persisted tracker state as ``(config, term → tracker)``.
+
+    Raises:
+        StoreError: when the store carries no tracker segment.
+    """
+    store = open_store(path, **open_kwargs)
+    if not store.metadata.get("trackers"):
+        raise StoreError(
+            f"store {store.path!r} holds no tracker state (it was mined "
+            "with a non-persistable baseline, sharded across workers, or "
+            "saved patterns-only)"
+        )
+    prefix = (
+        "trackers_streams" if store.has("trackers_streams/meta.json")
+        else "documents"
+    )
+    _, locations, _ = decode_documents(store, prefix)
+    return decode_trackers(store, "trackers", locations)
+
+
+# ----------------------------------------------------------------------
+# Full search-index stores
+# ----------------------------------------------------------------------
+def _encode_miner_config(pattern_type: str, config) -> Optional[Dict[str, Any]]:
+    """Mining settings as manifest metadata (best effort).
+
+    ``--verify`` must re-mine with the configuration the store was
+    mined under, or a faithful store false-fails against a
+    differently-tuned cold run.  Returns ``None`` when the
+    configuration has no stable representation (custom baseline
+    callables) — verification then falls back to defaults.
+    """
+    if config is None:
+        return None
+    if pattern_type == "combinatorial":
+        return {
+            "max_patterns": config.max_patterns,
+            "min_interval_score": config.min_interval_score,
+            "min_pattern_streams": config.min_pattern_streams,
+        }
+    try:
+        return encode_config(config)
+    except StoreError:
+        return None
+
+
+def _decode_miner(pattern_type: str, payload: Optional[Dict[str, Any]]):
+    from repro.pipeline.batch import BatchMiner
+
+    if payload is None:
+        return BatchMiner()
+    if pattern_type == "combinatorial":
+        from repro.core.config import STCombConfig
+        from repro.core.stcomb import STComb
+
+        config = STCombConfig(
+            max_patterns=payload["max_patterns"],
+            min_interval_score=payload["min_interval_score"],
+            min_pattern_streams=payload["min_pattern_streams"],
+        )
+        return BatchMiner(stcomb=STComb(config=config))
+    from repro.core.stlocal import STLocal
+
+    return BatchMiner(stlocal=STLocal(decode_config(payload)))
+
+
+def _callable_fingerprint(fn) -> str:
+    """Best-effort identity of a scoring callable for mismatch checks."""
+    return "{}.{}".format(
+        getattr(fn, "__module__", "?"),
+        getattr(fn, "__qualname__", repr(fn)),
+    )
+
+
+def _check_scoring_fingerprints(store: SegmentReader, engine) -> None:
+    """Reject engine/store pairs whose scoring callables diverge.
+
+    Persisted posting scores embed the relevance/aggregate functions
+    they were computed with; serving (or appending deltas to) them
+    through different callables would silently mix two scoring models
+    in one index.  Callables cannot be persisted, so the manifest
+    records their module-qualified names and restore insists they
+    match.
+    """
+    recorded = store.metadata.get("scoring")
+    if not recorded:
+        return
+    current = {
+        "relevance": _callable_fingerprint(engine.relevance),
+        "aggregate": _callable_fingerprint(engine.aggregate),
+    }
+    if current != recorded:
+        raise StoreError(
+            f"store {store.path!r} was scored with "
+            f"relevance={recorded['relevance']} / "
+            f"aggregate={recorded['aggregate']}, but this engine uses "
+            f"relevance={current['relevance']} / "
+            f"aggregate={current['aggregate']} — construct the engine "
+            "with the same scoring callables the store was saved with"
+        )
+
+
+def save_search_index(
+    path: str,
+    engine,
+    pattern_type: str,
+    terms: Optional[Sequence[str]] = None,
+    trackers: Optional[Dict] = None,
+    miner_config=None,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Persist a complete :class:`BurstySearchEngine` serving snapshot.
+
+    Args:
+        path: Target directory (must be new or empty).
+        engine: The engine to snapshot; its posting lists are
+            precomputed first so the store captures every
+            pattern-bearing term.
+        pattern_type: ``"regional"`` or ``"combinatorial"``.
+        terms: The term list that was *requested* for mining (defaults
+            to the pattern-bearing terms); recorded so ``--verify`` can
+            re-mine the same scope.
+        trackers: Optional mined tracker state to persist alongside.
+        miner_config: The :class:`STLocalConfig` / :class:`STCombConfig`
+            the patterns were mined with; recorded so ``--verify``
+            re-mines under the same settings (defaults assumed when
+            omitted).
+        metadata: Extra manifest metadata.
+    """
+    engine.precompute()
+    writer = SegmentWriter(path)
+    collection = engine.collection
+    encode_documents(
+        writer,
+        "documents",
+        collection.timeline,
+        collection.locations(),
+        list(collection.documents()),
+    )
+    patterns = {
+        term: list(mined) for term, mined in engine._patterns.items() if mined
+    }
+    encode_patterns(writer, "patterns", patterns, pattern_type)
+    lists = {
+        term: engine._posting_list(term) for term in patterns
+    }
+    encode_posting_lists(writer, "postings", lists)
+    meta = dict(metadata or {})
+    meta["pattern_type"] = pattern_type
+    meta["terms"] = list(terms) if terms is not None else list(patterns)
+    meta["documents"] = collection.document_count
+    meta["streams"] = len(collection.locations())
+    meta["miner_config"] = _encode_miner_config(pattern_type, miner_config)
+    meta["scoring"] = {
+        "relevance": _callable_fingerprint(engine.relevance),
+        "aggregate": _callable_fingerprint(engine.aggregate),
+    }
+    meta["trackers"] = False
+    if trackers and trackers_persistable(trackers):
+        encode_trackers(writer, "trackers", trackers)
+        meta["trackers"] = True
+    writer.commit("index", meta)
+
+
+def load_search_engine(path: StoreLike, **engine_kwargs):
+    """Cold-start a :class:`BurstySearchEngine` from an ``index`` store.
+
+    The document and stream tables are materialised (the engine hands
+    real :class:`~repro.streams.Document` objects back to callers); the
+    posting columns stay memory-mapped and are wrapped into
+    :class:`~repro.columnar.postings.PostingArray` views lazily, per
+    queried term.
+    """
+    from repro.search.engine import BurstySearchEngine
+    from repro.store.collection import (
+        DocumentTable,
+        LazyDocumentMap,
+        LazyPatternMap,
+        StoredCollection,
+    )
+
+    store = open_store(
+        path,
+        mmap=engine_kwargs.pop("mmap", True),
+        verify=engine_kwargs.pop("verify", True),
+    )
+    if store.kind != "index":
+        raise StoreError(
+            f"store {store.path!r} is a {store.kind!r} store, not an "
+            "'index' store — only full serving snapshots can cold-start "
+            "an engine"
+        )
+    table = DocumentTable(store, "documents")
+    engine = BurstySearchEngine(
+        StoredCollection(table), {}, precompute=False, **engine_kwargs
+    )
+    _check_scoring_fingerprints(store, engine)
+    # Serving a query materialises only its k result documents and the
+    # queried terms' posting columns; the pattern map and the full
+    # corpus inflate lazily, and only if something walks them.
+    engine._patterns = LazyPatternMap(store, "patterns")
+    engine._segments = PostingSegment(store, "postings")
+    engine._doc_map = LazyDocumentMap(table)
+    return engine
+
+
+# ----------------------------------------------------------------------
+# Verification (repro load --verify)
+# ----------------------------------------------------------------------
+def _ranking(results) -> List:
+    return [(r.document.doc_id, r.score) for r in results]
+
+
+def _bits(array) -> bytes:
+    import numpy as np
+
+    return np.ascontiguousarray(np.asarray(array)).tobytes()
+
+
+def verify_store(path: StoreLike, k: int = 10) -> List[str]:
+    """Byte-compare a store against a cold rebuild of its own corpus.
+
+    For ``index`` stores: re-mines the stored term scope from the
+    reloaded collection, rebuilds a fresh engine, and asserts stored
+    patterns, posting columns (doc ids, score float bits, crc32
+    tiebreak order) and per-strategy top-k rankings are all identical.
+    For ``live`` stores: restores the checkpoint and compares its
+    serving output against a cold batch rebuild, mirroring
+    ``repro ingest --verify``.
+
+    Returns:
+        Human-readable check lines.
+
+    Raises:
+        StoreError: on the first divergence.
+    """
+    store = open_store(path)
+    if store.kind == "live":
+        return _verify_live_store(store, k)
+    if store.kind != "index":
+        raise StoreError(
+            f"store {store.path!r} is a {store.kind!r} store; --verify "
+            "supports 'index' and 'live' stores"
+        )
+
+    from repro.search.engine import BurstySearchEngine
+
+    checks: List[str] = []
+    engine = load_search_engine(store)
+    collection = engine.collection
+    terms: List[str] = list(store.metadata.get("terms", []))
+    pattern_type = store.metadata.get("pattern_type", "regional")
+    # Re-mine under the configuration the store was mined with — a
+    # faithful store must not false-fail against differently-tuned
+    # defaults.
+    miner = _decode_miner(pattern_type, store.metadata.get("miner_config"))
+    if pattern_type == "regional":
+        mined = miner.mine_regional(collection, terms)
+    else:
+        mined = miner.mine_combinatorial(collection, terms)
+    stored_patterns = {
+        term: list(mined_patterns)
+        for term, mined_patterns in engine._patterns.items()
+        if mined_patterns
+    }
+    if stored_patterns != mined:
+        diverging = sorted(
+            term
+            for term in set(stored_patterns) | set(mined)
+            if stored_patterns.get(term) != mined.get(term)
+        )
+        raise StoreError(
+            f"stored patterns diverge from a cold re-mine for terms "
+            f"{diverging[:5]} — the store does not match its own corpus"
+        )
+    checks.append(
+        f"patterns: {sum(len(p) for p in mined.values())} across "
+        f"{len(mined)} term(s) identical to cold re-mine"
+    )
+
+    cold = BurstySearchEngine(collection, mined)
+    segment = engine._segments
+    for term in segment.terms:
+        ids, scores, ties = segment.columns(term)
+        cold_list = cold._posting_list(term)
+        cold_ids, cold_scores, cold_ties = cold_list.columns()
+        if (
+            ids != list(cold_ids)
+            or _bits(scores) != _bits(cold_scores)
+            or _bits(ties) != _bits(cold_ties)
+        ):
+            raise StoreError(
+                f"posting columns for term {term!r} diverge from a cold "
+                "rebuild (ids, score bits or tiebreak order)"
+            )
+    checks.append(
+        f"postings: {len(segment.terms)} term column(s) byte-identical "
+        "to cold rebuild"
+    )
+
+    queries = list(segment.terms[:8])
+    if len(segment.terms) >= 2:
+        queries.append(" ".join(segment.terms[:2]))
+    for query in queries:
+        for strategy in ("ta", "blockmax", "scan"):
+            loaded = _ranking(engine.search(query, k=k, strategy=strategy))
+            rebuilt = _ranking(cold.search(query, k=k, strategy=strategy))
+            if loaded != rebuilt:
+                raise StoreError(
+                    f"top-{k} ranking for query {query!r} under strategy "
+                    f"{strategy!r} diverges between the loaded store and "
+                    "a cold rebuild"
+                )
+    checks.append(
+        f"top-{k}: {len(queries)} query(ies) x 3 strategies byte-identical"
+    )
+    return checks
+
+
+def _verify_live_store(store: SegmentReader, k: int) -> List[str]:
+    from repro.core.stlocal import STLocal
+    from repro.live.engine import LiveSearchEngine
+    from repro.pipeline.batch import BatchMiner
+    from repro.search.engine import BurstySearchEngine
+    from repro.streams.collection import SpatiotemporalCollection
+
+    engine = LiveSearchEngine.from_checkpoint(store)
+    live = engine.live
+    cold = SpatiotemporalCollection(live.timeline)
+    for sid, point in live.locations().items():
+        cold.add_stream(sid, point)
+    for document in live.collection.documents():
+        cold.add_document(document)
+    # Cold-mine under the checkpoint's own STLocal settings (restore
+    # just decoded them into engine.config).
+    mined = BatchMiner(stlocal=STLocal(engine.config)).mine_regional(cold)
+    batch_engine = BurstySearchEngine(cold, mined)
+    terms = [
+        state["term"] for state in store.json("live/meta.json")["states"]
+    ] or sorted(live.vocabulary)
+    checks: List[str] = []
+    for term in terms:
+        lively = _ranking(engine.search(term, k=k))
+        coldly = _ranking(batch_engine.search(term, k=k))
+        if lively != coldly:
+            raise StoreError(
+                f"restored live top-{k} for {term!r} diverges from a cold "
+                "batch rebuild"
+            )
+    checks.append(
+        f"live checkpoint: top-{k} for {len(terms)} term(s) identical to "
+        "cold batch rebuild"
+    )
+    return checks
+
+
+# ----------------------------------------------------------------------
+# Live checkpoints
+# ----------------------------------------------------------------------
+def save_live_checkpoint(path: str, engine) -> None:
+    """Persist a :class:`LiveSearchEngine` checkpoint (see module doc)."""
+    live = engine.live
+    for term in engine.index.terms():
+        engine.index.compact_pending(term)
+    config = engine.config
+    if config is None:
+        from repro.core.config import STLocalConfig
+
+        config = STLocalConfig()
+    config_payload = encode_config(config)
+
+    writer = SegmentWriter(path)
+    encode_documents(
+        writer,
+        "documents",
+        live.timeline,
+        live.locations(),
+        live.ingested_documents(),
+    )
+    states = engine._states
+    patterns = {term: list(state.patterns) for term, state in states.items()}
+    encode_patterns(writer, "patterns", patterns, "regional")
+    lists = {term: engine.index.get(term) for term in engine.index.terms()}
+    encode_posting_lists(writer, "postings", lists)
+    trackers = engine._feeder._trackers if engine._feeder is not None else {}
+    encode_trackers(writer, "trackers", trackers)
+    writer.add_json(
+        "live/meta.json",
+        {
+            "watermark": live.watermark,
+            "epoch": live.epoch,
+            "config": config_payload,
+            "compaction_threshold": engine.index.compaction_threshold,
+            "states": [
+                {
+                    "term": term,
+                    "version": state.version,
+                    "doc_cursor": state.doc_cursor,
+                }
+                for term, state in states.items()
+            ],
+        },
+    )
+    writer.commit(
+        "live",
+        {
+            "documents": live.document_count,
+            "streams": len(live.locations()),
+            "watermark": live.watermark,
+            "epoch": live.epoch,
+            "terms": list(states),
+            "scoring": {
+                "relevance": _callable_fingerprint(engine.relevance),
+                "aggregate": _callable_fingerprint(engine.aggregate),
+            },
+        },
+    )
+
+
+def restore_live_checkpoint(path: StoreLike, engine) -> None:
+    """Load a ``live`` checkpoint into an existing engine (in place).
+
+    Replaces the engine's collection, index, tracker feeder and
+    per-term sync state with the persisted snapshot, resets the serving
+    statistics and clears the result cache — counters and cached
+    rankings describe the *previous* backing index, and surviving a
+    restore would report stale hit-rates for an index they never
+    measured.
+    """
+    from repro.live.collection import LiveCollection
+    from repro.live.engine import _TermState, ServingStats
+    from repro.live.index import LiveIndex
+    from repro.pipeline.incremental import IncrementalFeeder
+
+    store = open_store(path)
+    if store.kind != "live":
+        raise StoreError(
+            f"store {store.path!r} is a {store.kind!r} store, not a "
+            "'live' checkpoint"
+        )
+    # Persisted posting bases embed the checkpoint engine's scoring
+    # callables; appending deltas scored by different ones would mix
+    # two scoring models in one list.
+    _check_scoring_fingerprints(store, engine)
+    live_meta = store.json("live/meta.json")
+    timeline, locations, documents = decode_documents(store, "documents")
+    live = LiveCollection(timeline)
+    for sid, point in locations.items():
+        live.add_stream(sid, point)
+    for document in documents:
+        live.ingest(document)
+    watermark = int(live_meta["watermark"])
+    if watermark > live.watermark:
+        live.advance_to(watermark)
+    # The epoch counts every historical mutation (including empty
+    # advance ticks the document table cannot reproduce); restore the
+    # persisted value so cache keys continue the same sequence.
+    live._epoch = int(live_meta["epoch"])
+
+    config = decode_config(live_meta["config"])
+    if engine.config is not None:
+        if encode_config(engine.config) != live_meta["config"]:
+            raise StoreError(
+                "checkpoint was written with different STLocal settings "
+                "than this engine's config — construct the engine with a "
+                "matching config (or config=None) before restoring"
+            )
+    engine.config = config
+    feeder = IncrementalFeeder(live.locations(), config)
+    _, trackers = decode_trackers(
+        store, "trackers", feeder.locations, config=config, index=feeder._index
+    )
+    feeder._trackers.update(trackers)
+
+    index = LiveIndex(int(live_meta["compaction_threshold"]))
+    postings = PostingSegment(store, "postings")
+    for term in postings.terms:
+        index.set_base(term, postings.posting_array(term))
+
+    _, patterns = decode_patterns(store, "patterns")
+    states = {}
+    for state in live_meta["states"]:
+        term = state["term"]
+        states[term] = _TermState(
+            patterns=list(patterns.get(term, [])),
+            version=int(state["version"]),
+            doc_cursor=int(state["doc_cursor"]),
+        )
+
+    engine.live = live
+    engine._feeder = feeder
+    engine.index = index
+    engine._states = states
+    engine._cache.clear()
+    engine.stats = ServingStats()

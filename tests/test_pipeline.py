@@ -136,6 +136,21 @@ class TestSharding:
         shards = split_terms(["a", "b"], 8)
         assert len(shards) == 2
 
+    def test_split_empty_vocabulary_yields_no_shards(self):
+        # Regression: ``[[]]`` used to make mine_shards spawn a worker
+        # process just to mine an empty shard.
+        assert split_terms([], 4) == []
+        assert split_terms([], 1) == []
+
+    def test_sharded_mine_empty_vocabulary_short_circuits(self):
+        from repro import Point, SpatiotemporalCollection
+
+        empty = SpatiotemporalCollection(timeline=8)
+        empty.add_stream("s0", Point(0.0, 0.0))
+        miner = BatchMiner(workers=4)
+        assert miner.mine_regional(empty) == {}
+        assert miner.mine_combinatorial(empty) == {}
+
     def test_sharded_regional_equals_serial(self, corpus):
         coll, tensor, locations = corpus
         serial = BatchMiner().mine_regional(tensor, locations=locations)

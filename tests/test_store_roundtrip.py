@@ -1,0 +1,634 @@
+"""Round-trip differential suite: a loaded store equals a cold rebuild.
+
+The acceptance oracle of the persistence layer: saving any serving
+state and loading it back must be *byte*-faithful —
+
+* posting columns keep their document ids, score float bits (NaN
+  payloads and subnormals included) and crc32 tiebreak order;
+* pruned (truncated) lists keep answering random access for documents
+  their sorted prefix no longer exposes;
+* non-integer document ids ride the JSON id table and the query
+  kernel's dict-gather fallback, unchanged;
+* reloaded engines return rankings identical to the engine they were
+  saved from — and to a cold re-mine of the reloaded corpus — across
+  every top-k strategy;
+* restored trackers keep consuming snapshots exactly where the saved
+  ones stopped (windows, histories, expectation models);
+* live checkpoints resume ingestion and serving mid-stream, with
+  serving statistics reset (counters must not describe an index they
+  never measured).
+
+Seeded workloads pin the known regimes; Hypothesis sweeps random
+collections through the full save → load → compare cycle.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BatchMiner,
+    BurstySearchEngine,
+    Document,
+    LiveCollection,
+    Point,
+    SpatiotemporalCollection,
+    load_patterns,
+    save_patterns,
+    save_search_index,
+    verify_store,
+)
+from repro.columnar.postings import PostingArray
+from repro.errors import StoreError
+from repro.live import LiveSearchEngine
+from repro.search import Posting, PostingList
+from repro.store import SegmentReader, SegmentWriter, load_trackers
+from repro.store.segments import (
+    PostingSegment,
+    decode_patterns,
+    decode_trackers,
+    encode_patterns,
+    encode_posting_lists,
+    encode_trackers,
+)
+
+
+def ranking(results):
+    return [(r.document.doc_id, r.score) for r in results]
+
+
+def build_collection(seed=0, streams=5, timeline=24, doc_ids="int"):
+    """Small synthetic corpus with one localized burst per term."""
+    rng = random.Random(seed)
+    collection = SpatiotemporalCollection(timeline=timeline)
+    sids = [f"s{i}" for i in range(streams)]
+    for i, sid in enumerate(sids):
+        collection.add_stream(sid, Point(float(i % 3), float(i // 3)))
+    counter = 0
+
+    def next_id():
+        nonlocal counter
+        counter += 1
+        if doc_ids == "int":
+            return counter
+        if doc_ids == "str":
+            return f"doc-{counter}"
+        return counter if counter % 2 else f"doc-{counter}"
+
+    for term in ("quake", "storm"):
+        start = rng.randint(4, timeline - 8)
+        members = rng.sample(sids, k=min(3, streams))
+        for t in range(start, start + 5):
+            for sid in members:
+                for _ in range(rng.randint(1, 3)):
+                    collection.add_document(
+                        Document(next_id(), sid, t, (term, term))
+                    )
+    for t in range(timeline):
+        for sid in sids:
+            if rng.random() < 0.5:
+                collection.add_document(
+                    Document(next_id(), sid, t, ("filler",))
+                )
+    return collection
+
+
+@pytest.fixture(scope="module")
+def saved(tmp_path_factory):
+    collection = build_collection(seed=3)
+    terms = sorted(collection.vocabulary)
+    miner = BatchMiner()
+    trackers = miner.regional_trackers(collection)
+    mined = {
+        term: trackers[term].patterns(term)
+        for term in terms
+        if trackers[term].patterns(term)
+    }
+    engine = BurstySearchEngine(collection, mined)
+    path = str(tmp_path_factory.mktemp("store") / "index")
+    save_search_index(
+        path, engine, "regional", terms=terms, trackers=trackers
+    )
+    return path, engine, mined
+
+
+class TestIndexRoundTrip:
+    def test_rankings_identical_across_strategies(self, saved):
+        path, engine, mined = saved
+        loaded = BurstySearchEngine.from_store(path)
+        for query in list(mined) + ["quake storm", "quake filler storm"]:
+            for strategy in ("ta", "blockmax", "scan", "auto"):
+                assert ranking(
+                    loaded.search(query, k=10, strategy=strategy)
+                ) == ranking(engine.search(query, k=10, strategy=strategy))
+
+    def test_posting_columns_bit_identical(self, saved):
+        path, engine, mined = saved
+        loaded = BurstySearchEngine.from_store(path)
+        for term in mined:
+            ids_a, scores_a, ties_a = engine._posting_list(term).columns()
+            ids_b, scores_b, ties_b = loaded._posting_list(term).columns()
+            assert list(ids_a) == list(ids_b)
+            assert np.asarray(scores_a).tobytes() == np.asarray(scores_b).tobytes()
+            assert np.asarray(ties_a).tobytes() == np.asarray(ties_b).tobytes()
+
+    def test_patterns_and_documents_round_trip(self, saved):
+        path, engine, mined = saved
+        loaded = BurstySearchEngine.from_store(path)
+        assert {t: list(p) for t, p in loaded._patterns.items()} == {
+            t: list(p) for t, p in engine._patterns.items() if p
+        }
+        original = list(engine.collection.documents())
+        reloaded = list(loaded.collection.documents())
+        assert [d.doc_id for d in original] == [d.doc_id for d in reloaded]
+        assert [d.stream_id for d in original] == [d.stream_id for d in reloaded]
+        assert [d.timestamp for d in original] == [d.timestamp for d in reloaded]
+        assert [d.term_counts() for d in original] == [
+            d.term_counts() for d in reloaded
+        ]
+        assert engine.collection.locations() == loaded.collection.locations()
+
+    def test_posting_columns_stay_memory_mapped(self, saved):
+        path, _, mined = saved
+        loaded = BurstySearchEngine.from_store(path)
+        term = next(iter(mined))
+        _, scores, ties = loaded._posting_list(term).columns()
+        assert isinstance(scores.base if scores.base is not None else scores, np.memmap)
+        assert isinstance(ties.base if ties.base is not None else ties, np.memmap)
+
+    def test_verify_store_passes(self, saved):
+        path, _, _ = saved
+        checks = verify_store(path)
+        assert any("patterns" in line for line in checks)
+        assert any("postings" in line for line in checks)
+
+    def test_verify_store_detects_divergence(self, saved, tmp_path):
+        import json
+        import os
+        import shutil
+
+        path, _, _ = saved
+        broken = str(tmp_path / "broken")
+        shutil.copytree(path, broken)
+        # Flip one stored posting score and re-stamp its checksum so
+        # open() succeeds: --verify must still catch the divergence
+        # against the cold rebuild.
+        target = os.path.join(broken, "postings", "scores.npy")
+        scores = np.load(target)
+        scores[0] += 1.0
+        with open(target, "wb") as handle:
+            np.save(handle, scores)
+        from repro.store.format import MANIFEST_NAME, _file_crc32
+
+        manifest_path = os.path.join(broken, MANIFEST_NAME)
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        crc, size = _file_crc32(target)
+        manifest["files"]["postings/scores.npy"].update(crc32=crc, size=size)
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(StoreError, match="diverge"):
+            verify_store(broken)
+
+    def test_mutating_loaded_collection_detaches_segments(self, saved):
+        path, _, _ = saved
+        loaded = BurstySearchEngine.from_store(path)
+        before = ranking(loaded.search("quake", k=5))
+        doc = Document("late-arrival", "s0", 2, ("filler",))
+        loaded.collection.add_document(doc)
+        # Stored segments describe the pre-mutation corpus; the engine
+        # must fall back to rebuilding rather than serve stale columns.
+        after = ranking(loaded.search("quake", k=5))
+        assert loaded._segments is None
+        assert after == before  # 'filler' doc cannot affect 'quake'
+
+
+class TestVerifyMinerConfig:
+    def test_non_default_miner_config_verifies(self, tmp_path):
+        """Regression: --verify used to re-mine with default settings,
+        false-failing any store mined under a tuned configuration."""
+        from repro.core import STComb, STCombConfig
+
+        collection = build_collection(seed=13)
+        config = STCombConfig(min_interval_score=0.2, min_pattern_streams=1)
+        miner = BatchMiner(stcomb=STComb(config=config))
+        terms = sorted(collection.vocabulary)
+        mined = miner.mine_combinatorial(collection, terms)
+        default_mined = BatchMiner().mine_combinatorial(collection, terms)
+        assert mined != default_mined  # the tuning really changes output
+        engine = BurstySearchEngine(collection, mined)
+        path = str(tmp_path / "idx")
+        save_search_index(
+            path,
+            engine,
+            "combinatorial",
+            terms=terms,
+            miner_config=config,
+        )
+        verify_store(path)  # must not false-fail
+
+    def test_scoring_callable_mismatch_rejected(self, tmp_path):
+        """Posting scores embed the relevance function; loading them
+        into a differently-scored engine must fail loudly."""
+        from repro.search.relevance import binary_relevance
+
+        collection = build_collection(seed=14)
+        mined = BatchMiner().mine_regional(collection)
+        engine = BurstySearchEngine(
+            collection, mined, relevance=binary_relevance
+        )
+        path = str(tmp_path / "idx")
+        save_search_index(path, engine, "regional")
+        with pytest.raises(StoreError, match="scoring callables"):
+            BurstySearchEngine.from_store(path)
+        loaded = BurstySearchEngine.from_store(path, relevance=binary_relevance)
+        assert ranking(loaded.search("quake", k=5)) == ranking(
+            engine.search("quake", k=5)
+        )
+
+
+class TestNonIntDocIds:
+    @pytest.mark.parametrize("kind", ["str", "mixed"])
+    def test_round_trip(self, tmp_path, kind):
+        collection = build_collection(seed=11, doc_ids=kind)
+        mined = BatchMiner().mine_regional(collection)
+        engine = BurstySearchEngine(collection, mined)
+        path = str(tmp_path / "index")
+        save_search_index(path, engine, "regional")
+        loaded = BurstySearchEngine.from_store(path)
+        for term in mined:
+            for strategy in ("ta", "blockmax", "scan"):
+                assert ranking(
+                    loaded.search(term, k=8, strategy=strategy)
+                ) == ranking(engine.search(term, k=8, strategy=strategy))
+        verify_store(path)
+
+
+class TestPostingSegmentCodec:
+    def round_trip(self, tmp_path, lists):
+        path = str(tmp_path / "postings")
+        writer = SegmentWriter(path)
+        encode_posting_lists(writer, "postings", lists)
+        writer.commit("index")
+        return PostingSegment(SegmentReader(path), "postings")
+
+    def test_exotic_score_bits_survive(self, tmp_path):
+        """NaN payloads, infinities and subnormals round-trip bit-exactly."""
+        scores = np.array(
+            [
+                float("inf"),
+                1.0,
+                5e-324,  # smallest subnormal
+                float.fromhex("0x0.0000000000001p-1022"),
+                -0.0,
+                float("-inf"),
+            ]
+        )
+        weird_nan = np.frombuffer(
+            np.uint64(0x7FF80000DEADBEEF).tobytes(), dtype=np.float64
+        )[0]
+        scores = np.concatenate(([weird_nan], scores))
+        ids = list(range(len(scores)))
+        ties = np.arange(len(scores), dtype=np.int64)
+        lists = {"t": PostingArray(ids, scores, tiebreaks=ties, presorted=True)}
+        segment = self.round_trip(tmp_path, lists)
+        _, out_scores, out_ties = segment.posting_array("t").columns()
+        assert np.asarray(out_scores).tobytes() == scores.tobytes()
+        assert np.asarray(out_ties).tobytes() == ties.tobytes()
+
+    def test_truncated_list_keeps_shadow_random_access(self, tmp_path):
+        postings = [Posting(doc_id=i, score=float(100 - i)) for i in range(20)]
+        full = PostingList(postings)
+        pruned = full.truncated(5)
+        segment = self.round_trip(tmp_path, {"t": pruned})
+        reloaded = segment.posting_array("t")
+        assert len(reloaded) == 5
+        assert reloaded.sorted_access(5) is None
+        # Random access still answers for every pruned-away document.
+        for i in range(20):
+            assert reloaded.random_access(i) == pruned.random_access(i)
+        assert reloaded.random_access("absent") is None
+
+    def test_plain_and_array_lists_agree(self, tmp_path):
+        postings = [
+            Posting(doc_id=f"d{i}", score=float(i % 3)) for i in range(12)
+        ]
+        segment = self.round_trip(
+            tmp_path,
+            {
+                "plain": PostingList(postings),
+                "array": PostingArray.from_postings(postings),
+            },
+        )
+        plain = segment.posting_array("plain").columns()
+        array = segment.posting_array("array").columns()
+        assert list(plain[0]) == list(array[0])
+        assert np.asarray(plain[1]).tobytes() == np.asarray(array[1]).tobytes()
+        assert np.asarray(plain[2]).tobytes() == np.asarray(array[2]).tobytes()
+
+
+class TestTrackerRoundTrip:
+    def test_restored_tracker_resumes_processing(self, tmp_path):
+        """Feeding a restored tracker equals feeding the original."""
+        collection = build_collection(seed=7)
+        from repro.streams import FrequencyTensor
+
+        tensor = FrequencyTensor(collection)
+        locations = collection.locations()
+        miner = BatchMiner(truncate_tails=False)
+        half = collection.timeline // 2
+        # Mine only the first half of the timeline...
+        from repro.core.stlocal import STLocalTermTracker
+
+        term = "quake"
+        tracker = STLocalTermTracker(locations)
+        snapshots = tensor.term_snapshots(term)
+        for t in range(half):
+            tracker.process(snapshots.get(t, {}))
+        path = str(tmp_path / "trackers")
+        writer = SegmentWriter(path)
+        encode_trackers(writer, "trackers", {term: tracker})
+        writer.commit("patterns")
+        _, restored_map = decode_trackers(
+            SegmentReader(path), "trackers", locations
+        )
+        restored = restored_map[term]
+        assert restored.clock == tracker.clock
+        # ...then continue both through the second half.
+        for t in range(half, collection.timeline):
+            tracker.process(snapshots.get(t, {}))
+            restored.process(snapshots.get(t, {}))
+        assert restored.patterns(term) == tracker.patterns(term)
+        assert restored.rectangle_history == tracker.rectangle_history
+        assert restored.open_history == tracker.open_history
+        assert restored._history == tracker._history
+
+    def test_columnar_tracker_state_round_trips(self, tmp_path):
+        collection = build_collection(seed=9)
+        miner = BatchMiner()
+        trackers = miner.regional_trackers(collection)
+        path = str(tmp_path / "trackers")
+        writer = SegmentWriter(path)
+        encode_trackers(writer, "trackers", dict(trackers))
+        writer.commit("patterns")
+        _, restored = decode_trackers(
+            SegmentReader(path), "trackers", collection.locations()
+        )
+        for term, tracker in trackers.items():
+            assert restored[term].patterns(term) == tracker.patterns(term)
+            assert restored[term].clock == tracker.clock
+
+    def test_custom_baseline_rejected_explicitly(self, tmp_path):
+        from repro.core.config import STLocalConfig
+        from repro.core.stlocal import STLocalTermTracker
+        from repro.temporal.baselines import EWMABaseline
+
+        config = STLocalConfig(baseline_factory=EWMABaseline)
+        tracker = STLocalTermTracker({"s": Point(0.0, 0.0)}, config=config)
+        tracker.process({"s": 3.0})
+        writer = SegmentWriter(str(tmp_path / "t"))
+        with pytest.raises(StoreError, match="RunningMeanBaseline"):
+            encode_trackers(writer, "trackers", {"x": tracker})
+
+    def test_mine_save_to_persists_patterns_and_trackers(self, tmp_path):
+        collection = build_collection(seed=5)
+        path = str(tmp_path / "mined")
+        mined = BatchMiner().mine_regional(collection, save_to=path)
+        assert load_patterns(path) == mined
+        _, trackers = load_trackers(path)
+        assert set(trackers) == set(collection.vocabulary)
+
+    def test_non_scalar_stream_ids_rejected_at_save(self, tmp_path):
+        """A store that commits must always load: tuple stream ids (legal
+        everywhere else — streams are Hashable) cannot survive a JSON
+        round trip, so the save must fail, not produce a store that
+        crashes on decode."""
+        collection = SpatiotemporalCollection(timeline=12)
+        for i in range(3):
+            collection.add_stream(("city", i), Point(float(i), 0.0))
+        doc = 0
+        for t in range(12):
+            for i in range(3):
+                collection.add_document(
+                    Document(doc, ("city", i), t, ("filler",))
+                )
+                doc += 1
+        for t in (6, 7, 8):
+            for i in (0, 1):
+                for _ in range(4):
+                    collection.add_document(
+                        Document(doc, ("city", i), t, ("quake", "quake"))
+                    )
+                    doc += 1
+        mined = BatchMiner().mine_combinatorial(collection)
+        assert mined  # the workload really produces tuple-id patterns
+        with pytest.raises(StoreError, match="not persistable"):
+            BatchMiner().mine_combinatorial(
+                collection, save_to=str(tmp_path / "comb")
+            )
+        with pytest.raises(StoreError, match="not persistable"):
+            BatchMiner().mine_regional(
+                collection, save_to=str(tmp_path / "reg")
+            )
+
+    def test_mine_combinatorial_save_to(self, tmp_path):
+        collection = build_collection(seed=6)
+        path = str(tmp_path / "comb")
+        mined = BatchMiner().mine_combinatorial(collection, save_to=path)
+        assert load_patterns(path) == mined
+        with pytest.raises(StoreError, match="no tracker state"):
+            load_trackers(path)
+
+
+class TestLiveCheckpoint:
+    def drive(self, engine, live, upto, seed=21):
+        rng = random.Random(seed)
+        doc = getattr(self, "_doc", 0)
+        for t in range(getattr(self, "_from", 0), upto):
+            for sid in list(live.locations()):
+                if rng.random() < 0.6:
+                    term = rng.choice(("storm", "filler"))
+                    live.ingest(Document(doc, sid, t, (term, term)))
+                    doc += 1
+        self._doc = doc
+        self._from = upto
+
+    def build(self):
+        self._doc, self._from = 0, 0
+        live = LiveCollection(32)
+        for i in range(4):
+            live.add_stream(f"s{i}", Point(float(i % 2), float(i // 2)))
+        return live, LiveSearchEngine(live)
+
+    def test_stats_reset_after_restore(self, tmp_path):
+        live, engine = self.build()
+        self.drive(engine, live, 16)
+        engine.search("storm", k=5)
+        engine.search("storm", k=5)
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.cache_misses == 1
+        assert engine.stats.rebuilds == 1
+        path = str(tmp_path / "ckpt")
+        engine.checkpoint(path)
+        engine.restore(path)
+        # The backing index identity changed: stale hit-rates must not
+        # survive into the restored engine.
+        assert engine.stats.cache_hits == 0
+        assert engine.stats.cache_misses == 0
+        assert engine.stats.rebuilds == 0
+        assert engine.cached_queries == 0
+        engine.search("storm", k=5)
+        assert engine.stats.cache_misses == 1
+        # Served from the persisted base — no rebuild, no delta.
+        assert engine.stats.rebuilds == 0
+        assert engine.stats.served_current == 1
+
+    def test_restore_resumes_mid_stream(self, tmp_path):
+        live, engine = self.build()
+        self.drive(engine, live, 12)
+        before = ranking(engine.search("storm", k=6))
+        path = str(tmp_path / "ckpt")
+        engine.checkpoint(path)
+
+        restored = LiveSearchEngine.from_checkpoint(path)
+        assert ranking(restored.search("storm", k=6)) == before
+        assert restored.live.watermark == live.watermark
+        assert restored.live.epoch == live.epoch
+
+        # Continue ingesting the identical tail into both engines.
+        self._from = 12
+        saved_doc, saved_from = self._doc, self._from
+        self.drive(engine, live, 24, seed=5)
+        self._doc, self._from = saved_doc, saved_from
+        self.drive(restored, restored.live, 24, seed=5)
+        for k in (3, 8):
+            assert ranking(restored.search("storm", k=k)) == ranking(
+                engine.search("storm", k=k)
+            )
+
+    def test_restored_engine_matches_cold_batch_rebuild(self, tmp_path):
+        live, engine = self.build()
+        self.drive(engine, live, 20)
+        engine.search("storm", k=5)
+        path = str(tmp_path / "ckpt")
+        engine.checkpoint(path)
+        restored = LiveSearchEngine.from_checkpoint(path)
+
+        cold = SpatiotemporalCollection(live.timeline)
+        for sid, point in live.locations().items():
+            cold.add_stream(sid, point)
+        for document in live.collection.documents():
+            cold.add_document(document)
+        batch = BurstySearchEngine(cold, BatchMiner().mine_regional(cold))
+        assert ranking(restored.search("storm", k=10)) == ranking(
+            batch.search("storm", k=10)
+        )
+        verify_store(path)
+
+    def test_restore_rejects_wrong_kind(self, saved, tmp_path):
+        path, _, _ = saved
+        live, engine = self.build()
+        with pytest.raises(StoreError, match="'live'"):
+            engine.restore(path)
+
+    def test_config_mismatch_rejected(self, tmp_path):
+        from repro.core.config import STLocalConfig
+
+        live, engine = self.build()
+        self.drive(engine, live, 8)
+        path = str(tmp_path / "ckpt")
+        engine.checkpoint(path)
+        other = LiveSearchEngine(
+            LiveCollection(1), config=STLocalConfig(warmup=9)
+        )
+        with pytest.raises(StoreError, match="STLocal settings"):
+            other.restore(path)
+
+
+class TestPatternCodecProperty:
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_regional_patterns_round_trip(self, tmp_path_factory, data):
+        from repro.core.patterns import RegionalPattern
+        from repro.intervals.interval import Interval
+        from repro.spatial.geometry import Rectangle
+
+        n_terms = data.draw(st.integers(0, 3))
+        patterns = {}
+        for index in range(n_terms):
+            entries = []
+            for _ in range(data.draw(st.integers(0, 4))):
+                x0 = data.draw(st.floats(-50, 50))
+                y0 = data.draw(st.floats(-50, 50))
+                start = data.draw(st.integers(0, 30))
+                streams = frozenset(
+                    data.draw(
+                        st.lists(
+                            st.one_of(
+                                st.integers(0, 9),
+                                st.text("ab", min_size=1, max_size=3),
+                            ),
+                            min_size=1,
+                            max_size=4,
+                            unique=True,
+                        )
+                    )
+                )
+                entries.append(
+                    RegionalPattern(
+                        term=f"t{index}",
+                        region=Rectangle(
+                            x0,
+                            y0,
+                            x0 + data.draw(st.floats(0, 10)),
+                            y0 + data.draw(st.floats(0, 10)),
+                        ),
+                        streams=streams,
+                        timeframe=Interval(
+                            start, start + data.draw(st.integers(0, 10))
+                        ),
+                        score=data.draw(
+                            st.floats(
+                                allow_nan=False, allow_infinity=True
+                            )
+                        ),
+                        bursty_streams=data.draw(
+                            st.one_of(st.none(), st.just(streams))
+                        ),
+                    )
+                )
+            patterns[f"t{index}"] = entries
+        path = str(tmp_path_factory.mktemp("pat") / "store")
+        writer = SegmentWriter(path)
+        encode_patterns(writer, "patterns", patterns, "regional")
+        writer.commit("patterns")
+        _, decoded = decode_patterns(SegmentReader(path), "patterns")
+        assert decoded == patterns
+
+
+class TestEngineRoundTripProperty:
+    @given(st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_random_corpora_round_trip(self, tmp_path_factory, data):
+        seed = data.draw(st.integers(0, 2**16))
+        doc_ids = data.draw(st.sampled_from(["int", "str", "mixed"]))
+        streams = data.draw(st.integers(2, 6))
+        timeline = data.draw(st.integers(12, 28))
+        collection = build_collection(
+            seed=seed, streams=streams, timeline=timeline, doc_ids=doc_ids
+        )
+        mined = BatchMiner().mine_regional(collection)
+        engine = BurstySearchEngine(collection, mined)
+        path = str(tmp_path_factory.mktemp("rt") / "store")
+        save_search_index(path, engine, "regional")
+        loaded = BurstySearchEngine.from_store(path)
+        k = data.draw(st.integers(1, 12))
+        queries = sorted(mined) + ["quake storm"]
+        for query in queries:
+            for strategy in ("ta", "blockmax", "scan"):
+                assert ranking(
+                    loaded.search(query, k=k, strategy=strategy)
+                ) == ranking(engine.search(query, k=k, strategy=strategy))
