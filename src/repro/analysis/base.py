@@ -1,0 +1,60 @@
+"""Rule framework: the per-module context and the rule base class.
+
+A rule is a small class with a ``name``, a ``description`` (shown by
+``repro check --list-rules`` and reused by the README's rule table) and
+a ``check`` method that walks one module's AST and yields
+:class:`~repro.analysis.findings.Finding` objects.  Rules never see
+suppressions or scoping — the runner applies both — so a rule is
+exactly "find every occurrence of the pattern".
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.imports import ImportMap
+
+
+class ModuleContext:
+    """Everything a rule may inspect about one analyzed module."""
+
+    def __init__(
+        self, path: str, source: str, tree: ast.Module, config: AnalysisConfig
+    ) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.config = config
+        self.imports = ImportMap(tree)
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        """Anchor a finding to an AST node's source position."""
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=int(getattr(node, "lineno", 1)),
+            col=int(getattr(node, "col_offset", 0)),
+            message=message,
+        )
+
+
+class Rule(abc.ABC):
+    """One statically-checkable project invariant."""
+
+    #: Registry key; also the ``# repro: noqa[<name>]`` suppression key.
+    name: ClassVar[str] = ""
+    #: One-line summary for ``--list-rules`` and reports.
+    description: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``module``."""
+
+    def emit(
+        self, module: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        return module.finding(self.name, node, message)

@@ -1,0 +1,110 @@
+"""Per-rule configuration: which rules run, and on which modules.
+
+Each rule carries a *scope* — a tuple of path fragments; the rule runs
+on a module when any fragment occurs in the module's POSIX-normalised
+path (``"*"`` matches every module).  The defaults below encode this
+project's contracts: determinism is a property of the ranking/mining
+kernels, dtype discipline of the store codecs, exception hygiene of
+everything.  Tests (and future rules) override scopes by constructing
+an :class:`AnalysisConfig` directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+#: The byte-identical ranking/mining kernel modules: everything on the
+#: mine → score → serve path whose output the differential harnesses
+#: pin against the reference implementation.
+KERNEL_SCOPE: Tuple[str, ...] = (
+    "repro/columnar/",
+    "repro/search/topk.py",
+    "repro/temporal/",
+    "repro/spatial/",
+    "repro/store/",
+)
+
+#: Modules that touch (or receive) memory-mapped segment arrays.
+MMAP_SCOPE: Tuple[str, ...] = (
+    "repro/store/",
+    "repro/columnar/",
+    "repro/search/",
+    "repro/live/",
+)
+
+#: The single module allowed to call a raw array loader — the read
+#: boundary where segment arrays are frozen ``writeable=False``.
+MMAP_BOUNDARY: Tuple[str, ...] = ("repro/store/format.py",)
+
+#: Classes holding versioned, cache-backed indexed state.
+INVALIDATION_SCOPE: Tuple[str, ...] = (
+    "repro/streams/",
+    "repro/live/",
+    "repro/search/",
+    "repro/store/",
+)
+
+DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
+    "determinism": KERNEL_SCOPE,
+    "mmap-safety": MMAP_SCOPE,
+    "dtype-discipline": ("repro/store/",),
+    "exception-hygiene": ("*",),
+    "picklability": ("*",),
+    "cache-invalidation": INVALIDATION_SCOPE,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class AnalysisConfig:
+    """Which rules run where.
+
+    Attributes:
+        scopes: rule name → path fragments the rule applies to
+            (``"*"`` = everywhere).  A registered rule missing from the
+            map never runs.
+        options: rule name → free-form rule settings (e.g. the
+            mmap-safety boundary module list).
+        select: when given, only these rules run.
+        ignore: these rules never run (applied after ``select``).
+    """
+
+    scopes: Mapping[str, Tuple[str, ...]]
+    options: Mapping[str, Mapping[str, object]] = dataclasses.field(
+        default_factory=dict
+    )
+    select: Optional[FrozenSet[str]] = None
+    ignore: FrozenSet[str] = frozenset()
+
+    def enabled(self, rule_name: str) -> bool:
+        if rule_name in self.ignore:
+            return False
+        if self.select is not None and rule_name not in self.select:
+            return False
+        return rule_name in self.scopes
+
+    def applies(self, rule_name: str, path: str) -> bool:
+        """True when ``rule_name`` should run on the module at ``path``."""
+        if not self.enabled(rule_name):
+            return False
+        posix = path.replace("\\", "/")
+        return any(
+            fragment == "*" or fragment in posix
+            for fragment in self.scopes[rule_name]
+        )
+
+    def option(self, rule_name: str, key: str, default: object) -> object:
+        return self.options.get(rule_name, {}).get(key, default)
+
+
+def default_config(
+    select: Optional[FrozenSet[str]] = None,
+    ignore: FrozenSet[str] = frozenset(),
+) -> AnalysisConfig:
+    """The project configuration: every rule, project-contract scopes."""
+    return AnalysisConfig(
+        scopes=dict(DEFAULT_SCOPES),
+        options={"mmap-safety": {"boundary": MMAP_BOUNDARY}},
+        select=select,
+        ignore=ignore,
+    )

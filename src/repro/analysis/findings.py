@@ -1,0 +1,44 @@
+"""The unit of analyzer output: one rule violation at one source line."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source location.
+
+    Attributes:
+        rule: Registered rule name (e.g. ``"determinism"``) — also the
+            name a ``# repro: noqa[...]`` comment suppresses it by.
+        path: Path of the analyzed module, as given to the runner.
+        line: 1-based source line of the offending node.
+        col: 0-based column of the offending node.
+        message: Human-readable explanation of the violation and,
+            where possible, the fix.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation (the JSON reporter's row format)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The text reporter's row format: ``path:line:col rule message``."""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"

@@ -1,0 +1,67 @@
+"""Qualified-name resolution for AST expressions.
+
+Rules match calls by fully-qualified dotted name (``numpy.load``,
+``time.time``, ``concurrent.futures.ProcessPoolExecutor``), so alias
+forms — ``import numpy as np``, ``from time import time as now`` —
+must resolve to the same name.  :class:`ImportMap` records every
+import binding of a module and rewrites a ``Name``/``Attribute`` chain
+to its canonical dotted form.
+
+Resolution is purely lexical (no type inference): a name that is not
+an import binding resolves to itself, which deliberately covers the
+builtins (``set``, ``sorted``) the determinism rule matches on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+__all__ = ["ImportMap", "dotted_name"]
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+class ImportMap:
+    """Alias → canonical dotted name bindings of one module."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".", 1)[0]
+                    target = alias.name if alias.asname else bound
+                    self._aliases[bound] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports stay package-local names
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self._aliases[bound] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Canonical dotted name of an expression, or ``None``.
+
+        The chain's root name is rewritten through the import bindings;
+        unbound roots (locals, builtins) pass through unchanged.
+        """
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        root, _, rest = dotted.partition(".")
+        canonical = self._aliases.get(root, root)
+        return f"{canonical}.{rest}" if rest else canonical

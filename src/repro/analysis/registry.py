@@ -1,0 +1,54 @@
+"""The rule registry: rules self-register at import time.
+
+Adding a rule is three steps (see README "Static analysis &
+invariants"): subclass :class:`~repro.analysis.base.Rule`, decorate it
+with :func:`register`, and give it a scope in
+:data:`~repro.analysis.config.DEFAULT_SCOPES` (or construct an
+:class:`~repro.analysis.config.AnalysisConfig` that scopes it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.analysis.base import Rule
+from repro.errors import ConfigurationError
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule by its name."""
+    if not rule_class.name:
+        raise ConfigurationError(
+            f"rule class {rule_class.__name__} has no name"
+        )
+    if rule_class.name in _REGISTRY:
+        raise ConfigurationError(
+            f"duplicate rule name {rule_class.name!r}"
+        )
+    _REGISTRY[rule_class.name] = rule_class()
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in name order (importing the built-ins)."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def get_rule(name: str) -> Rule:
+    """Look up one registered rule.
+
+    Raises:
+        ConfigurationError: for an unknown rule name.
+    """
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown rule {name!r}; registered rules: {known}"
+        )
+    return _REGISTRY[name]

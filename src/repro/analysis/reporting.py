@@ -1,0 +1,58 @@
+"""Reporters: render an :class:`~repro.analysis.runner.AnalysisReport`.
+
+Two built-in formats.  ``text`` is the human/CI-log format — one
+finding per line (``path:line:col: [rule] message``) plus a summary
+footer.  ``json`` is the machine format the CI ``lint`` job uploads as
+an artifact: per-rule counts, every active finding, and the suppressed
+findings so accepted deviations stay auditable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.runner import AnalysisReport
+
+__all__ = ["render_json", "render_text"]
+
+
+def _counts_by_rule(report: AnalysisReport) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in report.findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_text(report: AnalysisReport) -> str:
+    """The human-readable report: findings then a one-line summary."""
+    lines: List[str] = [finding.render() for finding in report.findings]
+    if report.findings:
+        counts = ", ".join(
+            f"{rule}: {count}"
+            for rule, count in _counts_by_rule(report).items()
+        )
+        lines.append("")
+        lines.append(
+            f"{len(report.findings)} finding(s) in "
+            f"{report.checked_files} file(s) ({counts}); "
+            f"{len(report.suppressed)} suppressed"
+        )
+    else:
+        lines.append(
+            f"clean: {report.checked_files} file(s) checked, "
+            f"0 findings, {len(report.suppressed)} suppressed"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """The machine-readable report (the CI artifact format)."""
+    payload = {
+        "checked_files": report.checked_files,
+        "clean": report.clean,
+        "counts": _counts_by_rule(report),
+        "findings": [finding.to_dict() for finding in report.findings],
+        "suppressed": [finding.to_dict() for finding in report.suppressed],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

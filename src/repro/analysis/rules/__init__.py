@@ -1,0 +1,21 @@
+"""Built-in rules; importing this package registers all of them."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import (  # noqa: F401  (registration side effect)
+    cache_invalidation,
+    determinism,
+    dtype_discipline,
+    exception_hygiene,
+    mmap_safety,
+    picklability,
+)
+
+__all__ = [
+    "cache_invalidation",
+    "determinism",
+    "dtype_discipline",
+    "exception_hygiene",
+    "mmap_safety",
+    "picklability",
+]

@@ -1,0 +1,219 @@
+"""Rule ``cache-invalidation``: versioned classes bump on every mutator.
+
+The serving layers derive state (posting lists, doc maps, pattern
+caches, epoch-keyed result caches) from versioned containers:
+``SpatiotemporalCollection._version``, ``LiveCollection._epoch``.  A
+mutator that forgets to bump leaves every derived view silently stale
+— the exact bug class the live layer fixed three times by hand before
+the ``version``/``subscribe`` hooks existed.
+
+The rule applies to classes that maintain a version counter (an
+attribute like ``_version`` / ``_epoch`` / ``_term_versions`` assigned
+somewhere in the class).  Every *public mutator-named* method of such
+a class must, directly or through other methods of the same class,
+either bump a version counter or call an invalidation hook
+(``*invalidate*`` / ``*refresh*`` / ``*rebuild*`` / ``*reset*`` /
+``notify*``).  Delegating to ``super()`` counts — the parent
+implementation is checked wherever it is defined.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Set, Union
+
+from repro.analysis.base import ModuleContext, Rule
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+#: Attribute names that look like a mutation-version counter.
+VERSION_ATTR = re.compile(r"^_?(term_)?(version|epoch|generation)s?$")
+
+#: Method-name prefixes that imply mutation of indexed state.
+MUTATOR_PREFIXES = (
+    "add",
+    "ingest",
+    "advance",
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "delete",
+    "discard",
+    "clear",
+    "replace",
+    "update",
+    "set_",
+    "seal",
+    "push",
+    "write",
+)
+
+#: Self-call names accepted as invalidation hooks even when the hook is
+#: inherited (not defined in the analyzed class).
+HOOK_NAME = re.compile(r"(invalidate|refresh|rebuild|reset|touch|bump|notify)")
+
+#: Decorators that mark a read path (not a mutator).
+_READ_DECORATORS = {"property", "cached_property", "staticmethod"}
+
+_Method = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_self_attr(node: ast.expr, pattern: re.Pattern[str]) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and pattern.match(node.attr) is not None
+    )
+
+
+def _decorator_names(method: _Method) -> Set[str]:
+    names: Set[str] = set()
+    for decorator in method.decorator_list:
+        target = decorator
+        if isinstance(target, ast.Call):
+            target = target.func
+        while isinstance(target, ast.Attribute):
+            if target.attr in _READ_DECORATORS:
+                names.add(target.attr)
+            target = target.value
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+    return names
+
+
+def _is_mutator_name(name: str) -> bool:
+    """Match a mutator prefix only at a word boundary.
+
+    ``ingest`` and ``ingest_snapshot`` are mutators; ``ingested_documents``
+    (a getter over past ingests) is not.
+    """
+    if name.startswith("_"):
+        return False
+    return any(
+        name == stem or name.startswith(stem + "_")
+        for stem in (prefix.rstrip("_") for prefix in MUTATOR_PREFIXES)
+    )
+
+
+class _ClassModel:
+    """Bump/delegation facts about one class body."""
+
+    def __init__(self, class_def: ast.ClassDef) -> None:
+        self.class_def = class_def
+        self.methods: Dict[str, _Method] = {}
+        for node in class_def.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.methods[node.name] = node
+        self.version_attrs: Set[str] = set()
+        for method in self.methods.values():
+            for node in ast.walk(method):
+                targets: List[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Subscript):
+                        target = target.value
+                    if _is_self_attr(target, VERSION_ATTR):
+                        self.version_attrs.add(target.attr)  # type: ignore[attr-defined]
+
+    def bumping_methods(self) -> Set[str]:
+        """Fixpoint of methods that (transitively) bump or invalidate."""
+        bumps: Set[str] = set()
+        for name, method in self.methods.items():
+            if self._bumps_directly(method):
+                bumps.add(name)
+        changed = True
+        while changed:
+            changed = False
+            for name, method in self.methods.items():
+                if name in bumps:
+                    continue
+                for called in self._self_calls(method):
+                    if called in bumps:
+                        bumps.add(name)
+                        changed = True
+                        break
+        return bumps
+
+    def _bumps_directly(self, method: _Method) -> bool:
+        for node in ast.walk(method):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    target = target.value
+                if _is_self_attr(target, VERSION_ATTR):
+                    return True
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                receiver = node.func.value
+                # super().anything() delegates to an implementation that
+                # is itself subject to this rule where it is defined.
+                if (
+                    isinstance(receiver, ast.Call)
+                    and isinstance(receiver.func, ast.Name)
+                    and receiver.func.id == "super"
+                ):
+                    return True
+                # self.<inherited invalidation hook>()
+                if (
+                    isinstance(receiver, ast.Name)
+                    and receiver.id == "self"
+                    and node.func.attr not in self.methods
+                    and HOOK_NAME.search(node.func.attr) is not None
+                ):
+                    return True
+        return False
+
+    def _self_calls(self, method: _Method) -> Iterator[str]:
+        for node in ast.walk(method):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+            ):
+                yield node.func.attr
+
+
+@register
+class CacheInvalidationRule(Rule):
+    name = "cache-invalidation"
+    description = (
+        "classes with a version/epoch counter must bump it (or call an "
+        "invalidation hook) in every public mutator method"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            model = _ClassModel(node)
+            if not model.version_attrs:
+                continue
+            bumps = model.bumping_methods()
+            attrs = ", ".join(sorted(model.version_attrs))
+            for name, method in model.methods.items():
+                if not _is_mutator_name(name):
+                    continue
+                if _decorator_names(method) & _READ_DECORATORS:
+                    continue
+                if name in bumps:
+                    continue
+                yield self.emit(
+                    module,
+                    method,
+                    f"{node.name}.{name}() mutates indexed state without "
+                    f"bumping a version counter ({attrs}) or calling an "
+                    "invalidation hook; derived views (posting lists, "
+                    "caches) would serve stale state",
+                )

@@ -1,0 +1,253 @@
+"""Rule ``determinism``: kernel modules must be schedule-independent.
+
+The mining/ranking kernels promise byte-identical output across runs,
+hosts and worker processes.  Three statically-visible ways to break
+that promise:
+
+* **wall-clock reads** (``time.time()``, ``datetime.now()``) — output
+  depends on when the code ran;
+* **global / unseeded RNG draws** (``random.random()``,
+  ``np.random.rand()``, ``random.Random()`` with no seed) — output
+  depends on interpreter-global state no caller controls;
+* **set-iteration-order dependence** — iterating a ``set`` of strings
+  observes ``PYTHONHASHSEED``; two processes mining the same shard can
+  disagree (the exact failure mode term-sharded multiprocessing
+  guards against by evaluating streams in sorted order).
+
+Iterating a set *inside an order-insensitive consumer* —
+``sorted(...)``, ``min``/``max``/``sum``/``any``/``all``,
+``set``/``frozenset``/``len`` — is fine and stays unflagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Union
+
+from repro.analysis.base import ModuleContext, Rule
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+#: Wall-clock / entropy reads: nondeterministic regardless of arguments.
+BANNED_CALLS: Dict[str, str] = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.monotonic": "clock read",
+    "time.monotonic_ns": "clock read",
+    "time.perf_counter": "clock read",
+    "time.perf_counter_ns": "clock read",
+    "time.process_time": "clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "os.urandom": "OS entropy read",
+    "uuid.uuid1": "host/time-derived identifier",
+    "uuid.uuid4": "OS entropy read",
+}
+
+#: RNG constructors that are deterministic *when given a seed*.
+SEEDED_FACTORIES: Set[str] = {
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+}
+
+#: Call targets whose argument's iteration order cannot reach output.
+ORDER_INSENSITIVE_CONSUMERS: Set[str] = {
+    "sorted",
+    "min",
+    "max",
+    "sum",
+    "any",
+    "all",
+    "len",
+    "set",
+    "frozenset",
+}
+
+#: Set methods that return another set.
+_SET_METHODS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "copy",
+}
+
+#: Reordering constructors: a name rebound through these is no longer
+#: treated as a set (``terms = sorted(terms)``).
+_REORDERERS = {"sorted", "list", "tuple"}
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Module]
+_CompNode = Union[ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.DictComp]
+
+
+def _scope_bodies(tree: ast.Module) -> Iterator[_FunctionNode]:
+    """The module and every (async) function, outermost first."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _direct_children(scope: _FunctionNode) -> Iterator[ast.AST]:
+    """Nodes of ``scope`` excluding nested function bodies.
+
+    Name bindings inside a nested function belong to that function's
+    scope, which gets its own pass.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _SetTracker:
+    """Local, flow-insensitive inference of set-typed names in a scope."""
+
+    def __init__(self, module: ModuleContext, scope: _FunctionNode) -> None:
+        self._module = module
+        set_named: Set[str] = set()
+        reordered: Set[str] = set()
+        self.names: Set[str] = set()
+        for node in _direct_children(scope):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            else:
+                continue
+            value = node.value
+            if value is None:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if self.is_set_expr(value):
+                    set_named.add(target.id)
+                elif (
+                    isinstance(value, ast.Call)
+                    and self._module.imports.resolve(value.func) in _REORDERERS
+                ):
+                    reordered.add(target.id)
+            # Iterative: a later binding may reference an earlier one
+            # (``remaining = set(pending)``), so publish as we go.
+            self.names = set_named - reordered
+
+    def is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        if isinstance(node, ast.Call):
+            resolved = self._module.imports.resolve(node.func)
+            if resolved in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SET_METHODS
+            ):
+                return self.is_set_expr(node.func.value)
+        return False
+
+
+def _blessed_nodes(tree: ast.Module, module: ModuleContext) -> Set[int]:
+    """ids of comprehension nodes fed directly to an order-insensitive
+    consumer (``sorted(term for term in set(a) | set(b))``)."""
+    blessed: Set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if module.imports.resolve(node.func) not in ORDER_INSENSITIVE_CONSUMERS:
+            continue
+        for arg in node.args:
+            if isinstance(
+                arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.DictComp)
+            ):
+                blessed.add(id(arg))
+    return blessed
+
+
+@register
+class DeterminismRule(Rule):
+    name = "determinism"
+    description = (
+        "kernel modules must not read clocks, draw from global/unseeded "
+        "RNGs, or depend on set iteration order"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        yield from self._check_calls(module)
+        yield from self._check_set_iteration(module)
+
+    # -- clocks and RNGs -----------------------------------------------
+    def _check_calls(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = module.imports.resolve(node.func)
+            if resolved is None:
+                continue
+            if resolved in BANNED_CALLS:
+                yield self.emit(
+                    module,
+                    node,
+                    f"{resolved}() is a {BANNED_CALLS[resolved]}; kernel "
+                    "output must not depend on when or where it runs",
+                )
+            elif resolved in SEEDED_FACTORIES:
+                if not node.args and not node.keywords:
+                    yield self.emit(
+                        module,
+                        node,
+                        f"{resolved}() without a seed is nondeterministic; "
+                        "pass an explicit seed",
+                    )
+            elif resolved.startswith(("random.", "numpy.random.")):
+                yield self.emit(
+                    module,
+                    node,
+                    f"{resolved}() draws from interpreter-global RNG state; "
+                    "thread a seeded random.Random / numpy Generator "
+                    "through instead",
+                )
+
+    # -- set iteration order -------------------------------------------
+    def _check_set_iteration(self, module: ModuleContext) -> Iterator[Finding]:
+        blessed = _blessed_nodes(module.tree, module)
+        message = (
+            "iteration order of a set observes PYTHONHASHSEED for str "
+            "elements; sort first (sorted(..., key=...)) or feed it to an "
+            "order-insensitive consumer"
+        )
+        for scope in _scope_bodies(module.tree):
+            tracker = _SetTracker(module, scope)
+            for node in _direct_children(scope):
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    if tracker.is_set_expr(node.iter):
+                        yield self.emit(module, node.iter, message)
+                elif isinstance(
+                    node, (ast.GeneratorExp, ast.ListComp, ast.DictComp)
+                ):
+                    # SetComp is exempt: producing a *set* from a set
+                    # carries no order (and the result is tracked as a
+                    # set wherever it is iterated next).
+                    if id(node) in blessed:
+                        continue
+                    # Only the first generator's iterable order can reach
+                    # the produced sequence order directly; nested
+                    # generators over sets are equally flagged — they
+                    # interleave output order too.
+                    for comp in node.generators:
+                        if tracker.is_set_expr(comp.iter):
+                            yield self.emit(module, comp.iter, message)

@@ -1,0 +1,133 @@
+"""Rule ``dtype-discipline``: store codecs pin little-endian dtypes.
+
+A store written on one host must load bit-exactly on any other.
+``dtype=int`` / ``dtype=float`` / ``np.int_`` follow the *platform*
+(``long`` is 32-bit on Windows), and even ``np.int64`` follows the
+*host byte order* — a big-endian writer would emit bytes a
+little-endian reader misparses.  Codec modules therefore spell dtypes
+as explicit little-endian strings: ``"<i8"``, ``"<f8"``, ``"<i4"``
+(``"|b1"`` for the order-free byte kinds).
+
+The rule is lenient about indirection: a dtype passed through a
+variable (e.g. the codec's canonical ``_STORE_DTYPES`` lookup) is not
+flagged — only expressions that are *visibly* platform-dependent are.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.analysis.base import ModuleContext, Rule
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+#: Bare Python scalar types: width and order follow the platform/NumPy
+#: defaults, not the store format.
+_PYTHON_SCALARS: Set[str] = {"int", "float", "bool", "complex"}
+
+#: NumPy scalar types with platform-dependent width or native order.
+_NATIVE_NUMPY: Set[str] = {
+    "numpy.int_",
+    "numpy.intp",
+    "numpy.intc",
+    "numpy.long",
+    "numpy.longlong",
+    "numpy.int8",
+    "numpy.int16",
+    "numpy.int32",
+    "numpy.int64",
+    "numpy.uint8",
+    "numpy.uint16",
+    "numpy.uint32",
+    "numpy.uint64",
+    "numpy.half",
+    "numpy.single",
+    "numpy.double",
+    "numpy.float16",
+    "numpy.float32",
+    "numpy.float64",
+    "numpy.longdouble",
+    "numpy.bool_",
+}
+
+#: Array constructors whose ``dtype=`` reaches stored bytes.
+_ARRAY_FACTORIES: Set[str] = {
+    "numpy.array",
+    "numpy.asarray",
+    "numpy.ascontiguousarray",
+    "numpy.zeros",
+    "numpy.ones",
+    "numpy.empty",
+    "numpy.full",
+    "numpy.arange",
+    "numpy.fromiter",
+    "numpy.frombuffer",
+    "numpy.fromstring",
+}
+
+
+def _dtype_argument(
+    node: ast.Call, resolved: Optional[str]
+) -> Optional[ast.expr]:
+    """The dtype expression of a factory call or ``.astype`` call."""
+    if (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr == "astype"
+        and node.args
+    ):
+        return node.args[0]
+    if resolved in _ARRAY_FACTORIES:
+        for keyword in node.keywords:
+            if keyword.arg == "dtype":
+                return keyword.value
+    return None
+
+
+@register
+class DtypeDisciplineRule(Rule):
+    name = "dtype-discipline"
+    description = (
+        "store codecs must pin explicit little-endian dtypes "
+        '("<i8"/"<f8"), never platform-native int/float/np.int_'
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = module.imports.resolve(node.func)
+            dtype = _dtype_argument(node, resolved)
+            if dtype is None:
+                continue
+            problem = self._describe_problem(module, dtype)
+            if problem is not None:
+                yield self.emit(
+                    module,
+                    dtype,
+                    f"{problem}; store codecs pin explicit little-endian "
+                    'dtypes ("<i8"/"<f8"/"<i4", "|b1" for order-free '
+                    "byte kinds) so segments are byte-identical across "
+                    "hosts",
+                )
+
+    def _describe_problem(
+        self, module: ModuleContext, dtype: ast.expr
+    ) -> Optional[str]:
+        if isinstance(dtype, ast.Constant) and isinstance(dtype.value, str):
+            if not dtype.value.startswith(("<", "|")):
+                return (
+                    f'dtype "{dtype.value}" does not pin little-endian '
+                    "byte order"
+                )
+            return None
+        if isinstance(dtype, ast.Name) and dtype.id in _PYTHON_SCALARS:
+            return (
+                f"dtype={dtype.id} resolves to the platform default "
+                "width and byte order"
+            )
+        resolved = module.imports.resolve(dtype)
+        if resolved in _NATIVE_NUMPY:
+            short = resolved.replace("numpy.", "np.")
+            return f"dtype={short} uses native byte order"
+        return None

@@ -1,0 +1,79 @@
+"""Rule ``exception-hygiene``: no bare/broad ``except`` without a
+stated reason.
+
+``except Exception`` around a probe swallows *everything* — including
+the ``KeyboardInterrupt``-adjacent bugs (``RecursionError``,
+``MemoryError`` subclasses of ``Exception``) that should surface, and
+genuine library defects that then present as the fallback path's
+behaviour.  Handlers must name the concrete exceptions the guarded
+code can raise; where broadness is genuinely intended (e.g. probing a
+user-supplied factory), the line carries::
+
+    except Exception:  # repro: noqa[exception-hygiene] -- <why>
+
+so the intent is reviewable instead of implicit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.base import ModuleContext, Rule
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _named_exceptions(node: ast.expr) -> List[str]:
+    """Leaf exception names of an ``except`` type expression."""
+    if isinstance(node, ast.Tuple):
+        names: List[str] = []
+        for element in node.elts:
+            names.extend(_named_exceptions(element))
+        return names
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        return [node.attr]
+    return []
+
+
+@register
+class ExceptionHygieneRule(Rule):
+    name = "exception-hygiene"
+    description = (
+        "no bare or broad except Exception without a suppression "
+        "comment stating why broadness is intended"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.emit(
+                    module,
+                    node,
+                    "bare except: catches everything, including "
+                    "SystemExit/KeyboardInterrupt; name the concrete "
+                    "exceptions (or add '# repro: "
+                    "noqa[exception-hygiene] -- <why>' if broadness is "
+                    "intended)",
+                )
+                continue
+            broad = [
+                name
+                for name in _named_exceptions(node.type)
+                if name in _BROAD
+            ]
+            if broad:
+                yield self.emit(
+                    module,
+                    node,
+                    f"broad 'except {broad[0]}' hides unrelated bugs "
+                    "behind the fallback path; narrow to the concrete "
+                    "exceptions the guarded code raises (or add "
+                    "'# repro: noqa[exception-hygiene] -- <why>')",
+                )

@@ -1,0 +1,269 @@
+"""Rule ``mmap-safety``: loaded segment arrays are frozen and never
+mutated in place.
+
+The store serves NumPy arrays straight off memory-mapped segment
+files.  Writing through such an array corrupts the CRC-verified bytes
+on disk (or, for an eagerly-loaded copy, silently diverges from them).
+Three statically-checkable sub-contracts:
+
+1. **one read boundary** — raw loaders (``np.load``/``np.memmap``/
+   ``np.fromfile``) are called only in the boundary module(s)
+   (``repro/store/format.py``); everything else goes through
+   ``SegmentReader.array``;
+2. **frozen at the boundary** — a function that calls a raw loader
+   must mark the result read-only (``arr.flags.writeable = False`` or
+   ``arr.setflags(write=False)``) before handing it out;
+3. **no downstream in-place mutation** — a value bound from
+   ``<reader>.array(...)`` (locally or as ``self._attr``) must never
+   be the target of subscript/augmented assignment, an in-place array
+   method, an ``out=`` argument, or ``setflags(write=True)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Set, Union
+
+from repro.analysis.base import ModuleContext, Rule
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+#: Raw array loaders that bypass the manifest/CRC read path.
+LOADER_CALLS: Set[str] = {"numpy.load", "numpy.memmap", "numpy.fromfile"}
+
+#: ndarray methods that mutate their receiver in place.
+INPLACE_METHODS: Set[str] = {
+    "fill",
+    "sort",
+    "partition",
+    "put",
+    "itemset",
+    "setfield",
+    "resize",
+    "byteswap",
+}
+
+#: Attribute-call names that bind a segment array at a call site.
+READER_METHODS: Set[str] = {"array"}
+
+_Scope = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef]
+
+
+def _ref_key(node: ast.expr) -> Optional[str]:
+    """``"name"`` / ``"self.attr"`` for trackable reference shapes."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return f"self.{node.attr}"
+    return None
+
+
+def _is_reader_load(node: ast.expr) -> bool:
+    """True for ``<receiver>.array(...)`` call expressions."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in READER_METHODS
+    )
+
+
+def _freezes_result(body: Sequence[ast.stmt]) -> bool:
+    """Does this function body mark an array read-only?"""
+    for node in ast.walk(ast.Module(body=list(body), type_ignores=[])):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "writeable"
+                    and isinstance(target.value, ast.Attribute)
+                    and target.value.attr == "flags"
+                ):
+                    return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "setflags"
+        ):
+            for keyword in node.keywords:
+                if keyword.arg == "write" and isinstance(
+                    keyword.value, ast.Constant
+                ):
+                    if keyword.value.value is False:
+                        return True
+    return False
+
+
+@register
+class MmapSafetyRule(Rule):
+    name = "mmap-safety"
+    description = (
+        "segment arrays are loaded only at the read boundary, frozen "
+        "writeable=False there, and never mutated in place downstream"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        boundary = module.config.option("mmap-safety", "boundary", ())
+        posix = module.path.replace("\\", "/")
+        in_boundary = isinstance(boundary, (list, tuple)) and any(
+            fragment in posix for fragment in boundary
+        )
+        yield from self._check_loaders(module, in_boundary)
+        yield from self._check_mutations(module)
+
+    # -- sub-contracts 1 and 2 -----------------------------------------
+    def _check_loaders(
+        self, module: ModuleContext, in_boundary: bool
+    ) -> Iterator[Finding]:
+        for scope in ast.walk(module.tree):
+            if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            loaders = [
+                node
+                for node in ast.walk(scope)
+                if isinstance(node, ast.Call)
+                and module.imports.resolve(node.func) in LOADER_CALLS
+            ]
+            if not loaders:
+                continue
+            if not in_boundary:
+                for node in loaders:
+                    resolved = module.imports.resolve(node.func)
+                    yield self.emit(
+                        module,
+                        node,
+                        f"{resolved}() outside the store read boundary; "
+                        "segment arrays must be loaded via "
+                        "SegmentReader.array, which freezes them "
+                        "writeable=False",
+                    )
+            elif not _freezes_result(scope.body):
+                for node in loaders:
+                    yield self.emit(
+                        module,
+                        node,
+                        "loaded array leaves the read boundary without "
+                        "flags.writeable = False; accidental mutation of "
+                        "served state would corrupt CRC-verified segments "
+                        "silently",
+                    )
+        # Module-level loader calls (outside any function) are always a
+        # boundary escape.
+        stack: List[ast.AST] = [
+            node
+            for node in module.tree.body
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+        ]
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if isinstance(node, ast.Call) and (
+                module.imports.resolve(node.func) in LOADER_CALLS
+            ):
+                yield self.emit(
+                    module,
+                    node,
+                    "raw segment load at module scope; go through "
+                    "SegmentReader.array",
+                )
+            stack.extend(ast.iter_child_nodes(node))
+
+    # -- sub-contract 3 ------------------------------------------------
+    def _check_mutations(self, module: ModuleContext) -> Iterator[Finding]:
+        for scope in self._tracking_scopes(module.tree):
+            tracked = self._tracked_refs(scope)
+            if not tracked:
+                continue
+            yield from self._mutations_in(module, scope, tracked)
+
+    def _tracking_scopes(self, tree: ast.Module) -> Iterator[_Scope]:
+        """Classes (self-attr + local tracking) and top-level functions."""
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield node
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def _tracked_refs(self, scope: _Scope) -> Set[str]:
+        tracked: Set[str] = set()
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign) and _is_reader_load(node.value):
+                for target in node.targets:
+                    key = _ref_key(target)
+                    if key is not None:
+                        tracked.add(key)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if _is_reader_load(node.value):
+                    key = _ref_key(node.target)
+                    if key is not None:
+                        tracked.add(key)
+        return tracked
+
+    def _mutations_in(
+        self, module: ModuleContext, scope: _Scope, tracked: Set[str]
+    ) -> Iterator[Finding]:
+        def is_tracked(expr: ast.expr) -> bool:
+            key = _ref_key(expr)
+            return key is not None and key in tracked
+
+        message = (
+            "in-place mutation of an array loaded from a store segment; "
+            "these are served read-only (mmap or frozen) — copy first "
+            "(arr.copy() / np.asarray(arr, dtype=...)) if a private "
+            "mutable buffer is needed"
+        )
+        for node in ast.walk(scope):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Subscript) and is_tracked(
+                        target.value
+                    ):
+                        yield self.emit(module, target, message)
+                # arr += x on the whole array goes through __iadd__ and
+                # writes in place, unlike a plain rebind.
+                if isinstance(node, ast.AugAssign) and is_tracked(
+                    node.target
+                ):
+                    yield self.emit(module, node.target, message)
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                receiver = node.func.value
+                if node.func.attr in INPLACE_METHODS and is_tracked(receiver):
+                    yield self.emit(module, node, message)
+                if node.func.attr == "setflags" and is_tracked(receiver):
+                    for keyword in node.keywords:
+                        if (
+                            keyword.arg == "write"
+                            and isinstance(keyword.value, ast.Constant)
+                            and keyword.value.value is True
+                        ):
+                            yield self.emit(
+                                module,
+                                node,
+                                "re-enabling writes on a loaded segment "
+                                "array defeats the read-boundary freeze",
+                            )
+            if isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg == "out" and is_tracked(keyword.value):
+                        yield self.emit(
+                            module,
+                            keyword.value,
+                            "loaded segment array used as an out= buffer; "
+                            "vectorized kernels must write into freshly "
+                            "allocated arrays",
+                        )

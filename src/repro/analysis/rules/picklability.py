@@ -1,0 +1,163 @@
+"""Rule ``picklability``: only module-level callables cross a process
+pool boundary.
+
+Work shipped to a ``ProcessPoolExecutor`` / ``multiprocessing.Pool``
+worker is pickled; lambdas, nested functions and bound methods are
+not picklable, and the failure surfaces at *submit time in production
+schedules*, not at definition time.  The term-sharded mining pipeline
+(:mod:`repro.pipeline.sharding`) documents the same contract for
+user-supplied ``baseline_factory`` callables — this rule enforces the
+statically-visible half of it at every submission site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Union
+
+from repro.analysis.base import ModuleContext, Rule
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+#: Constructors whose result is a process pool.
+POOL_FACTORIES: Set[str] = {
+    "concurrent.futures.ProcessPoolExecutor",
+    "multiprocessing.Pool",
+    "multiprocessing.pool.Pool",
+}
+
+#: Pool methods whose first argument is pickled and shipped to a worker.
+SUBMIT_METHODS: Set[str] = {
+    "submit",
+    "map",
+    "imap",
+    "imap_unordered",
+    "starmap",
+    "starmap_async",
+    "apply",
+    "apply_async",
+    "map_async",
+}
+
+_Function = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_pool_expr(module: ModuleContext, node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    resolved = module.imports.resolve(node.func)
+    if resolved in POOL_FACTORIES:
+        return True
+    # ctx.Pool() from multiprocessing.get_context(...)
+    return isinstance(node.func, ast.Attribute) and node.func.attr == "Pool"
+
+
+class _FunctionScope:
+    """Names that are pools, lambdas, or nested defs within one function."""
+
+    def __init__(self, module: ModuleContext, function: _Function) -> None:
+        self.pools: Set[str] = set()
+        self.unpicklable: Set[str] = set()
+        for node in ast.walk(function):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node is not function:
+                    self.unpicklable.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if _is_pool_expr(module, node.value):
+                        self.pools.add(target.id)
+                    elif isinstance(node.value, ast.Lambda):
+                        self.unpicklable.add(target.id)
+            elif isinstance(node, ast.With) or isinstance(
+                node, ast.AsyncWith
+            ):
+                for item in node.items:
+                    if (
+                        item.optional_vars is not None
+                        and isinstance(item.optional_vars, ast.Name)
+                        and _is_pool_expr(module, item.context_expr)
+                    ):
+                        self.pools.add(item.optional_vars.id)
+
+
+@register
+class PicklabilityRule(Rule):
+    name = "picklability"
+    description = (
+        "only module-level callables may be submitted to a process "
+        "pool (lambdas, nested functions and bound methods do not "
+        "pickle)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for function in ast.walk(module.tree):
+            if not isinstance(
+                function, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            scope = _FunctionScope(module, function)
+            for node in ast.walk(function):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not isinstance(node.func, ast.Attribute):
+                    continue
+                if node.func.attr not in SUBMIT_METHODS:
+                    continue
+                receiver = node.func.value
+                if not (
+                    isinstance(receiver, ast.Name)
+                    and receiver.id in scope.pools
+                    or _is_pool_expr(module, receiver)
+                ):
+                    continue
+                if not node.args:
+                    continue
+                yield from self._check_callable(
+                    module, scope, node.args[0]
+                )
+
+    def _check_callable(
+        self,
+        module: ModuleContext,
+        scope: _FunctionScope,
+        callable_expr: ast.expr,
+    ) -> Iterator[Finding]:
+        if isinstance(callable_expr, ast.Lambda):
+            yield self.emit(
+                module,
+                callable_expr,
+                "lambda submitted to a process pool cannot be pickled; "
+                "define a module-level function",
+            )
+            return
+        if isinstance(callable_expr, ast.Name):
+            if callable_expr.id in scope.unpicklable:
+                yield self.emit(
+                    module,
+                    callable_expr,
+                    f"{callable_expr.id!r} is defined inside the "
+                    "enclosing function; only module-level callables "
+                    "pickle across the pool boundary",
+                )
+            return
+        if isinstance(callable_expr, ast.Attribute):
+            root: ast.expr = callable_expr
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name) and root.id in ("self", "cls"):
+                yield self.emit(
+                    module,
+                    callable_expr,
+                    "bound method / instance attribute submitted to a "
+                    "process pool; ship a module-level function and pass "
+                    "the instance state as arguments",
+                )
+            return
+        if isinstance(callable_expr, ast.Call):
+            resolved = module.imports.resolve(callable_expr.func)
+            if resolved == "functools.partial" and callable_expr.args:
+                yield from self._check_callable(
+                    module, scope, callable_expr.args[0]
+                )

@@ -1,0 +1,159 @@
+"""The analysis runner: files → rules → suppression-filtered findings.
+
+The runner owns everything rules should not care about: discovering
+Python files under the given paths, parsing each module once, deciding
+which rules apply where (:class:`~repro.analysis.config.AnalysisConfig`
+scopes), and splitting raw findings into *active* and *suppressed* via
+the module's ``# repro: noqa`` directives.  ``check_source`` is the
+seam the test suite drives with fake repo-like paths, so scoping is
+exercised without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import os
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.base import ModuleContext
+from repro.analysis.config import AnalysisConfig, default_config
+from repro.analysis.findings import Finding
+from repro.analysis.registry import all_rules
+from repro.analysis.suppressions import parse_suppressions
+
+__all__ = [
+    "AnalysisReport",
+    "check_paths",
+    "check_source",
+    "iter_python_files",
+]
+
+#: Pseudo-rule name used for modules the parser rejects: a file that
+#: does not parse cannot be checked, which is itself a finding.
+PARSE_ERROR_RULE = "parse-error"
+
+#: Directory names never descended into during file discovery.
+_SKIPPED_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+@dataclasses.dataclass(frozen=True)
+class AnalysisReport:
+    """The outcome of one analyzer run.
+
+    Attributes:
+        findings: active (unsuppressed) findings, in path/line order.
+        suppressed: findings silenced by a ``# repro: noqa`` directive,
+            kept for the JSON report so suppressions stay auditable.
+        checked_files: number of modules parsed and analyzed.
+    """
+
+    findings: Tuple[Finding, ...]
+    suppressed: Tuple[Finding, ...]
+    checked_files: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Every ``.py`` file under ``paths``, depth-first, sorted.
+
+    Plain files are yielded as given; directories are walked with
+    hidden directories and ``__pycache__`` pruned.  Order is
+    deterministic (sorted at each level) so reports diff cleanly
+    between runs.
+    """
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for root, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                name
+                for name in dirnames
+                if name not in _SKIPPED_DIRS and not name.startswith(".")
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(root, filename)
+
+
+def check_source(
+    source: str, path: str, config: AnalysisConfig
+) -> Tuple[List[Finding], List[Finding]]:
+    """Analyze one module given as text; returns (active, suppressed).
+
+    ``path`` is used only for rule scoping and finding locations — it
+    need not exist on disk, which is how the fixture tests run
+    violation files under fake kernel-scope paths.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        finding = Finding(
+            rule=PARSE_ERROR_RULE,
+            path=path,
+            line=int(exc.lineno or 1),
+            col=int(exc.offset or 1) - 1,
+            message=f"module does not parse: {exc.msg}",
+        )
+        return [finding], []
+    module = ModuleContext(path=path, source=source, tree=tree, config=config)
+    suppressions = parse_suppressions(source)
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for rule in all_rules():
+        if not config.applies(rule.name, path):
+            continue
+        for finding in rule.check(module):
+            if suppressions.covers(finding.line, finding.rule):
+                suppressed.append(finding)
+            else:
+                active.append(finding)
+    active.sort(key=Finding.sort_key)
+    suppressed.sort(key=Finding.sort_key)
+    return active, suppressed
+
+
+def check_paths(
+    paths: Sequence[str], config: Optional[AnalysisConfig] = None
+) -> AnalysisReport:
+    """Run the analyzer over files and directories.
+
+    Unreadable files surface as :data:`PARSE_ERROR_RULE` findings
+    rather than aborting the run — one bad file should not hide the
+    findings of the other few hundred.
+    """
+    if config is None:
+        config = default_config()
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    checked = 0
+    for file_path in iter_python_files(list(paths)):
+        try:
+            with open(file_path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(
+                Finding(
+                    rule=PARSE_ERROR_RULE,
+                    path=file_path,
+                    line=1,
+                    col=0,
+                    message=f"module could not be read: {exc}",
+                )
+            )
+            continue
+        checked += 1
+        active, silenced = check_source(source, file_path, config)
+        findings.extend(active)
+        suppressed.extend(silenced)
+    findings.sort(key=Finding.sort_key)
+    suppressed.sort(key=Finding.sort_key)
+    return AnalysisReport(
+        findings=tuple(findings),
+        suppressed=tuple(suppressed),
+        checked_files=checked,
+    )

@@ -1,0 +1,91 @@
+"""Line-level finding suppression: ``# repro: noqa[rule] -- reason``.
+
+Three accepted shapes, matched inside real comment tokens only (a
+string literal containing the marker text does not suppress):
+
+* ``# repro: noqa`` — suppress every rule on this line;
+* ``# repro: noqa[rule-a, rule-b]`` — suppress the named rules;
+* either form followed by ``-- reason`` — document *why*; required by
+  convention for ``exception-hygiene`` (a broad handler must state why
+  broadness is intended).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Iterator, Optional, Tuple
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa"
+    r"(?:\[(?P<rules>[^\]]*)\])?"
+    r"(?:\s*--\s*(?P<reason>.*\S))?",
+    re.IGNORECASE,
+)
+
+
+class Suppressions:
+    """The ``noqa`` directives of one module, keyed by physical line."""
+
+    def __init__(
+        self, by_line: Dict[int, Tuple[Optional[FrozenSet[str]], str]]
+    ) -> None:
+        # line -> (suppressed rule names, or None for "all"; reason)
+        self._by_line = by_line
+
+    def covers(self, line: int, rule: str) -> bool:
+        entry = self._by_line.get(line)
+        if entry is None:
+            return False
+        rules, _ = entry
+        return rules is None or rule in rules
+
+    def reason(self, line: int) -> str:
+        entry = self._by_line.get(line)
+        return entry[1] if entry is not None else ""
+
+    def lines(self) -> Iterator[int]:
+        return iter(self._by_line)
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+def _comment_tokens(source: str) -> Iterator[Tuple[int, str]]:
+    """(line, text) of every comment token; lenient on tokenize errors.
+
+    A module that parses as AST can still defeat ``tokenize`` in edge
+    cases; falling back to a per-line scan errs on the side of
+    honouring a suppression rather than resurrecting a silenced
+    finding.
+    """
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        for number, text in enumerate(source.splitlines(), start=1):
+            if "#" in text:
+                yield number, text[text.index("#"):]
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Collect every ``# repro: noqa`` directive in ``source``."""
+    by_line: Dict[int, Tuple[Optional[FrozenSet[str]], str]] = {}
+    for line, text in _comment_tokens(source):
+        match = _NOQA.search(text)
+        if match is None:
+            continue
+        raw_rules = match.group("rules")
+        rules: Optional[FrozenSet[str]]
+        if raw_rules is None:
+            rules = None
+        else:
+            rules = frozenset(
+                name.strip() for name in raw_rules.split(",") if name.strip()
+            )
+        by_line[line] = (rules, match.group("reason") or "")
+    return Suppressions(by_line)

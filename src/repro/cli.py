@@ -13,6 +13,8 @@ Usage::
     python -m repro.cli ingest --query storm --report-every 8
     python -m repro.cli ingest --file feed.jsonl --verify --strategy scan
     python -m repro.cli bench             # columnar vs legacy smoke run
+    python -m repro.cli check             # static invariant analysis
+    python -m repro.cli check src --format json --output report.json
     python -m repro.cli save --out idx --top-terms 24
     python -m repro.cli load --store idx --verify
     python -m repro.cli search --from-store idx --query "financial crisis"
@@ -35,7 +37,11 @@ cold-starts serving straight from segments, skipping the rebuild
 entirely; the ``bench`` subcommand
 mines one synthetic corpus through the legacy and columnar paths,
 compares the top-k strategies on a synthetic posting workload, and
-reports the wall-clock ratios.
+reports the wall-clock ratios; the ``check`` subcommand runs the
+:mod:`repro.analysis` static invariant analyzer (determinism,
+mmap-safety, dtype discipline, exception hygiene, picklability, cache
+invalidation) over the given paths and exits nonzero on any
+unsuppressed finding — the same gate the CI ``lint`` job enforces.
 
 The subcommands share their flag groups through ``argparse`` parent
 parsers (one for corpus construction, one for mining, one for the
@@ -353,6 +359,53 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="persist the live engine as a checkpoint after the replay",
+    )
+
+    check = subparsers.add_parser(
+        "check",
+        help="run the static invariant analyzer (repro.analysis) and "
+        "fail on any unsuppressed finding",
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        metavar="PATH",
+        help="files/directories to analyze (default: src and "
+        "benchmarks, whichever exist under the working directory)",
+    )
+    check.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="report_format",
+        help="report format: human-readable text (default) or the "
+        "machine-readable JSON the CI lint job archives",
+    )
+    check.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the report to FILE (stdout always gets it)",
+    )
+    check.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="run only this rule (repeatable)",
+    )
+    check.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="skip this rule (repeatable)",
+    )
+    check.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules with their scopes and exit",
     )
     return parser
 
@@ -956,6 +1009,60 @@ def _run_ingest(args: argparse.Namespace) -> None:
                 raise SystemExit(1)
 
 
+def _run_check(args: argparse.Namespace) -> int:
+    """Run the static invariant analyzer; exit 0 clean, 1 on findings."""
+    from repro.analysis import (
+        all_rules,
+        check_paths,
+        default_config,
+        render_json,
+        render_text,
+    )
+    from repro.analysis.config import DEFAULT_SCOPES
+
+    if args.list_rules:
+        for rule in all_rules():
+            scopes = ", ".join(DEFAULT_SCOPES.get(rule.name, ()))
+            print(f"{rule.name:<20} [{scopes}]")
+            print(f"    {rule.description}")
+        return 0
+    paths = args.paths or [
+        path for path in ("src", "benchmarks") if os.path.isdir(path)
+    ]
+    if not paths:
+        print(
+            "error: no paths given and neither src/ nor benchmarks/ "
+            "exists under the working directory",
+            file=sys.stderr,
+        )
+        return 2
+    select = frozenset(args.select) if args.select else None
+    ignore = frozenset(args.ignore) if args.ignore else frozenset()
+    # Validate rule names up front: a typo in --select must not pass as
+    # "no findings".
+    known = {rule.name for rule in all_rules()}
+    for name in (select or frozenset()) | ignore:
+        if name not in known:
+            print(
+                f"error: unknown rule {name!r}; registered rules: "
+                f"{', '.join(sorted(known))}",
+                file=sys.stderr,
+            )
+            return 2
+    config = default_config(select=select, ignore=ignore)
+    report = check_paths(paths, config)
+    rendered = (
+        render_json(report)
+        if args.report_format == "json"
+        else render_text(report)
+    )
+    print(rendered)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    return 0 if report.clean else 1
+
+
 def _run_one(name: str, args: argparse.Namespace, lab: Optional[TopixLab]) -> Optional[TopixLab]:
     """Run one experiment, creating/reusing the corpus lab as needed."""
     if name == "ingest":
@@ -996,6 +1103,12 @@ def main(argv: Optional[list] = None) -> int:
     from repro.errors import ReproError
 
     args = _build_parser().parse_args(argv)
+    if args.experiment == "check":
+        try:
+            return _run_check(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     names = (
         ["table1", "figure4", "table2", "table3", "figure5", "figure6",
          "figure7", "figure8", "figure9"]

@@ -83,7 +83,11 @@ def columnar_supported(config: STLocalConfig) -> bool:
     """
     try:
         probe = config.baseline_factory()
-    except Exception:
+    except (TypeError, ValueError):
+        # A factory that rejects the no-argument probe call (extra
+        # required parameters, constructor validation) is by definition
+        # not the paper default; anything else it raises is a real bug
+        # and must surface.
         return False
     return (
         type(probe) is RunningMeanBaseline

@@ -51,3 +51,14 @@ class StoreError(ReproError, ValueError):
 
 class GenerationError(ReproError, ValueError):
     """Raised when a data generator is given unsatisfiable parameters."""
+
+
+class InternalInvariantError(ReproError, RuntimeError):
+    """Raised when an internal algorithm invariant is violated.
+
+    Replaces bare ``assert`` statements in library code: asserts vanish
+    under ``python -O``, so an invariant they guard would fail later
+    with an unrelated error (or silently corrupt output) instead of
+    failing fast at the violation point.  Seeing this exception always
+    indicates a bug in :mod:`repro` itself, not in caller input.
+    """

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+from repro.errors import InternalInvariantError
 from repro.intervals.graph import WeightedInterval
 from repro.intervals.max_clique import CliqueResult
 from repro.intervals.interval import common_segment
@@ -67,7 +68,11 @@ def enumerate_maximal_cliques(
             if grew_since_report and active:
                 members = tuple(active)
                 segment = common_segment(m.interval for m in members)
-                assert segment is not None
+                if segment is None:
+                    raise InternalInvariantError(
+                        "active intervals at a sweep endpoint have no "
+                        "common segment; the event ordering is broken"
+                    )
                 cliques.append(
                     CliqueResult(
                         members=members,

@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Sequence, Tuple
 
+from repro.errors import InternalInvariantError
 from repro.intervals.interval import Interval, common_segment
 from repro.intervals.graph import WeightedInterval
 
@@ -110,7 +111,11 @@ def max_weight_clique(
     if not members:
         return None
     segment = common_segment(witem.interval for witem in members)
-    assert segment is not None  # all members cover best_point
+    if segment is None:
+        raise InternalInvariantError(
+            "max-clique members share best_point yet have no common "
+            "segment; the sweep selected an inconsistent member set"
+        )
     weight = sum(witem.weight for witem in members)
     return CliqueResult(members=members, weight=weight, segment=segment)
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
-from repro.errors import EmptyInputError
+from repro.errors import EmptyInputError, InternalInvariantError
 from repro.spatial.geometry import Point, Rectangle, mbr
 
 __all__ = ["SpatialIndex"]
@@ -103,7 +103,11 @@ class SpatialIndex:
             if best is not None and best[2] <= radius * self._bucket_size:
                 break
             radius += 1
-        assert best is not None  # non-empty index guarantees a hit
+        if best is None:
+            raise InternalInvariantError(
+                "ring search over a non-empty grid index found no "
+                "nearest entry; the bucket radius bound is wrong"
+            )
         return best
 
     @staticmethod

@@ -336,15 +336,25 @@ class SegmentReader:
         return os.path.join(self.path, name)
 
     def array(self, name: str) -> np.ndarray:
-        """Load an array segment (memory-mapped read-only by default)."""
+        """Load an array segment (memory-mapped read-only by default).
+
+        The returned array is frozen ``writeable=False`` regardless of
+        the load mode: an ``mmap_mode="r"`` map is already read-only at
+        the OS level, but the eager (``mmap=False``) path returns a
+        private heap copy that would otherwise accept writes and
+        silently diverge from the CRC-verified bytes on disk.  Callers
+        that need a mutable buffer must copy explicitly.
+        """
         target = self._resolve(name, "array")
         mode = "r" if self._mmap else None
         try:
-            return np.load(target, mmap_mode=mode, allow_pickle=False)
+            loaded = np.load(target, mmap_mode=mode, allow_pickle=False)
         except (OSError, ValueError) as exc:
             raise StoreError(
                 f"cannot read array segment {name!r}: {exc}"
             ) from None
+        loaded.flags.writeable = False
+        return loaded
 
     def json(self, name: str) -> Any:
         """Load a JSON segment."""

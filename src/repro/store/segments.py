@@ -260,8 +260,8 @@ def encode_posting_lists(
         if hasattr(posting_list, "columns"):
             col_ids, col_scores, col_ties = posting_list.columns()
             visible_ids = list(col_ids)
-            scores.extend(float(s) for s in np.asarray(col_scores, dtype=float))
-            ties.extend(int(t) for t in np.asarray(col_ties, dtype=np.int64))
+            scores.extend(float(s) for s in np.asarray(col_scores, dtype="<f8"))
+            ties.extend(int(t) for t in np.asarray(col_ties, dtype="<i8"))
         else:
             for posting in posting_list:
                 visible_ids.append(posting.doc_id)
@@ -512,7 +512,10 @@ def encode_config(config: STLocalConfig) -> Dict[str, Any]:
     """STLocal settings as a JSON-safe dict (baseline must be default)."""
     try:
         probe = config.baseline_factory()
-    except Exception:
+    except (TypeError, ValueError):
+        # A factory the no-argument probe call cannot construct is not
+        # the persistable paper default; fall through to the StoreError
+        # below.  Other exception types are factory bugs and surface.
         probe = None
     if type(probe) is not RunningMeanBaseline:
         raise StoreError(

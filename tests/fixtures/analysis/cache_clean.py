@@ -1,0 +1,69 @@
+"""Cache-invalidation clean twin: every mutator reaches a bump."""
+
+from functools import cached_property
+
+
+class DirectBump:
+    def __init__(self):
+        self._epoch = 0
+        self._items = []
+
+    def add_item(self, item):
+        self._items.append(item)
+        self._epoch += 1
+
+
+class IndirectBump:
+    def __init__(self):
+        self._version = 0
+        self._items = []
+
+    def add_item(self, item):
+        self._items.append(item)
+        self._note_change()
+
+    def clear(self):
+        self._items = []
+        self._note_change()
+
+    def _note_change(self):
+        self._version += 1
+
+
+class HookBump:
+    def __init__(self, index):
+        self._generation = 0
+        self._index = index
+
+    def update_entry(self, key, value):
+        self._index[key] = value
+        self.invalidate_caches()  # inherited hook, not defined here
+
+
+class DelegatingBump(DirectBump):
+    def add_item(self, item):
+        super().add_item(item)
+
+    def _rebuild(self):
+        self._epoch += 1
+
+
+class GettersExempt:
+    def __init__(self):
+        self._version = 0
+        self._items = []
+
+    def add_item(self, item):
+        self._items.append(item)
+        self._version += 1
+
+    def ingested_documents(self):
+        return list(self._items)
+
+    @property
+    def update_count(self):
+        return self._version
+
+    @cached_property
+    def insert_capacity(self):
+        return len(self._items) + 16

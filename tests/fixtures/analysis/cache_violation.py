@@ -1,0 +1,21 @@
+"""Cache-invalidation fixture: a versioned class with a silent mutator."""
+
+
+class VersionedIndex:
+    def __init__(self):
+        self._version = 0
+        self._items = []
+
+    def add_item(self, item):  # M:silent-mutator
+        self._items.append(item)
+
+    def remove_item(self, item):  # M:silent-remove
+        self._items.remove(item)
+
+    def add_many(self, items):
+        for item in items:
+            self._items.append(item)
+        self._version += 1
+
+    def version(self):
+        return self._version

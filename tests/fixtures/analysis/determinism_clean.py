@@ -1,0 +1,31 @@
+"""Determinism clean twin: the compliant spelling of each pattern."""
+
+import random
+
+import numpy as np
+
+
+def seeded_rng(seed):
+    return np.random.default_rng(seed).random(3)
+
+
+def seeded_stdlib(seed):
+    return random.Random(seed).random()
+
+
+def sorted_set_iteration(items):
+    chosen = set(items)
+    total = []
+    for item in sorted(chosen):
+        total.append(item)
+    return total
+
+
+def order_insensitive_consumers(items):
+    merged = set(items) | {0}
+    return sum(x + 1 for x in merged), max(merged), len(merged)
+
+
+def set_comprehension_result(items):
+    # A set comprehension *produces* a set — order-free by construction.
+    return sorted({x * 2 for x in set(items)})

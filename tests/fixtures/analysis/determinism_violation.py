@@ -1,0 +1,38 @@
+"""Determinism fixture: every banned construct, one per marker line.
+
+Analyzed by the tests under a fake kernel-scope path; never imported.
+"""
+
+import random
+import time
+
+import numpy as np
+
+
+def wall_clock():
+    return time.time()  # M:clock
+
+
+def global_draw():
+    return random.random()  # M:global-rng
+
+
+def numpy_global_draw():
+    return np.random.rand(3)  # M:np-global-rng
+
+
+def unseeded_generator():
+    return np.random.default_rng()  # M:unseeded
+
+
+def set_for_loop(items):
+    chosen = set(items)
+    total = []
+    for item in chosen:  # M:set-for
+        total.append(item)
+    return total
+
+
+def set_comprehension_iteration(items):
+    merged = set(items) | {0}
+    return [x + 1 for x in merged]  # M:set-listcomp

@@ -1,0 +1,30 @@
+"""Dtype-discipline clean twin: pinned little-endian spellings."""
+
+import numpy as np
+
+_STORE_DTYPES = {"i": "<i8", "f": "<f8", "b": "|b1"}
+
+
+def pinned_int(values):
+    return np.asarray(values, dtype="<i8")
+
+
+def pinned_float(values):
+    return np.asarray(values, dtype="<f8")
+
+
+def pinned_bool(values):
+    return np.asarray(values, dtype="|b1")
+
+
+def astype_pinned(arr):
+    return arr.astype("<i4")
+
+
+def via_lookup(values, kind):
+    # Indirection through the codec's canonical table is trusted.
+    return np.asarray(values, dtype=_STORE_DTYPES[kind])
+
+
+def no_dtype(values):
+    return np.asarray(values)

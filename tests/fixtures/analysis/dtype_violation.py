@@ -1,0 +1,23 @@
+"""Dtype-discipline fixture: platform-native dtypes in codec positions."""
+
+import numpy as np
+
+
+def python_scalar(values):
+    return np.asarray(values, dtype=float)  # M:python-float
+
+
+def native_numpy(values):
+    return np.asarray(values, dtype=np.int64)  # M:native-int64
+
+
+def native_zeros(n):
+    return np.zeros(n, dtype=np.float64)  # M:native-float64
+
+
+def astype_scalar(arr):
+    return arr.astype(int)  # M:astype-int
+
+
+def unordered_string(values):
+    return np.asarray(values, dtype="i8")  # M:orderless-string

@@ -1,0 +1,15 @@
+"""Exception-hygiene clean twin: concrete handlers, reasoned broadness."""
+
+
+def narrow_handler(probe):
+    try:
+        return probe()
+    except (TypeError, ValueError):
+        return None
+
+
+def reasoned_broadness(probe):
+    try:
+        return probe()
+    except Exception:  # repro: noqa[exception-hygiene] -- user-supplied callable; any failure means "unsupported"
+        return None

@@ -1,0 +1,29 @@
+"""Exception-hygiene fixture: bare and broad handlers."""
+
+
+def bare_handler(probe):
+    try:
+        return probe()
+    except:  # noqa: E722  M:bare
+        return None
+
+
+def broad_handler(probe):
+    try:
+        return probe()
+    except Exception:  # M:broad
+        return None
+
+
+def broad_in_tuple(probe):
+    try:
+        return probe()
+    except (ValueError, Exception):  # M:tuple-broad
+        return None
+
+
+def broad_base(probe):
+    try:
+        return probe()
+    except BaseException:  # M:base
+        return None

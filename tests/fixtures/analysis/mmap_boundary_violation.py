@@ -1,0 +1,7 @@
+"""Mmap-safety boundary fixture: a loader that forgets the freeze."""
+
+import numpy as np
+
+
+def load_segment(path):
+    return np.load(path, mmap_mode="r", allow_pickle=False)  # M:no-freeze

@@ -1,0 +1,23 @@
+"""Mmap-safety clean twin: frozen at the boundary, copied downstream."""
+
+import numpy as np
+
+
+def load_segment(path):
+    loaded = np.load(path, mmap_mode="r", allow_pickle=False)
+    loaded.flags.writeable = False
+    return loaded
+
+
+def load_segment_setflags(path):
+    loaded = np.load(path, allow_pickle=False)
+    loaded.setflags(write=False)
+    return loaded
+
+
+def private_copy(reader):
+    arr = reader.array("postings/scores.npy")
+    scratch = arr.copy()
+    scratch[0] = 1.0
+    scratch.sort()
+    return scratch

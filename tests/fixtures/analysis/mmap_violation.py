@@ -1,0 +1,25 @@
+"""Mmap-safety fixture: raw loads and in-place mutation of loaded arrays."""
+
+import numpy as np
+
+
+def raw_load(path):
+    return np.load(path, mmap_mode="r")  # M:raw-load
+
+
+def mutate_loaded(reader):
+    arr = reader.array("postings/scores.npy")
+    arr[0] = 1.0  # M:subscript-write
+    arr += 2.0  # M:augassign
+    arr.sort()  # M:inplace-sort
+    arr.setflags(write=True)  # M:unfreeze
+    np.add(arr, arr, out=arr)  # M:out-buffer
+    return arr
+
+
+class Holder:
+    def __init__(self, reader):
+        self._scores = reader.array("postings/scores.npy")
+
+    def corrupt(self):
+        self._scores[3] = 0.0  # M:attr-subscript-write

@@ -1,0 +1,26 @@
+"""Picklability clean twin: module-level callables only."""
+
+import functools
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _work(item, offset=0):
+    return item + offset
+
+
+def submit_module_level(items):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(_work, items))
+
+
+def submit_partial_of_module_level(items):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(functools.partial(_work, offset=2), items))
+
+
+def thread_pool_lambda_is_fine(items):
+    # ThreadPoolExecutor shares the process: no pickling involved.
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor() as pool:
+        return list(pool.map(lambda x: x + 1, items))

@@ -1,0 +1,38 @@
+"""Picklability fixture: unpicklable callables crossing a pool boundary."""
+
+import functools
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+
+def submit_lambda(items):
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(lambda x: x + 1, item) for item in items]  # M:lambda
+
+
+def submit_nested(items):
+    def helper(x):
+        return x + 1
+
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(helper, items))  # M:nested
+
+
+def submit_assigned_lambda(items):
+    shift = lambda x: x + 1  # noqa: E731
+    pool = ProcessPoolExecutor()
+    return list(pool.map(shift, items))  # M:assigned-lambda
+
+
+def submit_partial_lambda(items):
+    with multiprocessing.Pool() as pool:
+        return pool.map(functools.partial(lambda x, y: x + y, 1), items)  # M:partial-lambda
+
+
+class Miner:
+    def mine(self, items):
+        with ProcessPoolExecutor() as pool:
+            return list(pool.map(self._mine_one, items))  # M:bound-method
+
+    def _mine_one(self, item):
+        return item + 1

@@ -1,0 +1,207 @@
+"""Per-rule fixture tests for the static invariant analyzer.
+
+Each rule gets a fixture module seeded with known violations (marked
+``# M:<tag>`` on the offending line) and a clean twin spelling each
+pattern the compliant way.  Fixtures are read as text and analyzed
+under *fake* repo-like paths, so the default scoping (kernel modules,
+store codecs, the mmap read boundary) is exercised without depending on
+where the test suite runs from.
+"""
+
+import os
+
+from repro.analysis import check_source, default_config
+
+FIXTURES = os.path.join(
+    os.path.dirname(__file__), "fixtures", "analysis"
+)
+
+#: Fake paths placing a fixture inside each rule's default scope.
+KERNEL_PATH = "src/repro/columnar/fixture.py"
+STORE_PATH = "src/repro/store/fixture.py"
+BOUNDARY_PATH = "src/repro/store/format.py"
+LIVE_PATH = "src/repro/live/fixture.py"
+NEUTRAL_PATH = "src/repro/eval/fixture.py"
+
+
+def read_fixture(name):
+    with open(os.path.join(FIXTURES, name), encoding="utf-8") as handle:
+        return handle.read()
+
+
+def run_fixture(name, path, rule):
+    source = read_fixture(name)
+    config = default_config(select=frozenset([rule]))
+    active, suppressed = check_source(source, path, config)
+    return source, active, suppressed
+
+
+def marked_lines(source, *tags):
+    """1-based line of each ``# M:<tag>`` marker, in tag order."""
+    lines = {}
+    for number, text in enumerate(source.splitlines(), start=1):
+        for tag in tags:
+            if f"M:{tag}" in text:
+                lines[tag] = number
+    missing = set(tags) - set(lines)
+    if missing:
+        raise AssertionError(f"markers not found: {sorted(missing)}")
+    return [lines[tag] for tag in tags]
+
+
+class TestDeterminism:
+    TAGS = (
+        "clock",
+        "global-rng",
+        "np-global-rng",
+        "unseeded",
+        "set-for",
+        "set-listcomp",
+    )
+
+    def test_violations_line_exact(self):
+        source, active, _ = run_fixture(
+            "determinism_violation.py", KERNEL_PATH, "determinism"
+        )
+        assert sorted(f.line for f in active) == sorted(
+            marked_lines(source, *self.TAGS)
+        )
+        assert {f.rule for f in active} == {"determinism"}
+
+    def test_clean_twin(self):
+        _, active, _ = run_fixture(
+            "determinism_clean.py", KERNEL_PATH, "determinism"
+        )
+        assert active == []
+
+    def test_out_of_scope_path_not_checked(self):
+        _, active, _ = run_fixture(
+            "determinism_violation.py", NEUTRAL_PATH, "determinism"
+        )
+        assert active == []
+
+
+class TestMmapSafety:
+    def test_violations_line_exact(self):
+        source, active, _ = run_fixture(
+            "mmap_violation.py", KERNEL_PATH, "mmap-safety"
+        )
+        expected = marked_lines(
+            source,
+            "raw-load",
+            "subscript-write",
+            "augassign",
+            "inplace-sort",
+            "unfreeze",
+            "out-buffer",
+            "attr-subscript-write",
+        )
+        assert sorted(f.line for f in active) == sorted(expected)
+
+    def test_boundary_without_freeze(self):
+        source, active, _ = run_fixture(
+            "mmap_boundary_violation.py", BOUNDARY_PATH, "mmap-safety"
+        )
+        [expected] = marked_lines(source, "no-freeze")
+        assert [f.line for f in active] == [expected]
+        assert "writeable" in active[0].message
+
+    def test_clean_boundary(self):
+        _, active, _ = run_fixture(
+            "mmap_clean.py", BOUNDARY_PATH, "mmap-safety"
+        )
+        assert active == []
+
+
+class TestDtypeDiscipline:
+    TAGS = (
+        "python-float",
+        "native-int64",
+        "native-float64",
+        "astype-int",
+        "orderless-string",
+    )
+
+    def test_violations_line_exact(self):
+        source, active, _ = run_fixture(
+            "dtype_violation.py", STORE_PATH, "dtype-discipline"
+        )
+        assert sorted(f.line for f in active) == sorted(
+            marked_lines(source, *self.TAGS)
+        )
+
+    def test_clean_twin(self):
+        _, active, _ = run_fixture(
+            "dtype_clean.py", STORE_PATH, "dtype-discipline"
+        )
+        assert active == []
+
+    def test_rule_is_store_scoped(self):
+        _, active, _ = run_fixture(
+            "dtype_violation.py", NEUTRAL_PATH, "dtype-discipline"
+        )
+        assert active == []
+
+
+class TestExceptionHygiene:
+    TAGS = ("bare", "broad", "tuple-broad", "base")
+
+    def test_violations_line_exact(self):
+        source, active, _ = run_fixture(
+            "exception_violation.py", NEUTRAL_PATH, "exception-hygiene"
+        )
+        assert sorted(f.line for f in active) == sorted(
+            marked_lines(source, *self.TAGS)
+        )
+
+    def test_clean_twin_with_reasoned_suppression(self):
+        _, active, suppressed = run_fixture(
+            "exception_clean.py", NEUTRAL_PATH, "exception-hygiene"
+        )
+        assert active == []
+        # The reasoned broad handler is recorded as suppressed, not
+        # silently dropped — suppressions stay auditable.
+        assert len(suppressed) == 1
+
+
+class TestPicklability:
+    TAGS = (
+        "lambda",
+        "nested",
+        "assigned-lambda",
+        "partial-lambda",
+        "bound-method",
+    )
+
+    def test_violations_line_exact(self):
+        source, active, _ = run_fixture(
+            "pickle_violation.py", NEUTRAL_PATH, "picklability"
+        )
+        assert sorted(f.line for f in active) == sorted(
+            marked_lines(source, *self.TAGS)
+        )
+
+    def test_clean_twin(self):
+        _, active, _ = run_fixture(
+            "pickle_clean.py", NEUTRAL_PATH, "picklability"
+        )
+        assert active == []
+
+
+class TestCacheInvalidation:
+    TAGS = ("silent-mutator", "silent-remove")
+
+    def test_violations_line_exact(self):
+        source, active, _ = run_fixture(
+            "cache_violation.py", LIVE_PATH, "cache-invalidation"
+        )
+        assert sorted(f.line for f in active) == sorted(
+            marked_lines(source, *self.TAGS)
+        )
+        assert all("_version" in f.message for f in active)
+
+    def test_clean_twin(self):
+        _, active, _ = run_fixture(
+            "cache_clean.py", LIVE_PATH, "cache-invalidation"
+        )
+        assert active == []

@@ -1,0 +1,158 @@
+"""Runner, suppression, reporting and self-check tests for the analyzer.
+
+The self-check is the load-bearing test: ``repro check`` over this
+repository's own ``src/`` and ``benchmarks/`` trees must be clean —
+every finding either fixed or explicitly suppressed with a reason.
+"""
+
+import json
+import os
+
+from repro.analysis import (
+    check_paths,
+    check_source,
+    default_config,
+    render_json,
+    render_text,
+)
+from repro.analysis.runner import PARSE_ERROR_RULE, iter_python_files
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+KERNEL_PATH = "src/repro/columnar/fixture.py"
+
+VIOLATION = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+class TestSuppressions:
+    def test_blanket_noqa_suppresses(self):
+        source = VIOLATION.replace(
+            "time.time()", "time.time()  # repro: noqa"
+        )
+        active, suppressed = check_source(
+            source, KERNEL_PATH, default_config()
+        )
+        assert active == []
+        assert [f.rule for f in suppressed] == ["determinism"]
+
+    def test_named_noqa_suppresses_only_named_rules(self):
+        source = VIOLATION.replace(
+            "time.time()",
+            "time.time()  # repro: noqa[determinism] -- fixture",
+        )
+        active, suppressed = check_source(
+            source, KERNEL_PATH, default_config()
+        )
+        assert active == []
+        assert len(suppressed) == 1
+
+    def test_unrelated_rule_name_does_not_suppress(self):
+        source = VIOLATION.replace(
+            "time.time()", "time.time()  # repro: noqa[mmap-safety]"
+        )
+        active, suppressed = check_source(
+            source, KERNEL_PATH, default_config()
+        )
+        assert [f.rule for f in active] == ["determinism"]
+        assert suppressed == []
+
+    def test_marker_inside_string_is_not_a_suppression(self):
+        source = VIOLATION.replace(
+            "return time.time()",
+            'label = "# repro: noqa"\n    return time.time()',
+        )
+        active, _ = check_source(source, KERNEL_PATH, default_config())
+        assert [f.rule for f in active] == ["determinism"]
+
+
+class TestRunner:
+    def test_parse_error_is_a_finding(self):
+        active, suppressed = check_source(
+            "def broken(:\n", KERNEL_PATH, default_config()
+        )
+        assert [f.rule for f in active] == [PARSE_ERROR_RULE]
+        assert suppressed == []
+
+    def test_scoping_spares_out_of_scope_modules(self):
+        active, _ = check_source(
+            VIOLATION, "src/repro/eval/fixture.py", default_config()
+        )
+        assert active == []
+
+    def test_select_and_ignore(self):
+        config = default_config(ignore=frozenset(["determinism"]))
+        active, _ = check_source(VIOLATION, KERNEL_PATH, config)
+        assert active == []
+        config = default_config(select=frozenset(["mmap-safety"]))
+        active, _ = check_source(VIOLATION, KERNEL_PATH, config)
+        assert active == []
+
+    def test_iter_python_files_skips_caches_and_sorts(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        hidden = tmp_path / ".hidden"
+        hidden.mkdir()
+        (hidden / "c.py").write_text("x = 1\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "d.py").write_text("x = 1\n")
+        nested = tmp_path / "pkg"
+        nested.mkdir()
+        (nested / "e.py").write_text("x = 1\n")
+        found = [
+            os.path.relpath(path, str(tmp_path))
+            for path in iter_python_files([str(tmp_path)])
+        ]
+        assert found == ["a.py", "b.py", os.path.join("pkg", "e.py")]
+
+    def test_check_paths_report(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "columnar" / "mod.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(VIOLATION)
+        report = check_paths([str(tmp_path)])
+        assert report.checked_files == 1
+        assert not report.clean
+        assert [f.rule for f in report.findings] == ["determinism"]
+
+
+class TestReporting:
+    def _report(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "columnar" / "mod.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(VIOLATION)
+        return check_paths([str(tmp_path)])
+
+    def test_text_report(self, tmp_path):
+        rendered = render_text(self._report(tmp_path))
+        assert "[determinism]" in rendered
+        assert "mod.py:5:" in rendered
+        assert "1 finding(s) in 1 file(s)" in rendered
+
+    def test_json_report(self, tmp_path):
+        payload = json.loads(render_json(self._report(tmp_path)))
+        assert payload["clean"] is False
+        assert payload["checked_files"] == 1
+        assert payload["counts"] == {"determinism": 1}
+        [finding] = payload["findings"]
+        assert finding["rule"] == "determinism"
+        assert finding["line"] == 5
+        assert payload["suppressed"] == []
+
+    def test_clean_text_report(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        rendered = render_text(check_paths([str(tmp_path)]))
+        assert rendered.startswith("clean:")
+
+
+class TestSelfCheck:
+    def test_repro_tree_is_clean(self):
+        """The analyzer's own gate: src/ and benchmarks/ carry zero
+        unsuppressed findings."""
+        paths = [os.path.join(REPO_ROOT, "src")]
+        benchmarks = os.path.join(REPO_ROOT, "benchmarks")
+        if os.path.isdir(benchmarks):
+            paths.append(benchmarks)
+        report = check_paths(paths)
+        assert report.checked_files > 50
+        assert report.findings == (), render_text(report)

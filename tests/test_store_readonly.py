@@ -1,0 +1,70 @@
+"""Read-only serving contract: arrays loaded from a store are frozen.
+
+``SegmentReader.array`` marks everything it returns
+``writeable=False`` — memory-mapped *and* eagerly-loaded copies alike —
+so accidental in-place mutation of served state raises immediately
+instead of silently corrupting the CRC-verified bytes (mmap) or
+diverging from them (eager copy).
+"""
+
+import numpy as np
+import pytest
+
+from repro.columnar.postings import PostingArray
+from repro.store import SegmentReader, SegmentWriter
+from repro.store.segments import PostingSegment, encode_posting_lists
+
+
+def write_store(tmp_path):
+    path = str(tmp_path / "store")
+    writer = SegmentWriter(path)
+    writer.add_array("a/ints.npy", np.arange(5, dtype=np.int64))
+    writer.commit("index")
+    return path
+
+
+def write_posting_store(tmp_path):
+    path = str(tmp_path / "postings")
+    writer = SegmentWriter(path)
+    lists = {
+        "storm": PostingArray(
+            [3, 1, 2], np.asarray([0.5, 2.0, 1.25], dtype="<f8")
+        )
+    }
+    encode_posting_lists(writer, "postings", lists)
+    writer.commit("index")
+    return path
+
+
+class TestFrozenArrays:
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_loaded_array_refuses_writes(self, tmp_path, mmap):
+        reader = SegmentReader(write_store(tmp_path), mmap=mmap)
+        loaded = reader.array("a/ints.npy")
+        assert loaded.flags.writeable is False
+        with pytest.raises(ValueError, match="read-only"):
+            loaded[0] = 99
+        with pytest.raises(ValueError, match="read-only"):
+            loaded += 1
+        with pytest.raises(ValueError, match="read-only"):
+            loaded.sort()
+        # The frozen view still reads normally.
+        assert loaded.tolist() == [0, 1, 2, 3, 4]
+
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_loaded_posting_column_refuses_writes(self, tmp_path, mmap):
+        segment = PostingSegment(
+            SegmentReader(write_posting_store(tmp_path), mmap=mmap),
+            "postings",
+        )
+        _, scores, ties = segment.columns("storm")
+        for column in (scores, ties):
+            assert np.asarray(column).flags.writeable is False
+            with pytest.raises(ValueError, match="read-only"):
+                column[0] = 0
+
+    def test_copy_is_mutable(self, tmp_path):
+        reader = SegmentReader(write_store(tmp_path))
+        scratch = reader.array("a/ints.npy").copy()
+        scratch[0] = 99  # the documented escape hatch
+        assert scratch.tolist() == [99, 1, 2, 3, 4]

@@ -1,0 +1,25 @@
+"""`mypy --strict` gate over the typed core modules.
+
+Runs only where mypy is installed (the CI lint job installs it; the
+minimal test environment may not have it — the analyzer itself has no
+dependency on mypy).  The module list lives in ``mypy.ini`` so this
+test, the CI job and a by-hand ``mypy`` invocation all check the same
+thing.
+"""
+
+import os
+
+import pytest
+
+mypy_api = pytest.importorskip(
+    "mypy.api", reason="mypy is not installed; the CI lint job runs this"
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def test_typed_core_is_strict_clean():
+    stdout, stderr, status = mypy_api.run(
+        ["--config-file", os.path.join(REPO_ROOT, "mypy.ini")]
+    )
+    assert status == 0, f"mypy --strict failed:\n{stdout}\n{stderr}"
