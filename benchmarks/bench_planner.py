@@ -1,0 +1,206 @@
+"""Calibrated planner under a Zipfian query workload.
+
+Real query logs are heavily skewed: a handful of term combinations
+account for most of the traffic (the motivating observation behind the
+planner's hot-combination miner).  This bench synthesises that shape —
+a pool of candidate term sets sampled with Zipfian weights
+(``weight ∝ 1/rank^s``), so the top few combinations dominate a long
+tail of rare ones — and serves the same query stream two ways over
+identical posting columns:
+
+* **plain** — ``topk(..., "auto")`` with no planner: every repeat of a
+  hot combination re-executes the full strategy from scratch;
+* **planned** — a :class:`~repro.search.CalibratedPlanner` attached:
+  once a combination's support crosses ``hot_support`` the planner
+  materialises the full merged survivor ranking once and serves every
+  later repeat (any ``k``) as a prefix slice with zero sorted accesses.
+
+Byte-identity is asserted per query: both modes must return exactly the
+reference ranking (ids, float scores, tiebreak order) for that term
+set, whether served by a strategy execution or the merged cache — the
+planner is a pure routing/caching layer and must never change results.
+
+The JSON report (``benchmarks/results/BENCH_planner.json``) records the
+wall-clock of both modes (min over ``ROUNDS``), the merged-cache
+hit/build counters, and the mined hot combinations.  The speedup gate
+(planned ≥ 1.3× plain) is skipped under ``REPRO_BENCH_TINY=1``, where
+per-query costs are too small for caching to matter; parity and the
+cache-behaviour assertions always run.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from conftest import report
+
+from repro.columnar.postings import PostingArray
+from repro.search import CalibratedPlanner, threshold_topk, topk
+
+TINY = os.environ.get("REPRO_BENCH_TINY", "") == "1"
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+LIST_LEN = 1000 if TINY else 20000
+N_TERMS = 12
+N_COMBOS = 30
+N_QUERIES = 120 if TINY else 500
+ZIPF_S = 1.2
+HOT_SUPPORT = 8
+ROUNDS = 1 if TINY else 3
+SPEEDUP_GATE = 1.3
+
+
+def build_workload(seed=29):
+    """Posting columns plus a Zipfian stream of (terms, k) queries."""
+    rng = np.random.default_rng(seed)
+    universe = LIST_LEN * 2
+    columns = {}
+    for index in range(N_TERMS):
+        ids = np.sort(rng.choice(universe, size=LIST_LEN, replace=False))
+        columns[f"t{index}"] = (ids.tolist(), rng.random(LIST_LEN))
+    combos = []
+    while len(combos) < N_COMBOS:
+        size = int(rng.integers(2, 4))
+        terms = tuple(
+            sorted(
+                f"t{i}"
+                for i in rng.choice(N_TERMS, size=size, replace=False)
+            )
+        )
+        if terms not in combos:
+            combos.append(terms)
+    weights = 1.0 / np.arange(1, N_COMBOS + 1) ** ZIPF_S
+    weights /= weights.sum()
+    draws = rng.choice(N_COMBOS, size=N_QUERIES, p=weights)
+    ks = rng.integers(5, 16, size=N_QUERIES)
+    queries = [(combos[c], int(k)) for c, k in zip(draws, ks)]
+    return columns, queries
+
+
+def fresh_lists(columns):
+    return {
+        term: PostingArray(ids, scores)
+        for term, (ids, scores) in columns.items()
+    }
+
+
+def run_plain(columns, queries):
+    pool = fresh_lists(columns)
+    started = time.perf_counter()
+    rankings = [
+        [
+            (r.doc_id, r.score)
+            for r in topk([pool[term] for term in terms], k)[0]
+        ]
+        for terms, k in queries
+    ]
+    return time.perf_counter() - started, rankings
+
+
+def run_planned(columns, queries):
+    pool = fresh_lists(columns)
+    planner = CalibratedPlanner(hot_support=HOT_SUPPORT, max_merged=N_COMBOS)
+    token = ("bench", 0)
+    started = time.perf_counter()
+    rankings = []
+    sources = []
+    for terms, k in queries:
+        results, stats = topk(
+            [pool[term] for term in terms],
+            k,
+            planner=planner,
+            terms=terms,
+            token=token,
+        )
+        rankings.append([(r.doc_id, r.score) for r in results])
+        sources.append(stats.source)
+    return time.perf_counter() - started, rankings, planner, sources
+
+
+def test_planner_zipfian_workload(benchmark):
+    columns, queries = build_workload()
+
+    def run():
+        # Reference rankings, computed once per distinct (terms, k).
+        oracle_pool = fresh_lists(columns)
+        oracle = {}
+        for terms, k in queries:
+            if (terms, k) not in oracle:
+                results, _ = threshold_topk(
+                    [oracle_pool[term] for term in terms], k
+                )
+                oracle[(terms, k)] = [(r.doc_id, r.score) for r in results]
+
+        best_plain = best_planned = None
+        planner = sources = None
+        for _ in range(ROUNDS):
+            elapsed, rankings = run_plain(columns, queries)
+            for (terms, k), ranking in zip(queries, rankings):
+                assert repr(ranking) == repr(oracle[(terms, k)])
+            if best_plain is None or elapsed < best_plain:
+                best_plain = elapsed
+            elapsed, rankings, round_planner, round_sources = run_planned(
+                columns, queries
+            )
+            for (terms, k), ranking in zip(queries, rankings):
+                assert repr(ranking) == repr(oracle[(terms, k)])
+            if best_planned is None or elapsed < best_planned:
+                best_planned = elapsed
+                planner, sources = round_planner, round_sources
+
+        stats = planner.stats()
+        merged_served = sum(1 for source in sources if source == "merged")
+        return {
+            "tiny": TINY,
+            "list_len": LIST_LEN,
+            "queries": N_QUERIES,
+            "distinct_combinations": N_COMBOS,
+            "zipf_s": ZIPF_S,
+            "hot_support": HOT_SUPPORT,
+            "timings_s": {"plain": best_plain, "planned": best_planned},
+            "speedup": best_plain / max(best_planned, 1e-9),
+            "merged_served": merged_served,
+            "merged_hits": stats["merged_hits"],
+            "merged_builds": stats["merged_builds"],
+            "hot_combinations": [
+                {"terms": list(terms), "support": support}
+                for terms, support in planner.hot_combinations(5)
+            ],
+            "identical": True,
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "Calibrated planner: Zipfian workload, hot-combination serving "
+        "(byte-identical rankings)",
+        f"  {results['queries']} queries over "
+        f"{results['distinct_combinations']} combinations "
+        f"({results['list_len']}-posting lists, zipf s={results['zipf_s']})",
+        f"  plain auto     {results['timings_s']['plain']:8.3f}s",
+        f"  with planner   {results['timings_s']['planned']:8.3f}s "
+        f"({results['speedup']:.2f}x)",
+        f"  merged cache: {results['merged_served']} queries served, "
+        f"{results['merged_builds']} rankings materialised",
+    ]
+    report("planner", "\n".join(lines))
+
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    with open(
+        os.path.join(_RESULTS_DIR, "BENCH_planner.json"),
+        "w",
+        encoding="utf-8",
+    ) as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+
+    # The skew must actually produce hot combinations, and repeats of
+    # them must be served from the merged cache.
+    assert results["merged_builds"] >= 1
+    assert results["merged_served"] > results["merged_builds"]
+    assert results["hot_combinations"][0]["support"] > HOT_SUPPORT
+    if TINY:
+        return  # caching can't win at smoke sizes; parity checked above
+    assert results["speedup"] >= SPEEDUP_GATE, results["speedup"]

@@ -20,6 +20,7 @@ from typing import Dict, FrozenSet, Mapping, Optional, Tuple
 KERNEL_SCOPE: Tuple[str, ...] = (
     "repro/columnar/",
     "repro/search/topk.py",
+    "repro/search/planner.py",
     "repro/temporal/",
     "repro/spatial/",
     "repro/store/",

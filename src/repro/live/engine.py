@@ -103,6 +103,12 @@ class LiveSearchEngine:
             planner pick per query; see :mod:`repro.search.topk`).
             Strategies are byte-identical in output, so the result
             cache is shared across them.
+        planner: Optional :class:`~repro.search.planner.
+            CalibratedPlanner` consulted by ``auto`` queries.  Its
+            merged-ranking cache is keyed by the queried terms'
+            ``term_version`` tuple, so an ingest touching a term
+            invalidates exactly that term's combinations while
+            unrelated hot combinations keep serving.
     """
 
     def __init__(
@@ -114,6 +120,7 @@ class LiveSearchEngine:
         cache_size: int = 128,
         compaction_threshold: int = 32,
         strategy: str = "auto",
+        planner=None,
     ) -> None:
         if cache_size < 1:
             raise SearchError("cache_size must be >= 1")
@@ -122,6 +129,7 @@ class LiveSearchEngine:
                 f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
             )
         self.strategy = strategy
+        self.planner = planner
         self.live = live
         self.relevance = relevance
         self.aggregate = aggregate
@@ -147,6 +155,14 @@ class LiveSearchEngine:
         ``"a a b"`` share one cache entry.  The key deliberately omits
         the strategy — every strategy returns the identical ranking.
 
+        The returned list is always a fresh copy, and the
+        :class:`~repro.search.engine.SearchResult` /
+        :class:`~repro.streams.document.Document` elements are frozen
+        dataclasses: callers can sort, slice or drop entries — and
+        cannot rebind result fields — without corrupting the LRU cache
+        that later hits are served from.  This is a regression-tested
+        contract (``tests/test_live.py``).
+
         Raises:
             SearchError: on an empty query, non-positive ``k`` or an
                 unknown strategy.
@@ -168,7 +184,14 @@ class LiveSearchEngine:
             return list(cached)
         self.stats.cache_misses += 1
         lists = [self._term_list(term) for term in terms]
-        ranked, _ = topk(lists, k, strategy or self.strategy)
+        ranked, _ = topk(
+            lists,
+            k,
+            strategy or self.strategy,
+            planner=self.planner,
+            terms=terms,
+            token=tuple(self.live.term_version(term) for term in terms),
+        )
         results = [
             SearchResult(
                 document=self.live.document(result.doc_id), score=result.score
@@ -213,7 +236,9 @@ class LiveSearchEngine:
         The backing index identity changes wholesale, so the serving
         statistics are reset and the result cache cleared: counters
         carried across a restore would report hit-rates for an index
-        they never measured.
+        they never measured.  An attached planner's merged-ranking
+        cache is dropped for the same reason — the restored
+        collection's term versions could coincide with stale ones.
 
         Raises:
             StoreError: for a missing/corrupted store, a non-``live``
@@ -223,6 +248,8 @@ class LiveSearchEngine:
         from repro.store import restore_live_checkpoint
 
         restore_live_checkpoint(path, self)
+        if self.planner is not None:
+            self.planner.invalidate_merged()
 
     @classmethod
     def from_checkpoint(cls, path, **engine_kwargs) -> "LiveSearchEngine":

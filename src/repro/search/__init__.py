@@ -21,6 +21,14 @@ from repro.search.topk import (
     scan_topk,
     topk,
     topk_many,
+    true_length,
+)
+from repro.search.planner import (
+    CANDIDATES,
+    CalibratedPlanner,
+    CostModel,
+    QueryLog,
+    QueryRecord,
 )
 from repro.search.engine import (
     BurstySearchEngine,
@@ -32,11 +40,16 @@ from repro.search.ensemble import EnsembleResult, EnsembleSearchEngine
 
 __all__ = [
     "BurstySearchEngine",
+    "CANDIDATES",
+    "CalibratedPlanner",
+    "CostModel",
     "EnsembleResult",
     "EnsembleSearchEngine",
     "InvertedIndex",
     "Posting",
     "PostingList",
+    "QueryLog",
+    "QueryRecord",
     "RelevanceFunction",
     "STRATEGIES",
     "SearchResult",
@@ -55,4 +68,5 @@ __all__ = [
     "threshold_topk",
     "topk",
     "topk_many",
+    "true_length",
 ]

@@ -109,6 +109,7 @@ class _PatternEngineBase:
         relevance: RelevanceFunction = log_relevance,
         aggregate: Callable[[Sequence[float]], float] = _default_aggregate,
         strategy: str = "auto",
+        planner=None,
     ) -> None:
         if strategy not in STRATEGIES:
             raise SearchError(
@@ -118,9 +119,19 @@ class _PatternEngineBase:
         self.relevance = relevance
         self.aggregate = aggregate
         self.strategy = strategy
+        self.planner = planner
         self._index = InvertedIndex()
         self._doc_map: Optional[Dict[Hashable, Document]] = None
         self._built_version = collection.version
+
+    def _version_token(self) -> Hashable:
+        """Cache token for the planner's merged-ranking cache.
+
+        Static engines rebuild every posting list when the collection's
+        version changes, so the collection version is exactly the
+        granularity at which cached merged rankings go stale.
+        """
+        return ("collection", self._built_version)
 
     # -- pattern access ------------------------------------------------
     def patterns_for(self, term: str) -> Sequence:
@@ -185,17 +196,33 @@ class _PatternEngineBase:
         Raises:
             SearchError: on an empty query or unknown strategy.
         """
+        results, _ = self.search_with_stats(query, k, strategy=strategy)
+        return results
+
+    def search_with_stats(
+        self, query: str, k: int = 10, strategy: Optional[str] = None
+    ):
+        """:meth:`search` plus the :class:`~repro.search.topk.TopKStats`
+        of the underlying execution (strategy run, planner tier, sorted
+        accesses) — the machinery behind ``repro search --explain``."""
         terms = normalize_query_terms(tokenize(query))
         if not terms:
             raise SearchError("empty query")
         self._check_freshness()
         lists = [self._posting_list(term) for term in terms]
-        results, _ = topk(lists, k, strategy or self.strategy)
+        results, stats = topk(
+            lists,
+            k,
+            strategy or self.strategy,
+            planner=self.planner,
+            terms=terms,
+            token=self._version_token(),
+        )
         documents = self._documents_by_id_map()
         return [
             SearchResult(document=documents[result.doc_id], score=result.score)
             for result in results
-        ]
+        ], stats
 
     def search_many(
         self,
@@ -230,6 +257,9 @@ class _PatternEngineBase:
             [[lists_by_term[term] for term in terms] for terms in per_query],
             k,
             strategy=strategy or self.strategy,
+            planner=self.planner,
+            terms_list=per_query,
+            token=self._version_token(),
         )
         documents = self._documents_by_id_map()
         return [
@@ -274,6 +304,9 @@ class BurstySearchEngine(_PatternEngineBase):
         precompute: Build all posting lists up front (default).
         strategy: Default top-k execution strategy (``auto`` lets the
             planner pick per query; see :mod:`repro.search.topk`).
+        planner: Optional :class:`~repro.search.planner.
+            CalibratedPlanner` used by ``auto`` queries in place of the
+            static selectivity rule (and for hot-combination serving).
     """
 
     def __init__(
@@ -285,12 +318,14 @@ class BurstySearchEngine(_PatternEngineBase):
         precompute: bool = True,
         columnar: bool = True,
         strategy: str = "auto",
+        planner=None,
     ) -> None:
         super().__init__(
             collection,
             relevance=relevance,
             aggregate=aggregate,
             strategy=strategy,
+            planner=planner,
         )
         self._patterns = dict(patterns)
         self._columnar = columnar
@@ -449,6 +484,7 @@ class TemporalSearchEngine(_PatternEngineBase):
         aggregate: Aggregation over overlapping temporal patterns.
         strategy: Default top-k execution strategy (``auto`` plans per
             query).
+        planner: Optional calibrated planner for ``auto`` queries.
     """
 
     def __init__(
@@ -458,12 +494,14 @@ class TemporalSearchEngine(_PatternEngineBase):
         relevance: RelevanceFunction = log_relevance,
         aggregate: Callable[[Sequence[float]], float] = _default_aggregate,
         strategy: str = "auto",
+        planner=None,
     ) -> None:
         super().__init__(
             collection,
             relevance=relevance,
             aggregate=aggregate,
             strategy=strategy,
+            planner=planner,
         )
         self.detector = detector if detector is not None else LappasBurstDetector()
         self._cache: Dict[str, List[TemporalPattern]] = {}

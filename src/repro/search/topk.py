@@ -87,6 +87,7 @@ __all__ = [
     "scan_topk",
     "topk",
     "topk_many",
+    "true_length",
 ]
 
 #: Strategy names accepted by :func:`topk` and the engines.
@@ -128,13 +129,61 @@ class TopKStats:
 
     Attributes:
         strategy: The strategy that actually ran (``auto`` resolved).
-        planned: True when the planner chose the strategy.
+            ``"merged"`` means the query was answered from a
+            pre-materialised hot-combination ranking (see
+            :mod:`repro.search.planner`) without running any strategy.
+        planned: True when a planner chose the strategy.
         sorted_accesses: Postings consumed through sorted access.
+        source: How the strategy was chosen — ``"explicit"`` (caller
+            named it), ``"heuristic"`` (the static selectivity rule),
+            or a :class:`~repro.search.planner.CalibratedPlanner` tier
+            (``"memory"``, ``"model"``, ``"explore"``, ``"merged"``).
     """
 
     strategy: str
     planned: bool
     sorted_accesses: int
+    source: str = "explicit"
+
+
+def true_length(posting_list: PostingList) -> int:
+    """Size of the list's full random-access relation, in O(1).
+
+    For a pruned (:meth:`~repro.search.inverted_index.PostingList.
+    truncated`) list the visible ``len()`` under-counts the work the
+    scan strategy actually does: candidate gathers probe the *full*
+    random-access relation, and the columnar index is built over it.
+    The planner therefore needs both numbers — visible length for
+    TA-style termination-depth reasoning, true length for scan-cost
+    reasoning.
+
+    Never materialises anything: lazy random-access maps are inspected
+    through their backing attributes, and a
+    :class:`~repro.live.index.DeltaPostingList` whose merge has not run
+    yet is *estimated* as ``base + delta`` (an upper bound — overlap is
+    unknowable without paying for the merge).
+    """
+    lazy = getattr(posting_list, "_by_doc_lazy", _MISSING)
+    if lazy is not _MISSING:
+        # PostingArray: a None lazy map means the relation IS the
+        # visible columns; a dict means pruning replaced it wholesale.
+        return len(posting_list) if lazy is None else len(lazy)
+    cached = getattr(posting_list, "_by_doc_cache", _MISSING)
+    if cached is not _MISSING:
+        # DeltaPostingList: merged map if already paid for, else the
+        # cheap upper estimate over its two sides.
+        if cached is not None:
+            return len(cached)
+        base = getattr(posting_list, "_base", None)
+        delta = getattr(posting_list, "_delta", None)
+        if base is not None and delta is not None:
+            return true_length(base) + true_length(delta)
+        return len(posting_list)
+    instance_vars = getattr(posting_list, "__dict__", None)
+    by_doc = instance_vars.get("_by_doc") if instance_vars else None
+    if isinstance(by_doc, dict):
+        return len(by_doc)
+    return len(posting_list)
 
 
 def _int_keys(ids) -> Optional[np.ndarray]:
@@ -576,25 +625,31 @@ def blockmax_topk(
 def plan_strategy(lists: Sequence[PostingList], k: int) -> str:
     """Pick ``blockmax`` or ``scan`` from cheap per-list statistics.
 
-    The inputs are the visible list lengths, ``k`` and the number of
-    terms — all O(1) per list.  The decision rule (documented in the
-    README's performance model):
+    The static fallback rule — used when no calibrated
+    :class:`~repro.search.planner.CalibratedPlanner` is attached, or
+    when its query log is still cold.  The inputs are the visible and
+    :func:`true_length` list lengths, ``k`` and the number of terms —
+    all O(1) per list.  The decision rule (documented in the README's
+    performance model):
 
-    * tiny total work (< ``SCAN_TOTAL_CUTOFF`` visible postings): the
-      scan's single pass beats any per-block bookkeeping;
-    * ``k`` within ``SCAN_K_FACTOR``× of the shortest list: TA-style
-      early termination cannot stop meaningfully before the scan would
-      have finished anyway (the k-th aggregate needs ~k postings of
-      every list before it can beat the threshold);
+    * tiny total work (≤ ``SCAN_TOTAL_CUTOFF`` postings in the *full*
+      random-access relations — what the scan actually touches; the
+      visible prefix under-counts pruned lists): the scan's single
+      pass beats any per-block bookkeeping;
+    * ``k`` within ``SCAN_K_FACTOR``× of the shortest *visible* list
+      (sorted access is what terminates): TA-style early termination
+      cannot stop meaningfully before the scan would have finished
+      anyway (the k-th aggregate needs ~k postings of every list
+      before it can beat the threshold);
     * otherwise: deep lists and selective ``k`` — block-max TA's early
       termination pays.
     """
     _validate(lists, k)
-    lengths = [len(posting_list) for posting_list in lists]
-    total = sum(lengths)
+    visible = [len(posting_list) for posting_list in lists]
+    total = sum(true_length(posting_list) for posting_list in lists)
     if total <= SCAN_TOTAL_CUTOFF:
         return "scan"
-    if k * SCAN_K_FACTOR >= min(lengths):
+    if k * SCAN_K_FACTOR >= min(visible):
         return "scan"
     return "blockmax"
 
@@ -604,6 +659,9 @@ def topk(
     k: int,
     strategy: str = "auto",
     block: int = DEFAULT_BLOCK,
+    planner=None,
+    terms: Tuple[str, ...] = (),
+    token: Hashable = None,
 ) -> Tuple[List[TopKResult], TopKStats]:
     """Top-k under Eq. 10 aggregation with a pluggable strategy.
 
@@ -614,6 +672,18 @@ def topk(
             ``scan``.  All strategies return byte-identical rankings;
             only the execution cost differs.
         block: Sorted accesses per list per round for ``blockmax``.
+        planner: Optional :class:`~repro.search.planner.
+            CalibratedPlanner`.  With ``strategy="auto"`` it replaces
+            the static :func:`plan_strategy` rule (falling back to it
+            while its log is cold) and may answer straight from a
+            pre-materialised hot-combination ranking.  Explicit
+            strategies are still *observed* — their timings feed the
+            planner's calibration.
+        terms: The normalized query-term tuple, used by the planner
+            for per-term-set memory and hot-combination mining.
+        token: Version token for ``terms``' posting lists; the
+            planner's merged-ranking cache is keyed by it so live
+            mutation invalidates correctly.
 
     Returns:
         ``(results, stats)``.
@@ -627,15 +697,46 @@ def topk(
         )
     _validate(lists, k)
     planned = strategy == "auto"
-    resolved = plan_strategy(lists, k) if planned else strategy
+    source = "explicit"
+    if planned:
+        if planner is not None:
+            if terms:
+                merged = planner.serve_merged(terms, token, lists, k)
+                if merged is not None:
+                    return merged, TopKStats(
+                        strategy="merged",
+                        planned=True,
+                        sorted_accesses=0,
+                        source="merged",
+                    )
+            resolved, source = planner.plan(lists, k, terms)
+        else:
+            resolved = plan_strategy(lists, k)
+            source = "heuristic"
+    else:
+        resolved = strategy
+    start = planner.clock() if planner is not None else 0.0
     if resolved == "ta":
         results, accesses = threshold_topk(lists, k)
     elif resolved == "blockmax":
         results, accesses = blockmax_topk(lists, k, block=block)
     else:
         results, accesses = scan_topk(lists, k)
+    if planner is not None:
+        planner.observe(
+            lists=lists,
+            k=k,
+            strategy=resolved,
+            sorted_accesses=accesses,
+            elapsed=planner.clock() - start,
+            terms=terms,
+            source=source,
+        )
     return results, TopKStats(
-        strategy=resolved, planned=planned, sorted_accesses=accesses
+        strategy=resolved,
+        planned=planned,
+        sorted_accesses=accesses,
+        source=source,
     )
 
 
@@ -644,6 +745,9 @@ def topk_many(
     k: int,
     strategy: str = "auto",
     block: int = DEFAULT_BLOCK,
+    planner=None,
+    terms_list: Optional[Sequence[Tuple[str, ...]]] = None,
+    token: Hashable = None,
 ) -> List[Tuple[List[TopKResult], TopKStats]]:
     """Batched :func:`topk` over a query workload.
 
@@ -658,6 +762,11 @@ def topk_many(
         k: Number of results per query.
         strategy: Strategy for every query (``auto`` plans per query).
         block: Blockmax block size.
+        planner: Optional calibrated planner, shared by every query
+            (see :func:`topk`).
+        terms_list: One normalized term tuple per query, aligned with
+            ``queries``; required for the planner's term-aware tiers.
+        token: Version token shared by the whole batch.
 
     Returns:
         One ``(results, stats)`` pair per query, in input order.
@@ -668,4 +777,17 @@ def topk_many(
             if id(posting_list) not in warmed:
                 warmed.add(id(posting_list))
                 _columns(posting_list)
-    return [topk(lists, k, strategy=strategy, block=block) for lists in queries]
+    if terms_list is None:
+        terms_list = [() for _ in queries]
+    return [
+        topk(
+            lists,
+            k,
+            strategy=strategy,
+            block=block,
+            planner=planner,
+            terms=terms,
+            token=token,
+        )
+        for lists, terms in zip(queries, terms_list)
+    ]

@@ -219,6 +219,7 @@ def save_search_index(
     trackers: Optional[Dict] = None,
     miner_config=None,
     metadata: Optional[Dict[str, Any]] = None,
+    planner=None,
 ) -> None:
     """Persist a complete :class:`BurstySearchEngine` serving snapshot.
 
@@ -237,6 +238,12 @@ def save_search_index(
             re-mines under the same settings (defaults assumed when
             omitted).
         metadata: Extra manifest metadata.
+        planner: A :class:`~repro.search.planner.CalibratedPlanner`
+            whose calibration state (fitted cost model, term-set
+            memory, hot-combination support) is stored as the
+            ``planner/model`` segment; defaults to the engine's own
+            attached planner.  :func:`load_search_engine` re-attaches
+            it, so a reloaded store plans queries identically.
     """
     engine.precompute()
     writer = SegmentWriter(path)
@@ -270,6 +277,12 @@ def save_search_index(
     if trackers and trackers_persistable(trackers):
         encode_trackers(writer, "trackers", trackers)
         meta["trackers"] = True
+    if planner is None:
+        planner = getattr(engine, "planner", None)
+    meta["planner"] = False
+    if planner is not None:
+        writer.add_json("planner/model", planner.to_payload())
+        meta["planner"] = True
     writer.commit("index", meta)
 
 
@@ -312,6 +325,12 @@ def load_search_engine(path: StoreLike, **engine_kwargs):
     engine._patterns = LazyPatternMap(store, "patterns")
     engine._segments = PostingSegment(store, "postings")
     engine._doc_map = LazyDocumentMap(table)
+    if engine.planner is None and store.has("planner/model"):
+        from repro.search.planner import CalibratedPlanner
+
+        engine.planner = CalibratedPlanner.from_payload(
+            store.json("planner/model")
+        )
     return engine
 
 

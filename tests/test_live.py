@@ -367,6 +367,33 @@ class TestLiveSearchEngine:
         assert again == first
         assert engine.stats.cache_hits == 1
 
+    def test_search_results_are_defensive_copies(self):
+        """Regression: ``search`` caches live result objects — a caller
+        mutating a returned list (or trying to rebind result fields)
+        must never corrupt what later cache hits serve."""
+        import dataclasses
+
+        live = make_live(timeline=16)
+        engine = LiveSearchEngine(live, config=STLocalConfig(warmup=2))
+        self._seed_burst(live)
+        first = engine.search("boom", k=3)
+        reference = [(r.document.doc_id, r.score) for r in first]
+        # The returned list is the caller's to destroy...
+        first.reverse()
+        first.append("garbage")
+        first.clear()
+        # ...and the result/document dataclasses are frozen, so fields
+        # cannot be rebound in place either.
+        second = engine.search("boom", k=3)
+        assert engine.stats.cache_hits == 1
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            second[0].score = -1.0
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            second[0].document.timestamp = 0
+        third = engine.search("boom", k=3)
+        assert third is not second  # fresh list per call, shared elements
+        assert [(r.document.doc_id, r.score) for r in third] == reference
+
     def test_cache_key_normalised_across_term_order_and_duplicates(self):
         live = make_live(timeline=16)
         engine = LiveSearchEngine(live, config=STLocalConfig(warmup=2))

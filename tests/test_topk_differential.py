@@ -35,6 +35,7 @@ from repro.search import (
     threshold_topk,
     topk,
     topk_many,
+    true_length,
 )
 
 
@@ -238,6 +239,35 @@ class TestDispatchAndPlanner:
             for _ in range(2)
         ]
         assert plan_strategy(lists, 5) == "blockmax"
+
+    def test_planner_uses_true_length_for_truncated_lists(self):
+        """Regression: ``plan_strategy`` summed the *visible* ``len()``
+        for its total-work cutoff, so deeply pruned lists looked tiny
+        and planned as ``scan`` — but scan gathers candidates against
+        the *full* random-access relation, which pruning preserves.
+        The cutoff must use :func:`true_length`."""
+        visible, full = 1000, 30000
+        lists = [
+            PostingArray(
+                list(range(full)), [float(full - i) for i in range(full)]
+            ).truncated(visible)
+            for _ in range(2)
+        ]
+        assert len(lists[0]) == visible
+        assert true_length(lists[0]) == full
+        # Visible total (2000) is under SCAN_TOTAL_CUTOFF; the true
+        # total (60000) is far over it, and k is selective relative to
+        # the visible prefix — blockmax, not scan.
+        assert plan_strategy(lists, 5) == "blockmax"
+
+    def test_true_length_across_containers(self):
+        array = PostingArray([1, 2, 3], [3.0, 2.0, 1.0])
+        assert true_length(array) == 3
+        assert true_length(array.truncated(1)) == 3
+        legacy = PostingList([Posting(1, 2.0), Posting(2, 1.0)])
+        assert true_length(legacy) == 2
+        assert true_length(legacy.truncated(0)) == 2
+        assert len(legacy.truncated(0)) == 0
 
     def test_topk_many_matches_per_query_topk(self):
         shared = PostingArray(
