@@ -50,13 +50,12 @@ where per-query times are microseconds and fixed overheads dominate);
 per-query values land in the ``regret`` block of the JSON report.
 """
 
-import json
 import os
 import time
 
 import numpy as np
 
-from conftest import report
+from conftest import persist_summary, report
 
 from repro.columnar.postings import PostingArray
 from repro.search import (
@@ -69,7 +68,6 @@ from repro.search import (
 
 TINY = os.environ.get("REPRO_BENCH_TINY", "") == "1"
 
-_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 LIST_LEN = 2000 if TINY else 40000
 ROUNDS = 1 if TINY else 2
@@ -307,12 +305,7 @@ def test_search_kernel_speedup(benchmark):
         f"max {regret['max']:.3f} (gate ≤ {regret['gate']:.2f})"
     )
     report("search", "\n".join(lines))
-
-    os.makedirs(_RESULTS_DIR, exist_ok=True)
-    with open(
-        os.path.join(_RESULTS_DIR, "BENCH_search.json"), "w", encoding="utf-8"
-    ) as handle:
-        json.dump(results, handle, indent=2, sort_keys=True)
+    persist_summary("search", results)
 
     # The planner must exercise both vectorized strategies across the
     # workload (small-k → blockmax, large-k → scan).

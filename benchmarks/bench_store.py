@@ -17,11 +17,10 @@ start is ≥ 10× faster than the rebuild (skipped under
 breakdown land in ``benchmarks/results/BENCH_store.json``.
 """
 
-import json
 import os
 import time
 
-from conftest import report
+from conftest import persist_summary, report
 
 from bench_columnar import build_ambient_corpus
 from repro import BatchMiner, BurstySearchEngine, FrequencyTensor
@@ -29,7 +28,6 @@ from repro.store import open_store, save_search_index
 
 TINY = os.environ.get("REPRO_BENCH_TINY", "") == "1"
 
-_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 ROUNDS = 1 if TINY else 3
 
@@ -155,11 +153,7 @@ def test_store_cold_start(benchmark, tmp_path):
         ),
     ]
     report("store", "\n".join(lines))
-    os.makedirs(_RESULTS_DIR, exist_ok=True)
-    with open(
-        os.path.join(_RESULTS_DIR, "BENCH_store.json"), "w", encoding="utf-8"
-    ) as handle:
-        json.dump(results, handle, indent=2)
+    persist_summary("store", results)
 
     assert results["identical"]
     if not TINY:

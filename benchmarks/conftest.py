@@ -34,6 +34,7 @@ def lab() -> TopixLab:
 
 
 _RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def report(name: str, text: str) -> None:
@@ -48,3 +49,23 @@ def report(name: str, text: str) -> None:
     path = os.path.join(_RESULTS_DIR, f"{name}.txt")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text + "\n")
+
+
+def persist_summary(name: str, payload) -> None:
+    """Write a ``BENCH_*.json`` summary to results/ *and* the repo root.
+
+    The results/ copy feeds the CI artifact upload; the repo-root copy
+    is committed, so the perf trajectory is tracked in-tree across PRs
+    instead of living only in expiring CI artifacts.
+    """
+    import json
+
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    for directory in (_RESULTS_DIR, _REPO_ROOT):
+        with open(
+            os.path.join(directory, f"BENCH_{name}.json"),
+            "w",
+            encoding="utf-8",
+        ) as handle:
+            handle.write(text)

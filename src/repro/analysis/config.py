@@ -49,7 +49,7 @@ INVALIDATION_SCOPE: Tuple[str, ...] = (
 DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
     "determinism": KERNEL_SCOPE,
     "mmap-safety": MMAP_SCOPE,
-    "dtype-discipline": ("repro/store/",),
+    "dtype-discipline": ("repro/store/", "repro/columnar/postings.py"),
     "exception-hygiene": ("*",),
     "picklability": ("*",),
     "cache-invalidation": INVALIDATION_SCOPE,

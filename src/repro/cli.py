@@ -241,6 +241,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "fit`) alongside the index; `search --from-store` re-attaches "
         "it automatically",
     )
+    save.add_argument(
+        "--codec",
+        choices=("raw", "packed"),
+        default="raw",
+        help="posting-column layout: raw <i8/<f8 columns (format v1) "
+        "or block-compressed packed columns (format v2, ~3x smaller, "
+        "byte-identical decode)",
+    )
     load = subparsers.add_parser(
         "load",
         help="open a segment store, check its integrity and summarise it",
@@ -642,12 +650,13 @@ def _run_save(args: argparse.Namespace, lab: Optional[TopixLab]) -> Optional[Top
             "seed": args.seed,
         },
         planner=planner,
+        codec=args.codec,
     )
     n_patterns = sum(len(patterns) for patterns in mined.values())
     print(
         f"saved {args.out}: {lab.collection.document_count} documents, "
         f"{n_patterns} patterns over {len(mined)} terms, "
-        f"{len(mined)} posting lists "
+        f"{len(mined)} posting lists [{args.codec}] "
         f"({time.perf_counter() - started:.2f}s)"
     )
     return lab

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.search.inverted_index import Posting, PostingList, rank_tiebreak
 
-__all__ = ["PostingArray"]
+__all__ = ["PackedPostingArray", "PostingArray"]
 
 
 class PostingArray(PostingList):
@@ -52,15 +52,15 @@ class PostingArray(PostingList):
         # Deliberately *not* calling PostingList.__init__: the arrays
         # replace its _sorted/_by_doc storage wholesale.
         ids = list(doc_ids)
-        score_arr = np.asarray(scores, dtype=float)
+        score_arr = np.asarray(scores, dtype="<f8")
         if tiebreaks is None:
             tie_arr = np.fromiter(
                 (rank_tiebreak(doc_id) for doc_id in ids),
-                dtype=np.int64,
+                dtype="<i8",
                 count=len(ids),
             )
         else:
-            tie_arr = np.asarray(tiebreaks, dtype=np.int64)
+            tie_arr = np.asarray(tiebreaks, dtype="<i8")
         if not presorted and len(ids) > 1:
             # Stable sort by (-score, tiebreak): lexsort keys are listed
             # least-significant first.
@@ -168,6 +168,23 @@ class PostingArray(PostingList):
     # ------------------------------------------------------------------
     # Columnar extensions
     # ------------------------------------------------------------------
+    #: True when every doc id appears at most once in this list.  Only
+    #: construction paths that *guarantee* it set the flag (the segment
+    #: store's load path, whose save input is a one-entry-per-document
+    #: relation); the single-list scan shortcut in
+    #: :mod:`repro.search.topk` requires it and falls back to the full
+    #: scan otherwise.
+    ids_unique: bool = False
+
+    def prefix_columns(self, k: int):
+        """The first ``k`` postings' ``(doc_ids, scores, tiebreaks)``.
+
+        The columns are sorted by the ranking key, so this prefix *is*
+        the list's top-``k`` — packed subclasses serve it from the
+        covering blocks alone.
+        """
+        return self._ids[:k], self._scores[:k], self._ties[:k]
+
     def columns(self):
         """The raw sorted columns ``(doc_ids, scores, tiebreaks)``.
 
@@ -191,3 +208,76 @@ class PostingArray(PostingList):
         scores = np.concatenate((self._scores, delta._scores))
         ties = np.concatenate((self._ties, delta._ties))
         return PostingArray(ids, scores, tiebreaks=ties)
+
+
+class PackedPostingArray(PostingArray):
+    """A :class:`PostingArray` over block-compressed stored columns.
+
+    Wraps a packed segment term source (``_PackedTermSource`` in
+    :mod:`repro.store.segments`) and defers every column decode to
+    first touch: ``len`` and block-boundary score reads cost no decode
+    at all, the top-k kernel pulls score/tiebreak blocks individually
+    through the ``packed`` attribute, and the dense-column protocol
+    below (iteration, merge, re-save) materialises full columns only
+    when actually used.  Decoded values are byte-identical to the raw
+    layout, so every consumer sees the same postings either way.
+    """
+
+    class _DecodedColumn:
+        """Non-data descriptor: decode on first touch, then vanish.
+
+        The first attribute access decodes the column and writes the
+        result into the instance ``__dict__``; because the descriptor
+        defines no ``__set__``, the instance attribute shadows it from
+        then on — dense consumers (the TA reference path iterates
+        per-posting) pay zero per-access overhead after the decode.
+        """
+
+        def __init__(self, decode: str) -> None:
+            self._decode = decode
+
+        def __set_name__(self, owner, name: str) -> None:
+            self._name = name
+
+        def __get__(self, instance, owner=None):
+            if instance is None:
+                return self
+            value = getattr(instance.packed, self._decode)()
+            instance.__dict__[self._name] = value
+            return value
+
+    def __init__(
+        self,
+        source,
+        random_access: Optional[Dict[Hashable, float]] = None,
+    ) -> None:
+        # Like the parent, no PostingList.__init__: columns live in the
+        # packed source until first dense touch.
+        self.packed = source
+        self._score_list = None
+        self._postings = {}
+        self._by_doc_lazy = (
+            None if random_access is None else dict(random_access)
+        )
+
+    # Dense columns, decoded on demand.  The descriptors keep the
+    # parent's protocol methods working unchanged against packed
+    # storage.
+    _ids = _DecodedColumn("ids")  # type: ignore[assignment]
+    _scores = _DecodedColumn("scores")  # type: ignore[assignment]
+    _ties = _DecodedColumn("ties")  # type: ignore[assignment]
+
+    def __len__(self) -> int:
+        return int(self.packed.length)
+
+    def prefix_columns(self, k: int):
+        if all(
+            name in self.__dict__ for name in ("_ids", "_scores", "_ties")
+        ):  # already densely decoded — plain slices, no descriptor pull
+            return super().prefix_columns(k)
+        source = self.packed
+        return (
+            source.ids_prefix(k),
+            source.scores_slice(0, k),
+            source.ties_slice(0, k),
+        )

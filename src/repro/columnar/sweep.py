@@ -49,7 +49,7 @@ from repro.core.stlocal import RegionSequence, STLocalTermTracker
 from repro.errors import StreamError
 from repro.intervals.interval import Interval
 from repro.spatial.geometry import Point, Rectangle
-from repro.spatial.index import SpatialIndex
+from repro.spatial.index import IntervalSpatialIndex, SpatialIndex
 from repro.temporal.baselines import RunningMeanBaseline
 from repro.temporal.max_segments import OnlineMaxSegments
 
@@ -118,7 +118,7 @@ class LocationStore:
         }
         self.index: Optional[SpatialIndex] = None
         if len(self.locations) > STLocalTermTracker.INDEX_THRESHOLD:
-            self.index = SpatialIndex(list(self.locations.items()))
+            self.index = IntervalSpatialIndex(list(self.locations.items()))
         # Membership is a pure function of the rectangle bounds and the
         # (fixed) stream set, and burst regions recur across snapshots
         # and terms — memoising pays for itself immediately.

@@ -34,7 +34,7 @@ from repro.errors import StreamError
 from repro.intervals.interval import Interval
 from repro.spatial.discrepancy import WeightedPoint
 from repro.spatial.geometry import Point, Rectangle
-from repro.spatial.index import SpatialIndex
+from repro.spatial.index import IntervalSpatialIndex, SpatialIndex
 from repro.streams.collection import SpatiotemporalCollection
 from repro.streams.frequency import FrequencyTensor
 from repro.temporal.baselines import ExpectedFrequencyModel
@@ -124,7 +124,7 @@ class STLocalTermTracker:
         self.config = config if config is not None else STLocalConfig()
         self._index: Optional[SpatialIndex] = index
         if index is None and len(self.locations) > self.INDEX_THRESHOLD:
-            self._index = SpatialIndex(
+            self._index = IntervalSpatialIndex(
                 [(sid, point) for sid, point in self.locations.items()]
             )
         self._models: Dict[Hashable, ExpectedFrequencyModel] = {}

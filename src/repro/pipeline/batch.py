@@ -58,7 +58,7 @@ from repro.core.patterns import CombinatorialPattern, RegionalPattern
 from repro.core.stcomb import STComb
 from repro.core.stlocal import STLocal, STLocalTermTracker, _resolve
 from repro.spatial.geometry import Point
-from repro.spatial.index import SpatialIndex
+from repro.spatial.index import IntervalSpatialIndex, SpatialIndex
 from repro.streams.collection import SpatiotemporalCollection
 from repro.streams.frequency import FrequencyTensor
 
@@ -135,7 +135,7 @@ class BatchMiner:
             return self._columnar_trackers(tensor, terms, locations)
         index: Optional[SpatialIndex] = None
         if len(locations) > STLocalTermTracker.INDEX_THRESHOLD:
-            index = SpatialIndex(list(locations.items()))
+            index = IntervalSpatialIndex(list(locations.items()))
         # One immutable location map (and one spatial index) shared by
         # every tracker — per-tracker copies would cost
         # O(|terms| × |streams|) memory over a full vocabulary.

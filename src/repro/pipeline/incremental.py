@@ -33,7 +33,7 @@ from repro.core.patterns import RegionalPattern
 from repro.core.stlocal import STLocalTermTracker
 from repro.errors import StreamError
 from repro.spatial.geometry import Point
-from repro.spatial.index import SpatialIndex
+from repro.spatial.index import IntervalSpatialIndex, SpatialIndex
 
 __all__ = ["IncrementalFeeder"]
 
@@ -59,7 +59,7 @@ class IncrementalFeeder:
         self.config = config if config is not None else STLocalConfig()
         self._index: Optional[SpatialIndex] = None
         if len(self.locations) > STLocalTermTracker.INDEX_THRESHOLD:
-            self._index = SpatialIndex(list(self.locations.items()))
+            self._index = IntervalSpatialIndex(list(self.locations.items()))
         self._trackers: Dict[str, STLocalTermTracker] = {}
 
     # ------------------------------------------------------------------

@@ -207,6 +207,60 @@ def _int_keys(ids) -> Optional[np.ndarray]:
     return None
 
 
+class _LazyScoreColumn:
+    """Rank-order score reads against packed blocks, decode-on-touch.
+
+    Serves the two access shapes block-max TA makes against a score
+    column — a single rank (``col.scores[hi - 1]``, the block-frontier
+    bound) and a contiguous prefix slice — without ever materialising
+    the full column.  Frontier reads on packed-block boundaries are
+    answered straight from the stored block headers, costing no decode
+    at all.
+    """
+
+    __slots__ = ("_source",)
+
+    def __init__(self, source) -> None:
+        self._source = source
+
+    def __len__(self) -> int:
+        return int(self._source.length)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            lo = 0 if item.start is None else int(item.start)
+            hi = (
+                int(self._source.length)
+                if item.stop is None
+                else int(item.stop)
+            )
+            return self._source.scores_slice(lo, hi)
+        return self._source.score_at(int(item))
+
+
+class _LazyTieColumn:
+    """Rank-order tiebreak reads against packed blocks (slices only)."""
+
+    __slots__ = ("_source",)
+
+    def __init__(self, source) -> None:
+        self._source = source
+
+    def __len__(self) -> int:
+        return int(self._source.length)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            lo = 0 if item.start is None else int(item.start)
+            hi = (
+                int(self._source.length)
+                if item.stop is None
+                else int(item.stop)
+            )
+            return self._source.ties_slice(lo, hi)
+        return int(self._source.ties_slice(int(item), int(item) + 1)[0])
+
+
 class _Columns:
     """Cached columnar view of one posting list.
 
@@ -223,6 +277,14 @@ class _Columns:
     is one ``argsort`` over the int64 id keys — no dict is ever built.
     Pruned lists (random access outlives sorted visibility) and
     non-integer ids fall back to the list's random-access dict.
+
+    A :class:`~repro.columnar.postings.PackedPostingArray` keeps its
+    score/tiebreak columns *packed*: ``scores``/``ties`` become lazy
+    block-decoding views, and the random-access index keeps the argsort
+    permutation (``_map_order``) instead of a gathered score column, so
+    gathers decode only the blocks that hold actual hits.  Strategies
+    that touch every posting anyway (:func:`scan_topk`) call
+    :meth:`densify` first.
     """
 
     __slots__ = (
@@ -233,31 +295,42 @@ class _Columns:
         "exact",
         "map_is_columns",
         "_plist",
+        "_packed",
         "_by_doc",
         "_map_keys",
         "_map_scores",
+        "_map_order",
     )
 
     def __init__(self, posting_list: PostingList) -> None:
-        columns = getattr(posting_list, "columns", None)
-        if callable(columns):
-            ids, scores, ties = columns()
-            self.ids: Sequence[Hashable] = ids
-            self.scores = np.asarray(scores, dtype=float)
-            self.ties = np.asarray(ties, dtype=np.int64)
+        source = getattr(posting_list, "packed", None)
+        self._packed = source
+        if source is not None:
+            # Packed list: ids decode once (the index needs every key);
+            # scores and ties stay block-lazy behind rank-order views.
+            self.ids: Sequence[Hashable] = source.ids()
+            self.scores = _LazyScoreColumn(source)
+            self.ties = _LazyTieColumn(source)
         else:
-            postings = list(posting_list)
-            self.ids = [posting.doc_id for posting in postings]
-            self.scores = np.fromiter(
-                (posting.score for posting in postings),
-                dtype=float,
-                count=len(postings),
-            )
-            self.ties = np.fromiter(
-                (rank_tiebreak(doc_id) for doc_id in self.ids),
-                dtype=np.int64,
-                count=len(self.ids),
-            )
+            columns = getattr(posting_list, "columns", None)
+            if callable(columns):
+                ids, scores, ties = columns()
+                self.ids = ids
+                self.scores = np.asarray(scores, dtype=float)
+                self.ties = np.asarray(ties, dtype="<i8")
+            else:
+                postings = list(posting_list)
+                self.ids = [posting.doc_id for posting in postings]
+                self.scores = np.fromiter(
+                    (posting.score for posting in postings),
+                    dtype=float,
+                    count=len(postings),
+                )
+                self.ties = np.fromiter(
+                    (rank_tiebreak(doc_id) for doc_id in self.ids),
+                    dtype="<i8",
+                    count=len(self.ids),
+                )
         self._plist = posting_list
         self._by_doc: Optional[Dict[Hashable, float]] = None
         self.keys = _int_keys(self.ids)
@@ -265,6 +338,7 @@ class _Columns:
         self.map_is_columns = False
         self._map_keys: Optional[np.ndarray] = None
         self._map_scores: Optional[np.ndarray] = None
+        self._map_order: Optional[np.ndarray] = None
         if self.exact and self._columns_are_map():
             order = np.argsort(self.keys, kind="stable")
             map_keys = self.keys[order]
@@ -275,7 +349,13 @@ class _Columns:
             else:
                 self.map_is_columns = True
                 self._map_keys = map_keys
-                self._map_scores = self.scores[order]
+                if source is not None:
+                    # Keep the permutation; gathers resolve hit slots
+                    # through block-granular decode instead of a dense
+                    # gathered copy.
+                    self._map_order = order
+                else:
+                    self._map_scores = self.scores[order]
         elif self.exact:
             # Pruned list: random access answers beyond the visible
             # prefix, so the index comes from the dict relation.
@@ -317,6 +397,22 @@ class _Columns:
     def __len__(self) -> int:
         return len(self.ids)
 
+    def densify(self) -> None:
+        """Materialise packed columns in full (exhaustive strategies).
+
+        A no-op on already-dense views.  The scan touches every posting
+        by construction, so lazy block decode would only add overhead —
+        one bulk decode up front restores plain ndarray columns (and
+        the gathered map-score column the fast scan path indexes).
+        """
+        source = self._packed
+        if source is None:
+            return
+        self.scores = np.asarray(source.scores(), dtype=float)
+        self.ties = np.asarray(source.ties(), dtype="<i8")
+        if self._map_order is not None and self._map_scores is None:
+            self._map_scores = self.scores[self._map_order]
+
     def gather(
         self, cand_ids: Sequence[Hashable], cand_keys: Optional[np.ndarray]
     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -332,6 +428,13 @@ class _Columns:
             pos = np.searchsorted(self._map_keys, cand_keys)
             pos = np.minimum(pos, self._map_keys.size - 1)
             found = self._map_keys[pos] == cand_keys
+            if self._map_scores is None and self._map_order is not None:
+                # Packed list: decode only the blocks holding hits.
+                out = np.zeros(n)
+                if bool(found.any()):
+                    slots = self._map_order[pos[found]]
+                    out[found] = self._packed.scores_take(slots)
+                return out, found
             return self._map_scores[pos], found
         scores = np.zeros(n)
         found = np.zeros(n, dtype=bool)
@@ -415,6 +518,42 @@ def _ranked_results(
     ]
 
 
+def _single_prefix_topk(
+    posting_list: PostingList, k: int
+) -> Optional[Tuple[List[TopKResult], int]]:
+    """Single-list scan shortcut: the ranking is a column prefix.
+
+    A lone query term aggregates to its own scores, and the columns
+    are already sorted by the ranking key ``(-score, tiebreak)``, so
+    the top-k is the first ``k`` postings verbatim — provided the
+    visible columns *are* the whole relation (no pruning shadow) and
+    carry no duplicate ids (``ids_unique``, asserted by the store and
+    live-index construction paths; adversarial hand-built lists fall
+    back to the full scan).  Only the prefix is materialised, so a
+    packed list decodes just its covering blocks.  Results and the
+    reported access count are byte-identical to the full scan's.
+    """
+    if not getattr(posting_list, "ids_unique", False):
+        return None
+    prefix_columns = getattr(posting_list, "prefix_columns", None)
+    if prefix_columns is None:
+        return None
+    length = len(posting_list)
+    lazy = getattr(posting_list, "_by_doc_lazy", _MISSING)
+    if lazy is not _MISSING and lazy is not None and len(lazy) != length:
+        return None  # pruned: random access knows more than the columns
+    if length == 0:
+        return [], 0
+    ids, scores, ties = prefix_columns(min(k, length))
+    # Matches _aggregate's sum-from-zero (0.0 + s normalises -0.0).
+    totals = np.zeros(len(ids)) + np.asarray(scores, dtype=float)
+    keep = np.ones(len(ids), dtype=bool)
+    results = _ranked_results(
+        ids, totals, np.asarray(ties, dtype="<i8"), keep, k
+    )
+    return results, length
+
+
 # ----------------------------------------------------------------------
 # Strategy: full vectorized scan
 # ----------------------------------------------------------------------
@@ -427,11 +566,22 @@ def scan_topk(
     *shortest* list's column, which therefore drives the intersection
     directly — no candidate union is ever materialised.  Pruned or
     non-integer-id inputs fall back to deduplicating the union of
-    visible ids first.  Returns ``(results, sorted_accesses)`` where
-    the access count is the total visible postings scanned.
+    visible ids first.  A single unpruned duplicate-free list resolves
+    as a column prefix (the columns are already in ranking order)
+    without touching the rest of the list at all.  Returns
+    ``(results, sorted_accesses)`` where the access count is the total
+    visible postings scanned.
     """
     _validate(lists, k)
+    if len(lists) == 1:
+        fast = _single_prefix_topk(lists[0], k)
+        if fast is not None:
+            return fast
     cols = [_columns(posting_list) for posting_list in lists]
+    for col in cols:
+        # The scan reads every posting of every list; packed columns
+        # decode in one bulk pass instead of block-by-block.
+        col.densify()
     accesses = sum(len(col) for col in cols)
     if accesses == 0:
         return [], 0

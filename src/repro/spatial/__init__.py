@@ -15,11 +15,12 @@ from repro.spatial.discrepancy import (
     max_weight_rectangle,
     max_weight_rectangle_bruteforce,
 )
-from repro.spatial.index import SpatialIndex
+from repro.spatial.index import IntervalSpatialIndex, SpatialIndex
 
 __all__ = [
     "EARTH_RADIUS_KM",
     "GridCell",
+    "IntervalSpatialIndex",
     "MaxRectangleResult",
     "Point",
     "Rectangle",

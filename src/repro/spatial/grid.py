@@ -20,7 +20,105 @@ import numpy as np
 from repro.errors import InvalidGeometryError
 from repro.spatial.geometry import Point, Rectangle
 
-__all__ = ["GridCell", "UniformGrid"]
+__all__ = [
+    "GridCell",
+    "UniformGrid",
+    "interleave_codes",
+    "morton_windows",
+]
+
+
+# ----------------------------------------------------------------------
+# Z-order (Morton) interval encoding of the implicit grid quadtree
+# ----------------------------------------------------------------------
+#: Deepest supported quadtree: 16 levels → a 65536×65536 cell grid,
+#: whose Morton codes still fit comfortably in 32 of an int64's bits.
+MAX_TREE_LEVELS = 16
+
+
+def _part1by1(values: np.ndarray) -> np.ndarray:
+    """Spread each value's low 32 bits into the even bit positions."""
+    v = values & np.uint64(0x00000000FFFFFFFF)
+    v = (v | (v << np.uint64(16))) & np.uint64(0x0000FFFF0000FFFF)
+    v = (v | (v << np.uint64(8))) & np.uint64(0x00FF00FF00FF00FF)
+    v = (v | (v << np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    v = (v | (v << np.uint64(2))) & np.uint64(0x3333333333333333)
+    v = (v | (v << np.uint64(1))) & np.uint64(0x5555555555555555)
+    return v
+
+
+def interleave_codes(cols: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Morton/Z-order codes of cell coordinates (vectorized).
+
+    Column bits land on even positions, row bits on odd ones, so code
+    order walks the implicit quadtree over the cell grid in pre-order —
+    the codes double as pre-order labels for interval containment.
+    Returned as ``<i8`` (codes use at most 2·:data:`MAX_TREE_LEVELS`
+    bits, so the sign bit is never touched).
+    """
+    c = np.ascontiguousarray(np.asarray(cols, dtype="<i8")).view("<u8")
+    r = np.ascontiguousarray(np.asarray(rows, dtype="<i8")).view("<u8")
+    return (_part1by1(c) | (_part1by1(r) << np.uint64(1))).view("<i8")
+
+
+def morton_windows(
+    col_lo: int,
+    col_hi: int,
+    row_lo: int,
+    row_hi: int,
+    levels: int,
+    coarse_level: int = 0,
+) -> List[Tuple[int, int]]:
+    """Pre/post label windows covering an integer cell-range query.
+
+    Decomposes the query range ``[col_lo, col_hi] × [row_lo, row_hi]``
+    (inclusive cell coordinates on a ``2**levels`` square grid) into
+    maximal quadtree nodes lying fully inside it.  Each node's leaf set
+    is one *contiguous* Morton-code interval — its pre-order label and
+    the label one past its subtree (the XPath-accelerator pre/post
+    window) — so set membership over the whole region becomes one
+    binary-search pair per window against a sorted label column.
+    Adjacent windows are merged; the list is returned in ascending
+    label order.
+
+    ``coarse_level`` trades window count for over-coverage: a node at
+    that level which *partially* overlaps the range is emitted whole
+    instead of being split further, so an exact boundary decomposition
+    (``O(span)`` windows) collapses to ``O(span / 2**coarse_level)``.
+    Callers that filter candidates by coordinate anyway (the interval
+    index does) lose nothing; at the default ``0`` the decomposition is
+    exact.
+    """
+    windows: List[List[int]] = []
+
+    def descend(col0: int, row0: int, level: int, prefix: int) -> None:
+        size = 1 << level
+        col1, row1 = col0 + size - 1, row0 + size - 1
+        if col0 > col_hi or col1 < col_lo or row0 > row_hi or row1 < row_lo:
+            return
+        if level <= coarse_level or (
+            col_lo <= col0
+            and col1 <= col_hi
+            and row_lo <= row0
+            and row1 <= row_hi
+        ):
+            span = 1 << (2 * level)
+            if windows and windows[-1][1] == prefix:
+                windows[-1][1] = prefix + span
+            else:
+                windows.append([prefix, prefix + span])
+            return
+        # A partially-overlapped leaf cannot exist: a 1×1 node is
+        # either disjoint (first test) or fully inside (second).
+        half = size >> 1
+        quarter = 1 << (2 * (level - 1))
+        descend(col0, row0, level - 1, prefix)
+        descend(col0 + half, row0, level - 1, prefix + quarter)
+        descend(col0, row0 + half, level - 1, prefix + 2 * quarter)
+        descend(col0 + half, row0 + half, level - 1, prefix + 3 * quarter)
+
+    descend(0, 0, levels, 0)
+    return [(lo, hi) for lo, hi in windows]
 
 
 @dataclasses.dataclass(frozen=True, order=True)

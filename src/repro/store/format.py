@@ -27,6 +27,7 @@ them.
 
 from __future__ import annotations
 
+import ast
 import json
 import os
 import zlib
@@ -50,13 +51,22 @@ __all__ = [
 
 FORMAT_NAME = "repro-segment-store"
 #: Bump on any incompatible layout change; readers refuse newer majors.
-FORMAT_VERSION = 1
+#: v1: raw little-endian columns.  v2 adds byte-payload (``|u1``)
+#: segments, the carrier of the packed posting codec
+#: (:mod:`repro.store.codec`).  Writers stamp the *lowest* version that
+#: can describe what they actually wrote, so a raw store remains a v1
+#: store older readers accept; v2 readers read both.
+FORMAT_VERSION = 2
 MANIFEST_NAME = "MANIFEST.json"
 
 _CHUNK = 1 << 20
 
-#: Canonical little-endian storage dtypes per NumPy kind.
-_STORE_DTYPES = {"i": "<i8", "u": "<i8", "f": "<f8", "b": "|b1"}
+#: Canonical little-endian storage dtypes per NumPy kind.  Unsigned
+#: inputs are resolved in :meth:`SegmentWriter.add_array`: single-byte
+#: payloads persist as order-free ``|u1``; wider unsigned arrays are
+#: widened into ``<i8`` only when every value fits — values ≥ 2**63
+#: raise instead of silently wrapping negative.
+_STORE_DTYPES = {"i": "<i8", "f": "<f8", "b": "|b1"}
 
 
 def _file_crc32(path: str) -> Tuple[int, int]:
@@ -135,6 +145,48 @@ def decode_id_column(kind: str, payload) -> List[Hashable]:
     return list(payload)
 
 
+def _read_small_array(target: str) -> Optional[np.ndarray]:
+    """One-read ``.npy`` loader for small segment files.
+
+    Reads the whole file and wraps the payload bytes with
+    ``np.frombuffer`` after hand-parsing the standard header — ~3×
+    cheaper than ``np.load``'s open/seek/map choreography, which is
+    pure overhead on the packed codec's many small per-column header
+    files.  Returns ``None`` on anything unusual (object dtypes,
+    Fortran order, malformed header), sending the caller down the
+    regular ``np.load`` path so error behaviour is unchanged.
+    """
+    try:
+        with open(target, "rb") as handle:
+            data = handle.read()
+        if data[:6] != b"\x93NUMPY":
+            return None
+        if data[6] == 1:
+            offset = 10
+            header_len = int.from_bytes(data[8:10], "little")
+        else:
+            offset = 12
+            header_len = int.from_bytes(data[8:12], "little")
+        header = ast.literal_eval(
+            data[offset : offset + header_len].decode("latin1")
+        )
+        if header.get("fortran_order"):
+            return None
+        dtype = np.dtype(header["descr"])
+        if dtype.hasobject:
+            return None
+        shape = header["shape"]
+        count = 1
+        for dim in shape:
+            count *= dim
+        loaded = np.frombuffer(
+            data, dtype=dtype, count=count, offset=offset + header_len
+        )
+        return loaded.reshape(shape)
+    except (OSError, ValueError, SyntaxError, KeyError, TypeError):
+        return None
+
+
 def check_save_target(path: str) -> None:
     """Validate a store save target without creating anything.
 
@@ -171,6 +223,21 @@ class SegmentWriter:
         self.path = path
         self._files: Dict[str, Dict[str, Any]] = {}
         self._committed = False
+        self._format_version = 1
+
+    def require_version(self, version: int) -> None:
+        """Raise the manifest's stamped format version to ``version``.
+
+        Codecs that emit layouts older readers cannot parse (the packed
+        posting codec) call this; a store that never does stays a v1
+        store any reader of this library's history accepts.
+        """
+        if version > FORMAT_VERSION:
+            raise StoreError(
+                f"cannot stamp format version {version}: this library "
+                f"writes at most version {FORMAT_VERSION}"
+            )
+        self._format_version = max(self._format_version, version)
 
     # ------------------------------------------------------------------
     def _target(self, name: str) -> str:
@@ -190,7 +257,21 @@ class SegmentWriter:
     def add_array(self, name: str, array: np.ndarray) -> None:
         """Persist one array as ``<name>`` in canonical little-endian form."""
         arr = np.asarray(array)
-        store_dtype = _STORE_DTYPES.get(arr.dtype.kind)
+        if arr.dtype.kind == "u":
+            if arr.dtype.itemsize == 1:
+                # Packed byte payloads: order-free, a v2 layout.
+                store_dtype = "|u1"
+                self.require_version(2)
+            elif arr.size and int(arr.max()) >= 2**63:
+                raise StoreError(
+                    f"array segment {name!r} holds unsigned values >= "
+                    "2**63 that the <i8 storage dtype cannot represent "
+                    "— they would silently wrap negative on encode"
+                )
+            else:
+                store_dtype = "<i8"
+        else:
+            store_dtype = _STORE_DTYPES.get(arr.dtype.kind)
         if store_dtype is None:
             raise StoreError(
                 f"array segment {name!r} has unsupported dtype {arr.dtype}"
@@ -225,7 +306,7 @@ class SegmentWriter:
             raise StoreError("store already committed")
         manifest = {
             "format": FORMAT_NAME,
-            "format_version": FORMAT_VERSION,
+            "format_version": self._format_version,
             "library_version": __version__,
             "kind": kind,
             "metadata": dict(metadata or {}),
@@ -335,6 +416,13 @@ class SegmentReader:
             )
         return os.path.join(self.path, name)
 
+    #: Array files below this size load through the single-read fast
+    #: path instead of ``np.load``: mapping a file costs more in fixed
+    #: Python/OS overhead than reading a few KB outright, and packed
+    #: stores carry many small per-column header files whose open cost
+    #: would otherwise dominate a cold start.
+    SMALL_ARRAY_BYTES = 131072
+
     def array(self, name: str) -> np.ndarray:
         """Load an array segment (memory-mapped read-only by default).
 
@@ -346,6 +434,11 @@ class SegmentReader:
         that need a mutable buffer must copy explicitly.
         """
         target = self._resolve(name, "array")
+        entry = self.manifest.get("files", {}).get(name, {})
+        if entry.get("size", self.SMALL_ARRAY_BYTES) < self.SMALL_ARRAY_BYTES:
+            loaded = _read_small_array(target)
+            if loaded is not None:
+                return loaded
         mode = "r" if self._mmap else None
         try:
             loaded = np.load(target, mmap_mode=mode, allow_pickle=False)

@@ -234,7 +234,10 @@ def decode_collection(reader: SegmentReader, prefix: str):
 # Posting lists
 # ----------------------------------------------------------------------
 def encode_posting_lists(
-    writer: SegmentWriter, prefix: str, lists: Dict[str, PostingList]
+    writer: SegmentWriter,
+    prefix: str,
+    lists: Dict[str, PostingList],
+    codec: str = "raw",
 ) -> None:
     """Persist per-term posting columns as one CSR over a doc-id table.
 
@@ -244,6 +247,13 @@ def encode_posting_lists(
     (:meth:`~repro.search.inverted_index.PostingList.truncated`) lists
     carry — both sides round-trip, so a reloaded pruned list answers
     random access for exactly the documents the original did.
+
+    ``codec`` picks the on-disk layout of the visible CSR: ``"raw"``
+    writes plain ``<i8``/``<f8`` columns (byte-identical to format v1),
+    ``"packed"`` writes the block-compressed layout of
+    :mod:`repro.store.codec` (format v2).  Both decode to byte-identical
+    posting lists; the shadow CSR stays raw either way (it only exists
+    for pruned lists and is read whole).
     """
     table: Dict[Hashable, int] = {}
     terms = list(lists)
@@ -279,14 +289,60 @@ def encode_posting_lists(
         shadow_indptr.append(len(shadow_rows))
 
     doc_kind = _write_id_column(writer, prefix, "doc_table", list(table))
-    writer.add_json(
-        f"{prefix}/meta.json",
-        {"terms": terms, "doc_id_kind": doc_kind, "entries": len(rows)},
-    )
+    meta: Dict[str, Any] = {
+        "terms": terms,
+        "doc_id_kind": doc_kind,
+        "entries": len(rows),
+    }
+    if codec == "packed":
+        # Readers without the key default to "raw", so raw meta stays
+        # byte-identical to format v1 skeletons.
+        from repro.store.codec import (
+            PACK_BLOCK,
+            pack_int_lists,
+            pack_score_lists,
+        )
+
+        meta["codec"] = "packed"
+        meta["block"] = PACK_BLOCK
+    elif codec != "raw":
+        raise StoreError(f"unknown posting codec {codec!r}")
+    writer.add_json(f"{prefix}/meta.json", meta)
     writer.add_array(f"{prefix}/indptr.npy", np.asarray(indptr, dtype="<i8"))
-    writer.add_array(f"{prefix}/rows.npy", np.asarray(rows, dtype="<i8"))
-    writer.add_array(f"{prefix}/scores.npy", np.asarray(scores, dtype="<f8"))
-    writer.add_array(f"{prefix}/ties.npy", np.asarray(ties, dtype="<i8"))
+    if codec == "packed":
+        packed_rows = pack_int_lists(rows, indptr)
+        packed_ties = pack_int_lists(ties, indptr)
+        packed_scores = pack_score_lists(scores, indptr)
+        writer.add_array(f"{prefix}/rows_payload.npy", packed_rows["payload"])
+        writer.add_array(f"{prefix}/rows_meta.npy", packed_rows["meta"])
+        writer.add_array(
+            f"{prefix}/rows_blocks.npy", packed_rows["block_indptr"]
+        )
+        writer.add_array(f"{prefix}/ties_payload.npy", packed_ties["payload"])
+        writer.add_array(f"{prefix}/ties_meta.npy", packed_ties["meta"])
+        writer.add_array(
+            f"{prefix}/ties_blocks.npy", packed_ties["block_indptr"]
+        )
+        writer.add_array(f"{prefix}/scores_dict.npy", packed_scores["dict"])
+        writer.add_array(
+            f"{prefix}/scores_payload.npy", packed_scores["payload"]
+        )
+        writer.add_array(f"{prefix}/scores_meta.npy", packed_scores["meta"])
+        writer.add_array(
+            f"{prefix}/scores_residual.npy", packed_scores["residual"]
+        )
+        writer.add_array(
+            f"{prefix}/scores_bounds.npy", packed_scores["bounds"]
+        )
+        writer.add_array(
+            f"{prefix}/scores_blocks.npy", packed_scores["block_indptr"]
+        )
+    else:
+        writer.add_array(f"{prefix}/rows.npy", np.asarray(rows, dtype="<i8"))
+        writer.add_array(
+            f"{prefix}/scores.npy", np.asarray(scores, dtype="<f8")
+        )
+        writer.add_array(f"{prefix}/ties.npy", np.asarray(ties, dtype="<i8"))
     writer.add_array(
         f"{prefix}/shadow_indptr.npy", np.asarray(shadow_indptr, dtype="<i8")
     )
@@ -313,14 +369,45 @@ class PostingSegment:
         self._prefix = prefix
         meta = reader.json(f"{prefix}/meta.json")
         self.terms: List[str] = list(meta["terms"])
+        self.codec: str = str(meta.get("codec", "raw"))
         self._term_index = {term: i for i, term in enumerate(self.terms)}
         self._table = _read_id_column(
             reader, prefix, "doc_table", meta["doc_id_kind"]
         )
         self._indptr = reader.array(f"{prefix}/indptr.npy")
-        self._rows = reader.array(f"{prefix}/rows.npy")
-        self._scores = reader.array(f"{prefix}/scores.npy")
-        self._ties = reader.array(f"{prefix}/ties.npy")
+        if self.codec == "packed":
+            from repro.store.codec import PackedIntLists, PackedScoreLists
+
+            self._rows_packed = PackedIntLists(
+                reader.array(f"{prefix}/rows_payload.npy"),
+                reader.array(f"{prefix}/rows_meta.npy"),
+                reader.array(f"{prefix}/rows_blocks.npy"),
+                self._indptr,
+            )
+            self._ties_packed = PackedIntLists(
+                reader.array(f"{prefix}/ties_payload.npy"),
+                reader.array(f"{prefix}/ties_meta.npy"),
+                reader.array(f"{prefix}/ties_blocks.npy"),
+                self._indptr,
+            )
+            self._scores_packed = PackedScoreLists(
+                reader.array(f"{prefix}/scores_payload.npy"),
+                reader.array(f"{prefix}/scores_meta.npy"),
+                reader.array(f"{prefix}/scores_dict.npy"),
+                reader.array(f"{prefix}/scores_residual.npy"),
+                reader.array(f"{prefix}/scores_bounds.npy"),
+                reader.array(f"{prefix}/scores_blocks.npy"),
+                self._indptr,
+            )
+        elif self.codec == "raw":
+            self._rows = reader.array(f"{prefix}/rows.npy")
+            self._scores = reader.array(f"{prefix}/scores.npy")
+            self._ties = reader.array(f"{prefix}/ties.npy")
+        else:
+            raise StoreError(
+                f"posting segment {prefix!r} uses unknown codec "
+                f"{self.codec!r}"
+            )
         self._shadow_indptr = reader.array(f"{prefix}/shadow_indptr.npy")
         self._shadow_rows = reader.array(f"{prefix}/shadow_rows.npy")
         self._shadow_scores = reader.array(f"{prefix}/shadow_scores.npy")
@@ -337,26 +424,126 @@ class PostingSegment:
 
     # -- raw column access (verification) ------------------------------
     def columns(self, term: str):
-        """Raw ``(doc_ids, scores, ties)`` of a stored term's visible CSR."""
+        """Raw ``(doc_ids, scores, ties)`` of a stored term's visible CSR.
+
+        On a packed segment this decodes the term's blocks in full —
+        it is the verification/audit surface, not the serving path.
+        """
         index = self._term_index[term]
+        if self.codec == "packed":
+            rows = self._rows_packed.decode_list(index)
+            ids = [self._table[row] for row in rows.tolist()]
+            return (
+                ids,
+                self._scores_packed.decode_list(index),
+                self._ties_packed.decode_list(index),
+            )
         lo, hi = int(self._indptr[index]), int(self._indptr[index + 1])
         ids = [self._table[row] for row in self._rows[lo:hi].tolist()]
         return ids, self._scores[lo:hi], self._ties[lo:hi]
 
 
+class _PackedTermSource:
+    """Block-lazy column access for one term of a packed segment.
+
+    The contract :class:`~repro.columnar.postings.PackedPostingArray`
+    and the top-k kernel program against: full-column reads
+    (:meth:`ids`, :meth:`scores`, :meth:`ties`) decode once and cache;
+    the granular reads (:meth:`score_at`, the slice/take methods)
+    touch only the covering blocks until a full decode has happened.
+    """
+
+    def __init__(self, segment: PostingSegment, index: int) -> None:
+        self._segment = segment
+        self._index = index
+        self.length = segment._rows_packed.length(index)
+        self._ids_cache: Optional[List[Hashable]] = None
+        self._scores_cache: Optional[np.ndarray] = None
+        self._ties_cache: Optional[np.ndarray] = None
+
+    def ids(self) -> List[Hashable]:
+        if self._ids_cache is None:
+            rows = self._segment._rows_packed.decode_list(self._index)
+            table = self._segment._table
+            self._ids_cache = [table[row] for row in rows.tolist()]
+        return self._ids_cache
+
+    def ids_prefix(self, k: int) -> List[Hashable]:
+        """The first ``k`` doc ids, decoding only the covering blocks."""
+        if self._ids_cache is not None:
+            return self._ids_cache[:k]
+        rows = self._segment._rows_packed.decode_range(self._index, 0, k)
+        table = self._segment._table
+        return [table[row] for row in rows.tolist()]
+
+    def scores(self) -> np.ndarray:
+        if self._scores_cache is None:
+            self._scores_cache = self._segment._scores_packed.decode_list(
+                self._index
+            )
+        return self._scores_cache
+
+    def ties(self) -> np.ndarray:
+        if self._ties_cache is None:
+            self._ties_cache = self._segment._ties_packed.decode_list(
+                self._index
+            )
+        return self._ties_cache
+
+    def score_at(self, rank: int) -> float:
+        if self._scores_cache is not None:
+            return float(self._scores_cache[rank])
+        return self._segment._scores_packed.value_at(self._index, rank)
+
+    def scores_slice(self, lo: int, hi: int) -> np.ndarray:
+        if self._scores_cache is not None:
+            return self._scores_cache[lo:hi]
+        return self._segment._scores_packed.decode_range(self._index, lo, hi)
+
+    def ties_slice(self, lo: int, hi: int) -> np.ndarray:
+        if self._ties_cache is not None:
+            return self._ties_cache[lo:hi]
+        return self._segment._ties_packed.decode_range(self._index, lo, hi)
+
+    def scores_take(self, slots: np.ndarray) -> np.ndarray:
+        if self._scores_cache is not None:
+            return self._scores_cache[slots]
+        return self._segment._scores_packed.take(self._index, slots)
+
+
 def decode_posting_list(segment: PostingSegment, index: int):
     """Materialise one term's :class:`PostingArray` from a segment.
 
-    The score/tiebreak slices stay zero-copy views of the mapped
-    buffers; only the doc-id list is gathered.
+    Raw segments serve score/tiebreak slices as zero-copy views of the
+    mapped buffers; packed segments return a
+    :class:`~repro.columnar.postings.PackedPostingArray` whose columns
+    decode block-by-block on first touch.  A term with shadow entries
+    (a pruned list) decodes its visible columns eagerly to seed the
+    random-access map — exactly what the raw path materialises too.
     """
-    from repro.columnar.postings import PostingArray
+    from repro.columnar.postings import PackedPostingArray, PostingArray
+
+    s_lo = int(segment._shadow_indptr[index])
+    s_hi = int(segment._shadow_indptr[index + 1])
+    if segment.codec == "packed":
+        source = _PackedTermSource(segment, index)
+        by_doc = None
+        if s_hi > s_lo:
+            by_doc = dict(zip(source.ids(), source.scores().tolist()))
+            for row, score in zip(
+                segment._shadow_rows[s_lo:s_hi].tolist(),
+                segment._shadow_scores[s_lo:s_hi].tolist(),
+            ):
+                by_doc[segment._table[row]] = score
+        packed_array = PackedPostingArray(source, random_access=by_doc)
+        # The save input is a one-entry-per-document relation, so the
+        # single-list scan shortcut may trust the columns.
+        packed_array.ids_unique = True
+        return packed_array
 
     lo, hi = int(segment._indptr[index]), int(segment._indptr[index + 1])
     ids = [segment._table[row] for row in segment._rows[lo:hi].tolist()]
     by_doc = None
-    s_lo = int(segment._shadow_indptr[index])
-    s_hi = int(segment._shadow_indptr[index + 1])
     if s_hi > s_lo:
         by_doc = dict(zip(ids, segment._scores[lo:hi].tolist()))
         for row, score in zip(
@@ -364,12 +551,14 @@ def decode_posting_list(segment: PostingSegment, index: int):
             segment._shadow_scores[s_lo:s_hi].tolist(),
         ):
             by_doc[segment._table[row]] = score
-    return PostingArray.from_columns(
+    array = PostingArray.from_columns(
         ids,
         segment._scores[lo:hi],
         segment._ties[lo:hi],
         random_access=by_doc,
     )
+    array.ids_unique = True
+    return array
 
 
 # ----------------------------------------------------------------------

@@ -220,6 +220,7 @@ def save_search_index(
     miner_config=None,
     metadata: Optional[Dict[str, Any]] = None,
     planner=None,
+    codec: str = "raw",
 ) -> None:
     """Persist a complete :class:`BurstySearchEngine` serving snapshot.
 
@@ -244,6 +245,10 @@ def save_search_index(
             ``planner/model`` segment; defaults to the engine's own
             attached planner.  :func:`load_search_engine` re-attaches
             it, so a reloaded store plans queries identically.
+        codec: Posting-column layout — ``"raw"`` (format v1, plain
+            ``<i8``/``<f8`` columns) or ``"packed"`` (format v2,
+            block-compressed; see :mod:`repro.store.codec`).  Decoded
+            postings are byte-identical either way.
     """
     engine.precompute()
     writer = SegmentWriter(path)
@@ -262,12 +267,15 @@ def save_search_index(
     lists = {
         term: engine._posting_list(term) for term in patterns
     }
-    encode_posting_lists(writer, "postings", lists)
+    encode_posting_lists(writer, "postings", lists, codec=codec)
     meta = dict(metadata or {})
     meta["pattern_type"] = pattern_type
     meta["terms"] = list(terms) if terms is not None else list(patterns)
     meta["documents"] = collection.document_count
     meta["streams"] = len(collection.locations())
+    if codec != "raw":
+        # Raw manifests stay byte-identical to pre-codec stores.
+        meta["codec"] = codec
     meta["miner_config"] = _encode_miner_config(pattern_type, miner_config)
     meta["scoring"] = {
         "relevance": _callable_fingerprint(engine.relevance),

@@ -11,6 +11,7 @@ from repro.errors import EmptyInputError, InvalidGeometryError
 from repro.spatial import (
     EARTH_RADIUS_KM,
     GridCell,
+    IntervalSpatialIndex,
     Point,
     Rectangle,
     SpatialIndex,
@@ -23,6 +24,7 @@ from repro.spatial import (
     stress,
     vincenty,
 )
+from repro.spatial.grid import interleave_codes, morton_windows
 
 coords = st.floats(-100.0, 100.0, allow_nan=False)
 points_st = st.builds(Point, coords, coords)
@@ -275,3 +277,169 @@ class TestSpatialIndex:
         item, location, distance = index.nearest(Point(0, 0))
         assert item == "only"
         assert distance == pytest.approx(Point(0, 0).distance_to(Point(5, 5)))
+
+
+class TestMortonWindows:
+    """The quadtree pre/post-window decomposition behind the interval
+    index: exact at ``coarse_level=0``, a superset (never a subset) at
+    coarser levels, always sorted / disjoint / merged."""
+
+    @staticmethod
+    def cells_of(windows):
+        covered = set()
+        for lo, hi in windows:
+            covered.update(range(lo, hi))
+        return covered
+
+    @staticmethod
+    def exact_cells(col_lo, col_hi, row_lo, row_hi):
+        cols, rows = np.meshgrid(
+            np.arange(col_lo, col_hi + 1), np.arange(row_lo, row_hi + 1)
+        )
+        return set(
+            interleave_codes(cols.ravel(), rows.ravel()).tolist()
+        )
+
+    @given(st.data())
+    def test_exact_decomposition(self, data):
+        levels = data.draw(st.integers(1, 5))
+        side = 1 << levels
+        col_lo = data.draw(st.integers(0, side - 1))
+        col_hi = data.draw(st.integers(col_lo, side - 1))
+        row_lo = data.draw(st.integers(0, side - 1))
+        row_hi = data.draw(st.integers(row_lo, side - 1))
+        windows = morton_windows(col_lo, col_hi, row_lo, row_hi, levels)
+        assert self.cells_of(windows) == self.exact_cells(
+            col_lo, col_hi, row_lo, row_hi
+        )
+        # Ascending, disjoint, and adjacent runs merged.
+        for (lo_a, hi_a), (lo_b, _) in zip(windows, windows[1:]):
+            assert lo_a < hi_a
+            assert hi_a < lo_b
+
+    @given(st.data())
+    def test_coarse_levels_only_overcover(self, data):
+        levels = data.draw(st.integers(2, 5))
+        side = 1 << levels
+        col_lo = data.draw(st.integers(0, side - 1))
+        col_hi = data.draw(st.integers(col_lo, side - 1))
+        row_lo = data.draw(st.integers(0, side - 1))
+        row_hi = data.draw(st.integers(row_lo, side - 1))
+        exact = morton_windows(col_lo, col_hi, row_lo, row_hi, levels)
+        for coarse in range(1, levels + 1):
+            coarser = morton_windows(
+                col_lo, col_hi, row_lo, row_hi, levels, coarse_level=coarse
+            )
+            assert self.cells_of(coarser) >= self.cells_of(exact)
+            assert len(coarser) <= max(1, len(exact))
+
+    def test_full_grid_is_one_window(self):
+        for levels in (1, 3, 6):
+            side = 1 << levels
+            assert morton_windows(
+                0, side - 1, 0, side - 1, levels
+            ) == [(0, side * side)]
+
+    def test_disjoint_range_is_empty(self):
+        assert morton_windows(8, 9, 8, 9, 3) == []  # outside the 8×8 grid
+
+
+class TestIntervalSpatialIndex:
+    """Differential oracle: interval containment answers must equal the
+    hash-grid :class:`SpatialIndex` (and a linear scan) exactly,
+    boundary points included."""
+
+    @staticmethod
+    def scan(pts, query):
+        return sorted(i for i, p in pts if query.contains_point(p))
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyInputError):
+            IntervalSpatialIndex([])
+
+    def test_rectangle_query_matches_hash_index(self):
+        rng = np.random.default_rng(5)
+        pts = [
+            (i, Point(float(x), float(y)))
+            for i, (x, y) in enumerate(rng.uniform(0, 100, size=(300, 2)))
+        ]
+        interval = IntervalSpatialIndex(pts)
+        hashed = SpatialIndex(pts)
+        for _ in range(25):
+            x0, y0 = rng.uniform(-20, 110, size=2)
+            w, h = rng.uniform(0, 80, size=2)
+            query = Rectangle(x0, y0, x0 + w, y0 + h)
+            expected = self.scan(pts, query)
+            assert sorted(interval.query_rectangle(query)) == expected
+            assert sorted(hashed.query_rectangle(query)) == expected
+            assert interval.count_in_rectangle(query) == len(expected)
+
+    def test_boundary_points_included(self):
+        # Query edges sitting exactly on point coordinates: containment
+        # is closed on all four sides, whatever cell the label math
+        # puts the point in.
+        pts = [
+            (i, Point(float(x), float(y)))
+            for i, (x, y) in enumerate(
+                [(0, 0), (0, 10), (10, 0), (10, 10), (5, 5), (10, 5)]
+            )
+        ]
+        index = IntervalSpatialIndex(pts)
+        assert sorted(index.query_rectangle(Rectangle(0, 0, 10, 10))) == [
+            0, 1, 2, 3, 4, 5,
+        ]
+        assert sorted(index.query_rectangle(Rectangle(10, 0, 10, 10))) == [
+            2, 3, 5,
+        ]
+        assert sorted(index.query_rectangle(Rectangle(5, 5, 5, 5))) == [4]
+
+    def test_degenerate_extents(self):
+        # Identical points: zero-area extent, every cell computation
+        # collapses to cell (0, 0).
+        same = [(i, Point(3.0, 4.0)) for i in range(5)]
+        index = IntervalSpatialIndex(same)
+        assert sorted(index.query_rectangle(Rectangle(0, 0, 10, 10))) == list(
+            range(5)
+        )
+        assert index.query_rectangle(Rectangle(5, 5, 6, 6)) == []
+        # Collinear points: zero-height extent.
+        line = [(i, Point(float(i), 2.0)) for i in range(8)]
+        index = IntervalSpatialIndex(line)
+        assert sorted(index.query_rectangle(Rectangle(2, 0, 5, 4))) == [
+            2, 3, 4, 5,
+        ]
+        only = IntervalSpatialIndex([("solo", Point(1.0, 1.0))])
+        assert len(only) == 1
+        assert only.query_rectangle(Rectangle(0, 0, 2, 2)) == ["solo"]
+
+    def test_far_queries_do_not_overflow(self):
+        # Query coordinates far outside the extent clamp in the float
+        # domain — no int overflow, exact results either way.
+        pts = [(i, Point(float(i), float(i))) for i in range(10)]
+        index = IntervalSpatialIndex(pts)
+        assert index.query_rectangle(
+            Rectangle(1e300, 1e300, 1.5e300, 1.5e300)
+        ) == []
+        assert sorted(
+            index.query_rectangle(Rectangle(-1e300, -1e300, 1e300, 1e300))
+        ) == list(range(10))
+
+    @given(st.data())
+    def test_random_points_match_scan(self, data):
+        n = data.draw(st.integers(1, 60))
+        coord = st.floats(-50, 50, allow_nan=False)
+        raw = data.draw(
+            st.lists(st.tuples(coord, coord), min_size=n, max_size=n)
+        )
+        pts = [(i, Point(x, y)) for i, (x, y) in enumerate(raw)]
+        levels = data.draw(st.one_of(st.none(), st.integers(1, 8)))
+        index = IntervalSpatialIndex(pts, levels=levels)
+        x0 = data.draw(coord)
+        y0 = data.draw(coord)
+        query = Rectangle(
+            x0,
+            y0,
+            x0 + data.draw(st.floats(0, 60)),
+            y0 + data.draw(st.floats(0, 60)),
+        )
+        assert sorted(index.query_rectangle(query)) == self.scan(pts, query)

@@ -36,10 +36,39 @@ class TestWriter:
         reader = SegmentReader(path)
         assert reader.kind == "index"
         assert reader.metadata["note"] == "minimal"
-        assert reader.format_version == FORMAT_VERSION
+        # Writers stamp the *lowest* format version that describes what
+        # they wrote: plain raw columns are still v1 stores.
+        assert reader.format_version == 1
         assert reader.library_version
         assert reader.array("a/ints.npy").tolist() == [0, 1, 2, 3, 4]
         assert reader.json("a/meta.json") == {"k": 1}
+
+    def test_byte_payloads_stamp_current_version(self, tmp_path):
+        writer = SegmentWriter(str(tmp_path / "store"))
+        writer.add_array("a/payload.npy", np.arange(5, dtype=np.uint8))
+        writer.commit("index", {})
+        reader = SegmentReader(str(tmp_path / "store"))
+        assert reader.format_version == FORMAT_VERSION
+        assert reader.array("a/payload.npy").tolist() == [0, 1, 2, 3, 4]
+
+    def test_unsigned_overflow_rejected(self, tmp_path):
+        # Satellite regression: "u"-kind arrays used to funnel through
+        # the <i8 storage dtype, silently wrapping values >= 2**63.
+        writer = SegmentWriter(str(tmp_path / "store"))
+        with pytest.raises(StoreError, match="2\\*\\*63"):
+            writer.add_array(
+                "a/big.npy", np.asarray([2**63], dtype=np.uint64)
+            )
+
+    def test_unsigned_in_range_widens(self, tmp_path):
+        writer = SegmentWriter(str(tmp_path / "store"))
+        writer.add_array(
+            "a/ok.npy", np.asarray([0, 2**62], dtype=np.uint64)
+        )
+        writer.commit("index", {})
+        reader = SegmentReader(str(tmp_path / "store"))
+        assert reader.format_version == 1
+        assert reader.array("a/ok.npy").tolist() == [0, 2**62]
 
     def test_refuses_nonempty_directory(self, tmp_path):
         target = tmp_path / "busy"
@@ -150,10 +179,21 @@ class TestReader:
             reader.json("a/ints.npy")  # wrong segment type
 
     def test_mmap_zero_copy(self, tmp_path):
-        path = write_minimal(str(tmp_path / "store"))
-        mapped = SegmentReader(path, mmap=True).array("a/floats.npy")
+        # Arrays at/above the small-file threshold serve zero-copy from
+        # the page cache; tiny ones take the single-read fast path.
+        big = np.linspace(0.0, 1.0, SegmentReader.SMALL_ARRAY_BYTES // 8)
+        writer = SegmentWriter(str(tmp_path / "store"))
+        writer.add_array("a/big.npy", big)
+        writer.add_array("a/small.npy", np.linspace(0.0, 1.0, 7))
+        writer.commit("index", {})
+        path = str(tmp_path / "store")
+        mapped = SegmentReader(path, mmap=True).array("a/big.npy")
         assert isinstance(mapped, np.memmap)
-        materialised = SegmentReader(path, mmap=False).array("a/floats.npy")
+        small = SegmentReader(path, mmap=True).array("a/small.npy")
+        assert not isinstance(small, np.memmap)
+        assert not small.flags.writeable
+        assert small.tolist() == np.linspace(0.0, 1.0, 7).tolist()
+        materialised = SegmentReader(path, mmap=False).array("a/big.npy")
         assert not isinstance(materialised, np.memmap)
         assert mapped.tolist() == materialised.tolist()
 

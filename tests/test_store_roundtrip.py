@@ -45,7 +45,12 @@ from repro.columnar.postings import PostingArray
 from repro.errors import StoreError
 from repro.live import LiveSearchEngine
 from repro.search import Posting, PostingList
-from repro.store import SegmentReader, SegmentWriter, load_trackers
+from repro.store import (
+    FORMAT_VERSION,
+    SegmentReader,
+    SegmentWriter,
+    load_trackers,
+)
 from repro.store.segments import (
     PostingSegment,
     decode_patterns,
@@ -96,8 +101,11 @@ def build_collection(seed=0, streams=5, timeline=24, doc_ids="int"):
     return collection
 
 
-@pytest.fixture(scope="module")
-def saved(tmp_path_factory):
+@pytest.fixture(scope="module", params=["raw", "packed"])
+def saved(request, tmp_path_factory):
+    """One saved index per posting codec — every round-trip invariant in
+    this module must hold identically for raw and packed columns."""
+    codec = request.param
     collection = build_collection(seed=3)
     terms = sorted(collection.vocabulary)
     miner = BatchMiner()
@@ -110,14 +118,14 @@ def saved(tmp_path_factory):
     engine = BurstySearchEngine(collection, mined)
     path = str(tmp_path_factory.mktemp("store") / "index")
     save_search_index(
-        path, engine, "regional", terms=terms, trackers=trackers
+        path, engine, "regional", terms=terms, trackers=trackers, codec=codec
     )
-    return path, engine, mined
+    return path, engine, mined, codec
 
 
 class TestIndexRoundTrip:
     def test_rankings_identical_across_strategies(self, saved):
-        path, engine, mined = saved
+        path, engine, mined, _ = saved
         loaded = BurstySearchEngine.from_store(path)
         for query in list(mined) + ["quake storm", "quake filler storm"]:
             for strategy in ("ta", "blockmax", "scan", "auto"):
@@ -126,7 +134,7 @@ class TestIndexRoundTrip:
                 ) == ranking(engine.search(query, k=10, strategy=strategy))
 
     def test_posting_columns_bit_identical(self, saved):
-        path, engine, mined = saved
+        path, engine, mined, _ = saved
         loaded = BurstySearchEngine.from_store(path)
         for term in mined:
             ids_a, scores_a, ties_a = engine._posting_list(term).columns()
@@ -136,7 +144,7 @@ class TestIndexRoundTrip:
             assert np.asarray(ties_a).tobytes() == np.asarray(ties_b).tobytes()
 
     def test_patterns_and_documents_round_trip(self, saved):
-        path, engine, mined = saved
+        path, engine, mined, _ = saved
         loaded = BurstySearchEngine.from_store(path)
         assert {t: list(p) for t, p in loaded._patterns.items()} == {
             t: list(p) for t, p in engine._patterns.items() if p
@@ -151,16 +159,27 @@ class TestIndexRoundTrip:
         ]
         assert engine.collection.locations() == loaded.collection.locations()
 
-    def test_posting_columns_stay_memory_mapped(self, saved):
-        path, _, mined = saved
+    def test_posting_columns_stay_memory_mapped(self, saved, monkeypatch):
+        # Fixture stores are tiny, so force every array through the
+        # mmap path: the zero-copy serving property this guards applies
+        # to columns at production sizes (above the small-file cutoff).
+        monkeypatch.setattr(SegmentReader, "SMALL_ARRAY_BYTES", 0)
+        path, _, mined, codec = saved
         loaded = BurstySearchEngine.from_store(path)
+        if codec == "packed":
+            # Packed columns decode into fresh arrays on touch; the
+            # zero-copy property lives one level down, in the packed
+            # byte payloads the decoder slices from.
+            payload = loaded._segments._scores_packed._payload
+            assert isinstance(payload, np.memmap)
+            return
         term = next(iter(mined))
         _, scores, ties = loaded._posting_list(term).columns()
         assert isinstance(scores.base if scores.base is not None else scores, np.memmap)
         assert isinstance(ties.base if ties.base is not None else ties, np.memmap)
 
     def test_verify_store_passes(self, saved):
-        path, _, _ = saved
+        path, _, _, _ = saved
         checks = verify_store(path)
         assert any("patterns" in line for line in checks)
         assert any("postings" in line for line in checks)
@@ -170,13 +189,19 @@ class TestIndexRoundTrip:
         import os
         import shutil
 
-        path, _, _ = saved
+        path, _, _, codec = saved
         broken = str(tmp_path / "broken")
         shutil.copytree(path, broken)
         # Flip one stored posting score and re-stamp its checksum so
         # open() succeeds: --verify must still catch the divergence
-        # against the cold rebuild.
-        target = os.path.join(broken, "postings", "scores.npy")
+        # against the cold rebuild.  Packed stores hold scores as dict
+        # codes, so corrupt the dictionary they decode through.
+        name = (
+            "postings/scores.npy"
+            if codec == "raw"
+            else "postings/scores_dict.npy"
+        )
+        target = os.path.join(broken, *name.split("/"))
         scores = np.load(target)
         scores[0] += 1.0
         with open(target, "wb") as handle:
@@ -187,14 +212,14 @@ class TestIndexRoundTrip:
         with open(manifest_path) as handle:
             manifest = json.load(handle)
         crc, size = _file_crc32(target)
-        manifest["files"]["postings/scores.npy"].update(crc32=crc, size=size)
+        manifest["files"][name].update(crc32=crc, size=size)
         with open(manifest_path, "w") as handle:
             json.dump(manifest, handle)
         with pytest.raises(StoreError, match="diverge"):
             verify_store(broken)
 
     def test_mutating_loaded_collection_detaches_segments(self, saved):
-        path, _, _ = saved
+        path, _, _, _ = saved
         loaded = BurstySearchEngine.from_store(path)
         before = ranking(loaded.search("quake", k=5))
         doc = Document("late-arrival", "s0", 2, ("filler",))
@@ -267,15 +292,16 @@ class TestNonIntDocIds:
         verify_store(path)
 
 
+@pytest.mark.parametrize("codec", ["raw", "packed"])
 class TestPostingSegmentCodec:
-    def round_trip(self, tmp_path, lists):
+    def round_trip(self, tmp_path, lists, codec):
         path = str(tmp_path / "postings")
         writer = SegmentWriter(path)
-        encode_posting_lists(writer, "postings", lists)
+        encode_posting_lists(writer, "postings", lists, codec=codec)
         writer.commit("index")
         return PostingSegment(SegmentReader(path), "postings")
 
-    def test_exotic_score_bits_survive(self, tmp_path):
+    def test_exotic_score_bits_survive(self, tmp_path, codec):
         """NaN payloads, infinities and subnormals round-trip bit-exactly."""
         scores = np.array(
             [
@@ -294,16 +320,16 @@ class TestPostingSegmentCodec:
         ids = list(range(len(scores)))
         ties = np.arange(len(scores), dtype=np.int64)
         lists = {"t": PostingArray(ids, scores, tiebreaks=ties, presorted=True)}
-        segment = self.round_trip(tmp_path, lists)
+        segment = self.round_trip(tmp_path, lists, codec)
         _, out_scores, out_ties = segment.posting_array("t").columns()
         assert np.asarray(out_scores).tobytes() == scores.tobytes()
         assert np.asarray(out_ties).tobytes() == ties.tobytes()
 
-    def test_truncated_list_keeps_shadow_random_access(self, tmp_path):
+    def test_truncated_list_keeps_shadow_random_access(self, tmp_path, codec):
         postings = [Posting(doc_id=i, score=float(100 - i)) for i in range(20)]
         full = PostingList(postings)
         pruned = full.truncated(5)
-        segment = self.round_trip(tmp_path, {"t": pruned})
+        segment = self.round_trip(tmp_path, {"t": pruned}, codec)
         reloaded = segment.posting_array("t")
         assert len(reloaded) == 5
         assert reloaded.sorted_access(5) is None
@@ -312,7 +338,7 @@ class TestPostingSegmentCodec:
             assert reloaded.random_access(i) == pruned.random_access(i)
         assert reloaded.random_access("absent") is None
 
-    def test_plain_and_array_lists_agree(self, tmp_path):
+    def test_plain_and_array_lists_agree(self, tmp_path, codec):
         postings = [
             Posting(doc_id=f"d{i}", score=float(i % 3)) for i in range(12)
         ]
@@ -322,12 +348,102 @@ class TestPostingSegmentCodec:
                 "plain": PostingList(postings),
                 "array": PostingArray.from_postings(postings),
             },
+            codec,
         )
         plain = segment.posting_array("plain").columns()
         array = segment.posting_array("array").columns()
         assert list(plain[0]) == list(array[0])
         assert np.asarray(plain[1]).tobytes() == np.asarray(array[1]).tobytes()
         assert np.asarray(plain[2]).tobytes() == np.asarray(array[2]).tobytes()
+
+
+class TestFormatCompat:
+    def save(self, tmp_path, codec):
+        collection = build_collection(seed=17)
+        mined = BatchMiner().mine_regional(collection)
+        engine = BurstySearchEngine(collection, mined)
+        path = str(tmp_path / "idx")
+        save_search_index(path, engine, "regional", codec=codec)
+        return path, engine, mined
+
+    def test_raw_stores_stay_version1(self, tmp_path):
+        """Packed columns bumped ``FORMAT_VERSION`` to 2, but a raw save
+        must keep stamping v1: stores written before the bump and raw
+        stores written after are the *same* artifact, so pre-bump
+        readers keep accepting today's raw output and today's reader
+        keeps accepting pre-bump stores."""
+        path, engine, mined = self.save(tmp_path, "raw")
+        assert SegmentReader(path).format_version == 1
+        loaded = BurstySearchEngine.from_store(path)
+        for term in mined:
+            assert ranking(loaded.search(term, k=8)) == ranking(
+                engine.search(term, k=8)
+            )
+        verify_store(path)
+
+    def test_packed_stores_stamp_version2(self, tmp_path):
+        path, _, _ = self.save(tmp_path, "packed")
+        assert SegmentReader(path).format_version == FORMAT_VERSION == 2
+
+
+class TestPackedCodecProperty:
+    """Differential property: packed and raw encodings of the same lists
+    decode byte-identically — across empty lists, single postings,
+    block-boundary lengths, dictionary hits and residual escapes,
+    non-integer doc ids and crc32 (non-monotone) tiebreaks."""
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_packed_decodes_byte_identical_to_raw(
+        self, tmp_path_factory, data
+    ):
+        from repro.store.codec import PACK_BLOCK
+
+        palette = data.draw(
+            st.lists(
+                st.floats(allow_nan=True, allow_infinity=True),
+                min_size=1,
+                max_size=4,
+            )
+        )
+        rng = random.Random(data.draw(st.integers(0, 2**16)))
+        lists = {}
+        for index in range(data.draw(st.integers(1, 4))):
+            length = data.draw(
+                st.sampled_from(
+                    [0, 1, 2, PACK_BLOCK - 1, PACK_BLOCK, PACK_BLOCK + 1, 300]
+                )
+            )
+            kind = data.draw(st.sampled_from(["int", "str", "mixed"]))
+            ids = list(range(length))
+            if kind != "int":
+                ids = [
+                    f"d{i}" if kind == "str" or i % 2 else i for i in ids
+                ]
+            scores = [
+                rng.choice(palette)
+                if rng.random() < 0.7
+                else rng.uniform(-1e6, 1e6)
+                for _ in range(length)
+            ]
+            lists[f"t{index}"] = PostingArray(ids, scores)
+        tmp = tmp_path_factory.mktemp("codec")
+        segments = {}
+        for codec in ("raw", "packed"):
+            path = str(tmp / codec)
+            writer = SegmentWriter(path)
+            encode_posting_lists(writer, "postings", lists, codec=codec)
+            writer.commit("index")
+            segments[codec] = PostingSegment(SegmentReader(path), "postings")
+        for term in lists:
+            raw_cols = segments["raw"].posting_array(term).columns()
+            packed_cols = segments["packed"].posting_array(term).columns()
+            assert list(raw_cols[0]) == list(packed_cols[0])
+            for raw_col, packed_col in zip(raw_cols[1:], packed_cols[1:]):
+                assert (
+                    np.asarray(raw_col).tobytes()
+                    == np.asarray(packed_col).tobytes()
+                )
 
 
 class TestTrackerRoundTrip:
@@ -529,7 +645,7 @@ class TestLiveCheckpoint:
         verify_store(path)
 
     def test_restore_rejects_wrong_kind(self, saved, tmp_path):
-        path, _, _ = saved
+        path, _, _, _ = saved
         live, engine = self.build()
         with pytest.raises(StoreError, match="'live'"):
             engine.restore(path)
@@ -620,10 +736,11 @@ class TestEngineRoundTripProperty:
         collection = build_collection(
             seed=seed, streams=streams, timeline=timeline, doc_ids=doc_ids
         )
+        codec = data.draw(st.sampled_from(["raw", "packed"]))
         mined = BatchMiner().mine_regional(collection)
         engine = BurstySearchEngine(collection, mined)
         path = str(tmp_path_factory.mktemp("rt") / "store")
-        save_search_index(path, engine, "regional")
+        save_search_index(path, engine, "regional", codec=codec)
         loaded = BurstySearchEngine.from_store(path)
         k = data.draw(st.integers(1, 12))
         queries = sorted(mined) + ["quake storm"]
