@@ -24,6 +24,17 @@ KERNEL_SCOPE: Tuple[str, ...] = (
     "repro/temporal/",
     "repro/spatial/",
     "repro/store/",
+    "repro/faults/",
+)
+
+#: Modules bound by the typed-escalation failure contract: everything
+#: that touches store bytes or serves from them.  An ``except OSError``
+#: in this scope must escalate (typed ReproError) or quarantine.
+ESCALATION_SCOPE: Tuple[str, ...] = (
+    "repro/store/",
+    "repro/live/",
+    "repro/search/",
+    "repro/faults/",
 )
 
 #: Modules that touch (or receive) memory-mapped segment arrays.
@@ -51,6 +62,7 @@ DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
     "mmap-safety": MMAP_SCOPE,
     "dtype-discipline": ("repro/store/", "repro/columnar/postings.py"),
     "exception-hygiene": ("*",),
+    "error-escalation": ESCALATION_SCOPE,
     "picklability": ("*",),
     "cache-invalidation": INVALIDATION_SCOPE,
 }

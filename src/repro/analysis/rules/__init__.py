@@ -6,6 +6,7 @@ from repro.analysis.rules import (  # noqa: F401  (registration side effect)
     cache_invalidation,
     determinism,
     dtype_discipline,
+    error_escalation,
     exception_hygiene,
     mmap_safety,
     picklability,
@@ -15,6 +16,7 @@ __all__ = [
     "cache_invalidation",
     "determinism",
     "dtype_discipline",
+    "error_escalation",
     "exception_hygiene",
     "mmap_safety",
     "picklability",

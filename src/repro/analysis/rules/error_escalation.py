@@ -1,0 +1,116 @@
+"""Rule ``error-escalation``: store/serving code must not swallow I/O
+or corruption failures.
+
+The persistence layer's failure contract is *typed escalation*: an
+``OSError`` (or a :class:`~repro.errors.StoreCorruptionError` /
+:class:`~repro.errors.StoreIOError` already typed by a lower layer)
+caught in store, live-serving or fault-injection code must either be
+re-raised as a typed :class:`~repro.errors.ReproError` or recorded as
+a quarantine decision (degraded-mode serving).  A handler that does
+neither turns disk damage into silently-wrong serving state — the
+exact failure mode the crash-point sweep and ``repro fsck`` exist to
+rule out.
+
+Plain ``except StoreError`` probes stay allowed: ``StoreError`` is the
+library's *typed* umbrella, so catching it is consuming an
+already-escalated condition, not swallowing a raw one.  Where a
+swallow is genuinely the contract (best-effort directory fsync on
+platforms without directory file descriptors), the line carries::
+
+    except OSError:  # repro: noqa[error-escalation] -- <why>
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.base import ModuleContext, Rule
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+#: Exception names whose handlers must escalate or quarantine: the
+#: whole raw ``OSError`` family, plus the two typed store conditions
+#: that carry damage/IO facts a caller is not allowed to drop.
+_GUARDED = {
+    "OSError",
+    "IOError",
+    "EnvironmentError",
+    "PermissionError",
+    "FileNotFoundError",
+    "InterruptedError",
+    "TimeoutError",
+    "BlockingIOError",
+    "StoreCorruptionError",
+    "StoreIOError",
+}
+
+
+def _named_exceptions(node: ast.expr) -> List[str]:
+    """Leaf exception names of an ``except`` type expression."""
+    if isinstance(node, ast.Tuple):
+        names: List[str] = []
+        for element in node.elts:
+            names.extend(_named_exceptions(element))
+        return names
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        return [node.attr]
+    return []
+
+
+def _call_name(node: ast.Call) -> str:
+    """Dotted-leaf name of a call's callee (``self._quarantine`` → that)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _escalates(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises or records a quarantine."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call) and "quarantine" in _call_name(node):
+            return True
+    return False
+
+
+@register
+class ErrorEscalationRule(Rule):
+    name = "error-escalation"
+    description = (
+        "except OSError / StoreCorruptionError / StoreIOError in "
+        "store and serving code must re-raise a typed ReproError or "
+        "record a quarantine, never swallow"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                # Bare excepts are exception-hygiene's finding; flagging
+                # them twice would just double the noise.
+                continue
+            guarded = [
+                name
+                for name in _named_exceptions(node.type)
+                if name in _GUARDED
+            ]
+            if not guarded or _escalates(node):
+                continue
+            yield self.emit(
+                module,
+                node,
+                f"'except {guarded[0]}' swallows an I/O or corruption "
+                "failure without re-raising a typed error or recording "
+                "a quarantine; escalate it (raise StoreIOError / "
+                "StoreCorruptionError / another ReproError), call a "
+                "quarantine recorder, or state the swallow's contract "
+                "with '# repro: noqa[error-escalation] -- <why>'",
+            )

@@ -262,6 +262,44 @@ def _build_parser() -> argparse.ArgumentParser:
         help="byte-compare the loaded index against a cold rebuild of "
         "its own corpus (ids, score float bits, crc32 tie order)",
     )
+    fsck = subparsers.add_parser(
+        "fsck",
+        help="audit a segment store: per-file CRCs, format gates and "
+        "per-term posting decode checks; exit 0 clean / 1 corrupt / "
+        "2 unreadable",
+    )
+    fsck.add_argument(
+        "--store", required=True, help="store directory to audit"
+    )
+    fsck.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="report_format",
+        help="report format: human-readable text (default) or the "
+        "machine-readable JSON the CI recovery job archives",
+    )
+    fsck.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the report to FILE (stdout always gets it)",
+    )
+    repair = subparsers.add_parser(
+        "repair",
+        help="quarantine damaged segment files and restore a loadable "
+        "store (rebuilding posting columns from the stored corpus)",
+    )
+    repair.add_argument(
+        "--store", required=True, help="store directory to repair"
+    )
+    repair.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="actually move damaged files to <store>/quarantine/ and "
+        "rewrite the manifest; without it, repair is a dry run that "
+        "only reports what it would do",
+    )
     search = subparsers.add_parser(
         "search",
         parents=[corpus, strategy],
@@ -274,6 +312,16 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="serve from a saved segment store instead of building and "
         "mining the corpus (cold-start-from-disk path)",
+    )
+    search.add_argument(
+        "--on-corruption",
+        choices=("fail", "degrade"),
+        default="fail",
+        dest="on_corruption",
+        help="with --from-store: 'fail' (default) aborts on any "
+        "checksum mismatch; 'degrade' quarantines damaged posting "
+        "columns per term and keeps serving the healthy ones, "
+        "reporting what was lost",
     )
     search.add_argument(
         "--query",
@@ -693,6 +741,51 @@ def _run_load(args: argparse.Namespace) -> None:
         )
 
 
+def _run_fsck(args: argparse.Namespace) -> int:
+    """Audit a store and report per-file / per-term verdicts."""
+    import json
+
+    from repro.store.fsck import fsck_store
+
+    report = fsck_store(args.store)
+    if args.report_format == "json":
+        rendered = json.dumps(report.to_payload(), indent=1, sort_keys=True)
+    else:
+        rendered = report.render()
+    print(rendered)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    return report.exit_code
+
+
+def _run_repair(args: argparse.Namespace) -> int:
+    """Quarantine damage and restore a loadable store (or dry-run)."""
+    from repro.store.fsck import fsck_store, repair_store
+
+    if not args.quarantine:
+        report = fsck_store(args.store)
+        print(report.render())
+        if report.error:
+            return 2
+        if report.clean:
+            print("dry run: store is clean; nothing to repair")
+            return 0
+        print(
+            "dry run: re-run with --quarantine to move the damaged "
+            "file(s) aside and rewrite the manifest"
+        )
+        return 1
+    report = repair_store(args.store)
+    print(report.render())
+    if report.changed:
+        print(
+            f"store {args.store} repaired; quarantined bytes kept "
+            f"under {args.store}/quarantine/"
+        )
+    return 0
+
+
 def _run_search(args: argparse.Namespace, lab: Optional[TopixLab]) -> Optional[TopixLab]:
     """Mine the queried terms, then serve them with a chosen strategy."""
     from repro.pipeline import BatchMiner
@@ -715,7 +808,10 @@ def _run_search(args: argparse.Namespace, lab: Optional[TopixLab]) -> Optional[T
     if args.from_store:
         started = time.perf_counter()
         engine = BurstySearchEngine.from_store(
-            args.from_store, strategy=args.strategy, planner=planner
+            args.from_store,
+            strategy=args.strategy,
+            planner=planner,
+            on_corruption=getattr(args, "on_corruption", "fail"),
         )
         if planner is None and engine.planner is not None:
             print(
@@ -728,6 +824,18 @@ def _run_search(args: argparse.Namespace, lab: Optional[TopixLab]) -> Optional[T
             f"({engine.collection.document_count} documents)",
             file=sys.stderr,
         )
+        degraded = engine.degraded_report()
+        if degraded:
+            print(
+                f"DEGRADED MODE: {len(degraded)} quarantined "
+                "component(s); serving continues over healthy terms",
+                file=sys.stderr,
+            )
+            for term in sorted(degraded):
+                print(
+                    f"  quarantined {term!r}: {degraded[term]}",
+                    file=sys.stderr,
+                )
     else:
         if lab is None:
             lab = _corpus_lab(args)
@@ -792,6 +900,11 @@ def _run_search(args: argparse.Namespace, lab: Optional[TopixLab]) -> Optional[T
             elif ranking != baseline:
                 print(f"  {strategy:<8} MISMATCH vs {strategies[0]}")
                 raise SystemExit(1)
+            if stats.degraded_terms:
+                print(
+                    "  WARNING: served without quarantined term(s) "
+                    + ", ".join(repr(t) for t in stats.degraded_terms)
+                )
             print(f"  [{strategy:<8}] {elapsed * 1000.0:8.2f}ms")
             if args.explain and (strategy == "auto" or not args.compare):
                 _print_explanation(engine, query, stats, args.k)
@@ -1033,6 +1146,75 @@ def _demo_feed(timeline: int):
         yield {"type": "advance", "timestamp": day}
 
 
+#: Required fields (beyond ``type``) per feed record kind.
+_FEED_FIELDS = {
+    "stream": ("id", "x", "y"),
+    "advance": ("timestamp",),
+    "doc": ("doc_id", "stream", "timestamp", "text"),
+}
+
+
+def _load_feed(path: str) -> list:
+    """Parse and validate a JSONL ingest feed, all-or-nothing.
+
+    Every line is checked *before* any record is applied, so a
+    malformed line aborts the replay with its line number and a
+    one-line reason (exit 2 through the CLI's typed-error handler)
+    instead of a traceback over a partially-ingested collection.
+
+    Raises:
+        FeedError: naming ``file:line`` and what is wrong with it.
+    """
+    import json
+
+    from repro.errors import FeedError
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        raise FeedError(f"cannot read feed {path!r}: {exc}") from None
+    records = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise FeedError(
+                f"{path}:{lineno}: not valid JSON ({exc}); no records "
+                "were applied"
+            ) from None
+        if not isinstance(record, dict):
+            raise FeedError(
+                f"{path}:{lineno}: expected a JSON object per line, got "
+                f"{type(record).__name__}; no records were applied"
+            )
+        kind = record.get("type", "doc")
+        fields = _FEED_FIELDS.get(kind)
+        if fields is None:
+            raise FeedError(
+                f"{path}:{lineno}: unknown record type {kind!r} "
+                f"(expected one of {sorted(_FEED_FIELDS)}); no records "
+                "were applied"
+            )
+        missing = [field for field in fields if field not in record]
+        if missing:
+            raise FeedError(
+                f"{path}:{lineno}: {kind!r} record is missing required "
+                f"field(s) {missing}; no records were applied"
+            )
+        if "timestamp" in fields and not isinstance(
+            record["timestamp"], int
+        ):
+            raise FeedError(
+                f"{path}:{lineno}: 'timestamp' must be an integer, got "
+                f"{record['timestamp']!r}; no records were applied"
+            )
+        records.append(record)
+    return records
+
+
 def _run_ingest(args: argparse.Namespace) -> None:
     """Replay a feed through the live layer, serving queries as it goes."""
     import json
@@ -1047,8 +1229,7 @@ def _run_ingest(args: argparse.Namespace) -> None:
         # Fail on an unusable checkpoint target before the replay.
         check_save_target(args.checkpoint_to)
     if args.file:
-        with open(args.file) as handle:
-            records = [json.loads(line) for line in handle if line.strip()]
+        records = _load_feed(args.file)
     else:
         print("no --file given; replaying the built-in demo feed", file=sys.stderr)
         records = list(_demo_feed(args.timeline))
@@ -1363,9 +1544,14 @@ def main(argv: Optional[list] = None) -> int:
     from repro.errors import ReproError
 
     args = _build_parser().parse_args(argv)
-    if args.experiment == "check":
+    if args.experiment in ("check", "fsck", "repair"):
+        runner = {
+            "check": _run_check,
+            "fsck": _run_fsck,
+            "repair": _run_repair,
+        }[args.experiment]
         try:
-            return _run_check(args)
+            return runner(args)
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

@@ -49,6 +49,29 @@ class StoreError(ReproError, ValueError):
     checksum mismatches, incompatible formats, unsafe save targets."""
 
 
+class StoreCorruptionError(StoreError):
+    """Raised when on-disk bytes contradict the store's manifest.
+
+    Covers missing manifests/segment files, unparsable manifests, CRC or
+    size mismatches, and payloads that fail to decode.  The message
+    always names the offending file so an operator can go straight to
+    ``repro fsck`` / ``repro repair`` without a debugger.
+    """
+
+
+class StoreIOError(StoreError):
+    """Raised for transient I/O failures touching a store (EIO, ENOSPC).
+
+    Distinct from :class:`StoreCorruptionError`: the bytes on disk may
+    be fine, the *access* failed.  Serving layers may retry these once
+    before quarantining (degraded mode); corruption is never retried.
+    """
+
+
+class FeedError(ReproError, ValueError):
+    """Raised for malformed ingest feed records (bad JSONL line)."""
+
+
 class GenerationError(ReproError, ValueError):
     """Raised when a data generator is given unsatisfiable parameters."""
 

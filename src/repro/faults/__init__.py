@@ -1,0 +1,46 @@
+"""Deterministic fault injection and crash-recovery verification.
+
+The store layer claims crash safety — atomic manifest rename, CRC-32
+per file, format gating — and this package is what *exercises* the
+claim.  :mod:`repro.faults.io` defines the IO shim every durable store
+write flows through plus the :class:`FaultPlan`/:class:`FaultyIO` pair
+that injects torn writes, crashes, ENOSPC, read EIO and bit flips on a
+deterministic, replayable schedule; :mod:`repro.faults.harness` sweeps
+an injected kill across every write/fsync/rename boundary of a save
+and checks each survivor against the recovery invariant (typed refusal
+or byte-identical committed store — never a half-state).
+"""
+
+from repro.faults.harness import (
+    CrashPoint,
+    OpRecorder,
+    record_operations,
+    snapshot_files,
+    sweep_crash_points,
+)
+from repro.faults.io import (
+    MUTATING_OPS,
+    FaultPlan,
+    FaultRule,
+    FaultyIO,
+    InjectedCrash,
+    StoreIO,
+    install,
+    store_io,
+)
+
+__all__ = [
+    "CrashPoint",
+    "FaultPlan",
+    "FaultRule",
+    "FaultyIO",
+    "InjectedCrash",
+    "MUTATING_OPS",
+    "OpRecorder",
+    "StoreIO",
+    "install",
+    "record_operations",
+    "snapshot_files",
+    "store_io",
+    "sweep_crash_points",
+]

@@ -1,0 +1,201 @@
+"""Crash-point sweep: kill a save at every IO boundary, check recovery.
+
+The sweep is exhaustive by construction rather than by enumeration in
+the test's head: a :class:`OpRecorder` first records the full ordered
+sequence of mutating IO operations a workload performs (every write,
+fsync, rename and directory fsync), then the workload is re-run once
+per boundary with an injected kill immediately before that operation
+(plus one final run killed *after* the last), and the surviving
+directory is judged against the recovery invariant:
+
+* **refused** — no manifest is present; a :class:`SegmentReader` must
+  raise a typed :class:`~repro.errors.StoreCorruptionError` naming the
+  store, never serve a half-state;
+* **complete** — a manifest is present (the kill landed at or after
+  the atomic rename); the store must verify clean and be byte-identical
+  to an unfaulted reference run.
+
+Saves are deterministic (sorted manifests, fixed dtypes, no clocks in
+payloads), which is what makes the byte-identity comparison exact.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.faults.io import (
+    FaultPlan,
+    FaultRule,
+    FaultyIO,
+    InjectedCrash,
+    StoreIO,
+    install,
+)
+
+__all__ = [
+    "CrashPoint",
+    "OpRecorder",
+    "record_operations",
+    "snapshot_files",
+    "sweep_crash_points",
+]
+
+
+class OpRecorder(StoreIO):
+    """A real :class:`StoreIO` that also records every mutating op."""
+
+    def __init__(self) -> None:
+        self.ops: List[Tuple[str, str]] = []
+
+    def write_bytes(self, path: str, data: bytes) -> None:
+        self.ops.append(("write", path))
+        super().write_bytes(path, data)
+
+    def fsync_file(self, path: str) -> None:
+        self.ops.append(("fsync", path))
+        super().fsync_file(path)
+
+    def replace(self, src: str, dst: str) -> None:
+        self.ops.append(("replace", dst))
+        super().replace(src, dst)
+
+    def fsync_dir(self, path: str) -> None:
+        self.ops.append(("fsync_dir", path))
+        super().fsync_dir(path)
+
+
+class CrashPoint:
+    """Outcome of one swept boundary.
+
+    Attributes:
+        index: Which mutating operation the kill preceded (or, for the
+            final point, followed).
+        op: ``(operation, path)`` at the boundary.
+        verdict: ``"refused"`` or ``"complete"`` when the invariant
+            held; a diagnostic string starting with ``"VIOLATION"``
+            otherwise.
+    """
+
+    def __init__(self, index: int, op: Tuple[str, str], verdict: str) -> None:
+        self.index = index
+        self.op = op
+        self.verdict = verdict
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict in ("refused", "complete")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CrashPoint({self.index}, {self.op!r}, {self.verdict!r})"
+
+
+def record_operations(
+    save: Callable[[str], None], scratch: str
+) -> List[Tuple[str, str]]:
+    """Run ``save`` once against a recorder; return its mutating ops."""
+    recorder = OpRecorder()
+    with install(recorder):
+        save(scratch)
+    return list(recorder.ops)
+
+
+def snapshot_files(root: str) -> Dict[str, bytes]:
+    """Relative path → content bytes for every file under ``root``."""
+    files: Dict[str, bytes] = {}
+    for base, _, names in os.walk(root):
+        for name in sorted(names):
+            target = os.path.join(base, name)
+            with open(target, "rb") as handle:
+                files[os.path.relpath(target, root)] = handle.read()
+    return files
+
+
+def _judge(
+    target: str, reference: Dict[str, bytes], manifest_name: str
+) -> str:
+    """Apply the recovery invariant to one post-crash directory."""
+    from repro.errors import StoreCorruptionError, StoreError
+    from repro.store.format import SegmentReader
+
+    manifest_present = os.path.exists(os.path.join(target, manifest_name))
+    if not manifest_present:
+        try:
+            SegmentReader(target)
+        except StoreCorruptionError:  # repro: noqa[error-escalation] -- the typed refusal IS the verdict the sweep asserts; converting it to "refused" is the harness's contract
+            return "refused"
+        except StoreError as exc:
+            return f"VIOLATION: untyped refusal {type(exc).__name__}: {exc}"
+        return "VIOLATION: reader served a store that has no manifest"
+    try:
+        SegmentReader(target, verify=True)
+    except StoreError as exc:
+        return (
+            "VIOLATION: manifest present but store does not verify: "
+            f"{type(exc).__name__}: {exc}"
+        )
+    survived = snapshot_files(target)
+    if survived != reference:
+        missing = sorted(name for name in reference if name not in survived)
+        extra = sorted(name for name in survived if name not in reference)
+        differing = sorted(
+            name
+            for name in reference
+            if name in survived and reference[name] != survived[name]
+        )
+        return (
+            "VIOLATION: committed store differs from reference "
+            f"(missing={missing}, extra={extra}, differing={differing})"
+        )
+    return "complete"
+
+
+def sweep_crash_points(
+    save: Callable[[str], None],
+    base: str,
+    manifest_name: str = "MANIFEST.json",
+    ops: Optional[List[Tuple[str, str]]] = None,
+) -> List[CrashPoint]:
+    """Kill ``save`` at every mutating-IO boundary; judge each outcome.
+
+    Args:
+        save: Builds one store at the path it is given.  Must be
+            deterministic across calls (same bytes every run).
+        base: Scratch directory; per-point targets are created inside.
+        manifest_name: The commit record's filename.
+        ops: Pre-recorded operation sequence (recorded here when
+            omitted).
+
+    Returns:
+        One :class:`CrashPoint` per boundary — ``len(ops) + 1`` of them
+        (a kill before each op, plus one after the last).
+    """
+    reference_dir = os.path.join(base, "reference")
+    save(reference_dir)
+    reference = snapshot_files(reference_dir)
+    if ops is None:
+        ops = record_operations(save, os.path.join(base, "recording"))
+
+    points: List[CrashPoint] = []
+    boundaries = [
+        ("crash_before", index, ops[index]) for index in range(len(ops))
+    ]
+    boundaries.append(("crash_after", len(ops) - 1, ops[-1]))
+    for action, index, op in boundaries:
+        label = "before" if action == "crash_before" else "after"
+        target = os.path.join(base, f"crash_{label}_{index:03d}")
+        plan = FaultPlan([FaultRule(op="mutate", action=action, index=index)])
+        faulty = FaultyIO(plan)
+        crashed = False
+        with install(faulty):
+            try:
+                save(target)
+            except InjectedCrash:
+                crashed = True
+        if not crashed:
+            points.append(
+                CrashPoint(index, op, "VIOLATION: injected kill never fired")
+            )
+            continue
+        points.append(CrashPoint(index, op, _judge(target, reference, manifest_name)))
+    return points

@@ -1,0 +1,305 @@
+"""The store IO shim: one seam where every durable write flows through.
+
+The segment format (:mod:`repro.store.format`) performs all of its
+filesystem effects through five operations on the installed
+:class:`StoreIO` — ``write_bytes``, ``fsync_file``, ``replace``,
+``fsync_dir`` and ``check_read`` — instead of calling ``open``/
+``os.fsync``/``os.replace`` directly.  In production the default
+:class:`StoreIO` is installed and the behaviour is byte-for-byte what
+the direct calls did.  Under test, :func:`install` scopes a
+:class:`FaultyIO` driven by a :class:`FaultPlan`: a deterministic,
+replayable schedule of torn writes, crashes around fsync/rename
+boundaries, ENOSPC, read EIO and payload bit flips.
+
+Fault schedules are pure data (which nth matching operation fails, and
+how) — no wall clock, no RNG — so the same plan over the same workload
+always produces the same failure sequence, and a failing schedule can
+be pasted into a regression test verbatim.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import errno
+import os
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "FaultyIO",
+    "InjectedCrash",
+    "MUTATING_OPS",
+    "StoreIO",
+    "install",
+    "store_io",
+]
+
+#: The operations that change on-disk state, in the vocabulary used by
+#: :attr:`FaultRule.op`.  ``"read"`` (the ``check_read`` hook) is the
+#: only non-mutating operation.
+MUTATING_OPS: Tuple[str, ...] = ("write", "fsync", "replace", "fsync_dir")
+
+_ACTIONS_BY_OP = {
+    "write": ("crash_before", "crash_after", "torn", "enospc", "bit_flip"),
+    "fsync": ("crash_before", "crash_after", "enospc"),
+    "replace": ("crash_before", "crash_after"),
+    "fsync_dir": ("crash_before", "crash_after"),
+    "read": ("eio",),
+}
+
+
+class InjectedCrash(BaseException):
+    """A simulated process kill at a fault point.
+
+    Deliberately *not* an :class:`Exception` subclass: a real ``kill -9``
+    cannot be caught, so no ``except Exception``/``except OSError`` in
+    library code may intercept the simulation either.  Only the harness
+    catches it.
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultRule:
+    """One deterministic fault trigger.
+
+    Attributes:
+        op: Which operation class the rule watches — one of
+            ``"write"``, ``"fsync"``, ``"replace"``, ``"fsync_dir"``,
+            ``"read"``, ``"mutate"`` (any mutating op) or ``"*"``.
+        action: What happens when the rule fires — ``"crash_before"``,
+            ``"crash_after"``, ``"torn"`` (write a prefix, then crash),
+            ``"enospc"`` (raise ``OSError(ENOSPC)``), ``"eio"`` (raise
+            ``OSError(EIO)`` from ``check_read``) or ``"bit_flip"``
+            (corrupt one byte of the payload, then write normally).
+        path: Substring the operation's target path must contain
+            (empty = match every path).
+        index: The nth matching operation (0-based) that triggers.
+        count: How many consecutive matches trigger, starting at
+            ``index`` — ``count=1`` models a transient fault a retry
+            survives, ``count=2`` defeats a single retry.
+        byte: For ``"torn"``: keep this many leading bytes.  For
+            ``"bit_flip"``: flip the low bit of the byte at this offset
+            (negative offsets index from the end).
+    """
+
+    op: str
+    action: str
+    path: str = ""
+    index: int = 0
+    count: int = 1
+    byte: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in ("*", "mutate") + MUTATING_OPS + ("read",):
+            raise ConfigurationError(
+                f"fault rule op {self.op!r} is not one of "
+                f"{('*', 'mutate') + MUTATING_OPS + ('read',)}"
+            )
+        if self.op in _ACTIONS_BY_OP:
+            allowed = _ACTIONS_BY_OP[self.op]
+            if self.action not in allowed:
+                raise ConfigurationError(
+                    f"fault action {self.action!r} does not apply to "
+                    f"op {self.op!r} (allowed: {allowed})"
+                )
+
+    def watches(self, op: str) -> bool:
+        if self.op == "*":
+            return True
+        if self.op == "mutate":
+            return op in MUTATING_OPS
+        return self.op == op
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, immutable schedule of :class:`FaultRule` triggers.
+
+    Plans are plain data: serialise one with ``dataclasses.asdict`` and
+    rebuild it to replay the exact failure sequence elsewhere.
+    """
+
+    rules: Tuple[FaultRule, ...]
+
+    def __init__(self, rules: Sequence[FaultRule] = ()) -> None:
+        object.__setattr__(self, "rules", tuple(rules))
+
+    @classmethod
+    def crash_before(cls, op: str, path: str = "", index: int = 0) -> "FaultPlan":
+        return cls([FaultRule(op=op, action="crash_before", path=path, index=index)])
+
+    @classmethod
+    def crash_after(cls, op: str, path: str = "", index: int = 0) -> "FaultPlan":
+        return cls([FaultRule(op=op, action="crash_after", path=path, index=index)])
+
+    @classmethod
+    def torn_write(cls, path: str, keep_bytes: int, index: int = 0) -> "FaultPlan":
+        return cls(
+            [FaultRule(op="write", action="torn", path=path, index=index, byte=keep_bytes)]
+        )
+
+    @classmethod
+    def enospc(cls, path: str = "", index: int = 0) -> "FaultPlan":
+        return cls([FaultRule(op="write", action="enospc", path=path, index=index)])
+
+    @classmethod
+    def read_eio(cls, path: str = "", index: int = 0, count: int = 1) -> "FaultPlan":
+        return cls(
+            [FaultRule(op="read", action="eio", path=path, index=index, count=count)]
+        )
+
+    @classmethod
+    def bit_flip(cls, path: str, byte: int = -1, index: int = 0) -> "FaultPlan":
+        return cls(
+            [FaultRule(op="write", action="bit_flip", path=path, index=index, byte=byte)]
+        )
+
+
+class StoreIO:
+    """The real filesystem backend of the store's write/read path."""
+
+    def write_bytes(self, path: str, data: bytes) -> None:
+        """Write ``data`` to ``path``, replacing any existing file."""
+        with open(path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+
+    def fsync_file(self, path: str) -> None:
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def fsync_dir(self, path: str) -> None:
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # repro: noqa[error-escalation] -- platform without directory fds; durability best-effort by design  # pragma: no cover
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # repro: noqa[error-escalation] -- fsync unsupported on directories on some platforms  # pragma: no cover
+            pass
+        finally:
+            os.close(fd)
+
+    def check_read(self, path: str) -> None:
+        """Hook invoked before a segment payload read; a no-op here.
+
+        :class:`FaultyIO` raises ``OSError(EIO)`` from this hook to
+        model transient media errors on the read path.
+        """
+
+
+class FaultyIO(StoreIO):
+    """A :class:`StoreIO` that executes a :class:`FaultPlan`.
+
+    Every triggered fault is appended to :attr:`events` as
+    ``(op, path, action)``, so a test can assert the exact failure
+    sequence a plan produced — the determinism contract.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.events: List[Tuple[str, str, str]] = []
+        self._seen: List[int] = [0] * len(plan.rules)
+
+    def _trigger(self, op: str, path: str) -> Optional[FaultRule]:
+        hit: Optional[FaultRule] = None
+        for position, rule in enumerate(self.plan.rules):
+            if not rule.watches(op):
+                continue
+            if rule.path and rule.path not in path:
+                continue
+            seen = self._seen[position]
+            self._seen[position] = seen + 1
+            if hit is None and rule.index <= seen < rule.index + rule.count:
+                hit = rule
+        if hit is not None:
+            self.events.append((op, path, hit.action))
+        return hit
+
+    # ------------------------------------------------------------------
+    def write_bytes(self, path: str, data: bytes) -> None:
+        rule = self._trigger("write", path)
+        if rule is None:
+            super().write_bytes(path, data)
+            return
+        if rule.action == "crash_before":
+            raise InjectedCrash(f"injected crash before write of {path}")
+        if rule.action == "torn":
+            super().write_bytes(path, data[: rule.byte])
+            raise InjectedCrash(
+                f"injected torn write of {path}: {rule.byte} of "
+                f"{len(data)} bytes reached disk"
+            )
+        if rule.action == "enospc":
+            raise OSError(errno.ENOSPC, "no space left on device (injected)", path)
+        if rule.action == "bit_flip":
+            mutated = bytearray(data)
+            if mutated:
+                mutated[rule.byte] ^= 0x01
+            super().write_bytes(path, bytes(mutated))
+            return
+        super().write_bytes(path, data)
+        if rule.action == "crash_after":
+            raise InjectedCrash(f"injected crash after write of {path}")
+
+    def fsync_file(self, path: str) -> None:
+        rule = self._trigger("fsync", path)
+        if rule is not None and rule.action == "crash_before":
+            raise InjectedCrash(f"injected crash before fsync of {path}")
+        if rule is not None and rule.action == "enospc":
+            raise OSError(errno.ENOSPC, "no space left on device (injected)", path)
+        super().fsync_file(path)
+        if rule is not None and rule.action == "crash_after":
+            raise InjectedCrash(f"injected crash after fsync of {path}")
+
+    def replace(self, src: str, dst: str) -> None:
+        rule = self._trigger("replace", dst)
+        if rule is not None and rule.action == "crash_before":
+            raise InjectedCrash(f"injected crash before rename to {dst}")
+        super().replace(src, dst)
+        if rule is not None and rule.action == "crash_after":
+            raise InjectedCrash(f"injected crash after rename to {dst}")
+
+    def fsync_dir(self, path: str) -> None:
+        rule = self._trigger("fsync_dir", path)
+        if rule is not None and rule.action == "crash_before":
+            raise InjectedCrash(f"injected crash before directory fsync of {path}")
+        super().fsync_dir(path)
+        if rule is not None and rule.action == "crash_after":
+            raise InjectedCrash(f"injected crash after directory fsync of {path}")
+
+    def check_read(self, path: str) -> None:
+        rule = self._trigger("read", path)
+        if rule is not None and rule.action == "eio":
+            raise OSError(errno.EIO, "input/output error (injected)", path)
+
+
+#: The installed-IO stack; the top is what :func:`store_io` returns.
+#: A list (not a module global reassigned in place) so nested installs
+#: compose and an unwinding ``finally`` always restores its parent.
+_STACK: List[StoreIO] = [StoreIO()]
+
+
+def store_io() -> StoreIO:
+    """The currently installed IO backend (the real one by default)."""
+    return _STACK[-1]
+
+
+@contextlib.contextmanager
+def install(io: StoreIO) -> Iterator[StoreIO]:
+    """Scope ``io`` as the store IO backend for the duration."""
+    _STACK.append(io)
+    try:
+        yield io
+    finally:
+        _STACK.pop()

@@ -211,7 +211,7 @@ class LiveSearchEngine:
     # ------------------------------------------------------------------
     # Checkpoint / restore
     # ------------------------------------------------------------------
-    def checkpoint(self, path: str) -> None:
+    def checkpoint(self, path: str, codec: str = "raw") -> None:
         """Persist this engine's full serving state as a ``live`` store.
 
         Captures the arrival-ordered document table, the sealed tracker
@@ -221,6 +221,10 @@ class LiveSearchEngine:
         serving without replaying the feed.  Pending posting deltas are
         compacted first, so the persisted bases are exact.
 
+        ``codec`` picks the posting-column layout (``"raw"`` or
+        ``"packed"``), exactly as ``repro save --codec`` does for index
+        stores; restore is codec-agnostic.
+
         Raises:
             StoreError: when the target directory is not empty, or the
                 engine state has no stable binary encoding (custom
@@ -228,7 +232,7 @@ class LiveSearchEngine:
         """
         from repro.store import save_live_checkpoint
 
-        save_live_checkpoint(path, self)
+        save_live_checkpoint(path, self, codec=codec)
 
     def restore(self, path: str) -> None:
         """Replace this engine's state with a persisted checkpoint.

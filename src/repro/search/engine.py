@@ -23,7 +23,12 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Dict, Hashable, List, Optional, Sequence
 
-from repro.errors import SearchError
+from repro.errors import (
+    SearchError,
+    StoreCorruptionError,
+    StoreError,
+    StoreIOError,
+)
 from repro.intervals.interval import Interval
 from repro.search.inverted_index import InvertedIndex, Posting
 from repro.search.relevance import RelevanceFunction, log_relevance
@@ -123,6 +128,10 @@ class _PatternEngineBase:
         self._index = InvertedIndex()
         self._doc_map: Optional[Dict[Hashable, Document]] = None
         self._built_version = collection.version
+        #: term (or pseudo-entry like ``"(planner)"``) → quarantine
+        #: reason; only ever populated under ``on_corruption="degrade"``.
+        self._degraded: Dict[str, str] = {}
+        self._on_corruption = "fail"
 
     def _version_token(self) -> Hashable:
         """Cache token for the planner's merged-ranking cache.
@@ -157,6 +166,18 @@ class _PatternEngineBase:
 
     def _invalidate_patterns(self) -> None:
         """Hook for engines with collection-derived pattern caches."""
+
+    # -- degraded-mode serving -----------------------------------------
+    def degraded_report(self) -> Dict[str, str]:
+        """Quarantined posting columns: term → reason.
+
+        Empty on a healthy engine.  Populated only when the engine was
+        loaded with ``on_corruption="degrade"`` and damage was actually
+        touched — quarantined terms serve empty posting lists (never a
+        half-decoded column) and are reported per query through
+        :attr:`~repro.search.topk.TopKStats.degraded_terms`.
+        """
+        return dict(self._degraded)
 
     # -- index construction --------------------------------------------
     def _posting_list(self, term: str):
@@ -218,6 +239,12 @@ class _PatternEngineBase:
             terms=terms,
             token=self._version_token(),
         )
+        if self._degraded:
+            affected = tuple(
+                term for term in terms if term in self._degraded
+            )
+            if affected:
+                stats = dataclasses.replace(stats, degraded_terms=affected)
         documents = self._documents_by_id_map()
         return [
             SearchResult(document=documents[result.doc_id], score=result.score)
@@ -344,7 +371,10 @@ class BurstySearchEngine(_PatternEngineBase):
         mining or posting construction runs — the store *is* the
         serving state.  Accepts the keyword arguments of the
         constructor except ``patterns``/``precompute``, plus
-        ``mmap``/``verify`` for the store open.
+        ``mmap``/``verify`` for the store open and
+        ``on_corruption`` (``"fail"``, the default, or ``"degrade"``:
+        damaged posting columns are quarantined per term and serving
+        continues over the healthy ones — see :meth:`degraded_report`).
 
         Raises:
             StoreError: for a missing, corrupted or non-``index`` store.
@@ -370,18 +400,65 @@ class BurstySearchEngine(_PatternEngineBase):
         # The columnar snapshot copies the collection's contents; any
         # mutation invalidates it together with the posting lists —
         # and with any attached store segments, which describe the
-        # pre-mutation corpus.
+        # pre-mutation corpus.  The quarantine list goes with them: it
+        # describes segment columns that no longer back anything.
         self._store = None
         self._segments = None
+        self._degraded = {}
+
+    def _quarantine(self, term: str, reason: str) -> None:
+        self._degraded[term] = reason
+
+    def _segment_term(self, term: str):
+        """Load one term's column from the attached segments.
+
+        In the default ``"fail"`` policy every store error propagates.
+        Under ``"degrade"``: a transient read failure
+        (:class:`~repro.errors.StoreIOError`) is retried exactly once;
+        corruption, decode failures and a failed retry quarantine the
+        term (``None`` return) — it then serves an empty posting list
+        and is reported, rather than raising mid-query or silently
+        serving damaged scores.
+        """
+        try:
+            return self._segments.posting_array(term)
+        except StoreIOError:
+            if self._on_corruption != "degrade":
+                raise
+            try:
+                return self._segments.posting_array(term)
+            except StoreError as retried:
+                self._quarantine(
+                    term, f"io error (after one retry): {retried}"
+                )
+                return None
+        except StoreCorruptionError as exc:
+            if self._on_corruption != "degrade":
+                raise
+            self._quarantine(term, str(exc))
+            return None
+        except (StoreError, ValueError, IndexError, KeyError, OverflowError) as exc:
+            # A corrupted packed payload can fail inside the decoder
+            # before any CRC audit sees it; in degrade mode that is
+            # quarantine-worthy damage, not a crash.
+            if self._on_corruption != "degrade":
+                raise
+            self._quarantine(term, f"decode failure: {exc}")
+            return None
 
     def _posting_list(self, term: str):
         if self._segments is not None:
             cached = self._index.get(term)
             if cached is not None:
                 return cached
-            loaded = self._segments.posting_array(term)
-            if loaded is not None:
-                return self._index.add_built(term, loaded)
+            if term not in self._degraded:
+                loaded = self._segment_term(term)
+                if loaded is not None:
+                    return self._index.add_built(term, loaded)
+            if term in self._degraded:
+                # Quarantined: the empty column — never a half-decoded
+                # one, never a silent rescore of the damaged store.
+                return self._index.add(term, [])
         return super()._posting_list(term)
 
     def _columnar_store(self):
@@ -425,9 +502,16 @@ class BurstySearchEngine(_PatternEngineBase):
             # loading them is both faster than rescoring and exactly the
             # bytes the store was verified against.
             for term in sorted(remaining, key=repr):
-                loaded = self._segments.posting_array(term)
+                if term in self._degraded:
+                    self._index.add(term, [])
+                    remaining.discard(term)
+                    continue
+                loaded = self._segment_term(term)
                 if loaded is not None:
                     self._index.add_built(term, loaded)
+                    remaining.discard(term)
+                elif term in self._degraded:
+                    self._index.add(term, [])
                     remaining.discard(term)
             if not remaining:
                 return len(pending)

@@ -138,12 +138,18 @@ class TopKStats:
             named it), ``"heuristic"`` (the static selectivity rule),
             or a :class:`~repro.search.planner.CalibratedPlanner` tier
             (``"memory"``, ``"model"``, ``"explore"``, ``"merged"``).
+        degraded_terms: Query terms whose posting columns were
+            quarantined by degraded-mode serving (empty outside
+            ``on_corruption="degrade"``); their contribution to the
+            ranking is an empty posting list, so scores for documents
+            that matched only those terms are missing from the result.
     """
 
     strategy: str
     planned: bool
     sorted_accesses: int
     source: str = "explicit"
+    degraded_terms: Tuple[str, ...] = ()
 
 
 def true_length(posting_list: PostingList) -> int:

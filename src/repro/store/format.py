@@ -28,6 +28,7 @@ them.
 from __future__ import annotations
 
 import ast
+import io
 import json
 import os
 import zlib
@@ -36,7 +37,8 @@ from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro._version import __version__
-from repro.errors import StoreError
+from repro.errors import StoreCorruptionError, StoreError, StoreIOError
+from repro.faults.io import store_io
 
 __all__ = [
     "FORMAT_NAME",
@@ -47,6 +49,7 @@ __all__ = [
     "check_save_target",
     "decode_id_column",
     "encode_id_column",
+    "rewrite_manifest",
 ]
 
 FORMAT_NAME = "repro-segment-store"
@@ -81,27 +84,6 @@ def _file_crc32(path: str) -> Tuple[int, int]:
             crc = zlib.crc32(chunk, crc)
             size += len(chunk)
     return crc & 0xFFFFFFFF, size
-
-
-def _fsync_file(path: str) -> None:
-    fd = os.open(path, os.O_RDONLY)
-    try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
-
-
-def _fsync_dir(path: str) -> None:
-    try:
-        fd = os.open(path, os.O_RDONLY)
-    except OSError:  # pragma: no cover - platform without dir fds
-        return
-    try:
-        os.fsync(fd)
-    except OSError:  # pragma: no cover - fsync unsupported on dirs
-        pass
-    finally:
-        os.close(fd)
 
 
 def _json_scalar(value: Any) -> bool:
@@ -183,7 +165,7 @@ def _read_small_array(target: str) -> Optional[np.ndarray]:
             data, dtype=dtype, count=count, offset=offset + header_len
         )
         return loaded.reshape(shape)
-    except (OSError, ValueError, SyntaxError, KeyError, TypeError):
+    except (OSError, ValueError, SyntaxError, KeyError, TypeError):  # repro: noqa[error-escalation] -- fall through to np.load, whose failure is escalated typed by the caller
         return None
 
 
@@ -212,13 +194,23 @@ def check_save_target(path: str) -> None:
 class SegmentWriter:
     """Writes one store directory, committing via the manifest.
 
+    All durable effects flow through the installed
+    :func:`repro.faults.io.store_io` backend, so fault-injection tests
+    can tear, kill or fail any individual write/fsync/rename without
+    monkey-patching this module.
+
     Args:
         path: Target directory.  Must not exist, or be an existing
             *empty* directory (see :func:`check_save_target`).
+        fresh: When ``False``, skip the empty-target check — the repair
+            path uses this to write replacement segments into an
+            existing store directory before atomically rewriting its
+            manifest.
     """
 
-    def __init__(self, path: str) -> None:
-        check_save_target(path)
+    def __init__(self, path: str, fresh: bool = True) -> None:
+        if fresh:
+            check_save_target(path)
         os.makedirs(path, exist_ok=True)
         self.path = path
         self._files: Dict[str, Dict[str, Any]] = {}
@@ -247,10 +239,30 @@ class SegmentWriter:
         os.makedirs(os.path.dirname(target), exist_ok=True)
         return target
 
-    def _register(self, name: str, target: str, kind: str, **extra) -> None:
-        _fsync_file(target)
-        crc, size = _file_crc32(target)
-        entry = {"type": kind, "crc32": crc, "size": size}
+    def _write_payload(
+        self, name: str, target: str, data: bytes, kind: str, **extra
+    ) -> None:
+        """Write + fsync one segment payload and record its manifest entry.
+
+        The CRC-32 is computed from the in-memory payload, not by
+        re-reading the file: anything that mutates the bytes between
+        here and the disk (a torn write, a flipped bit, a lying device)
+        therefore *mismatches* the manifest and is caught by
+        verification — exactly the contract ``repro fsck`` checks.
+        """
+        shim = store_io()
+        try:
+            shim.write_bytes(target, data)
+            shim.fsync_file(target)
+        except OSError as exc:
+            raise StoreIOError(
+                f"cannot write segment file {name!r} to {target!r}: {exc}"
+            ) from None
+        entry = {
+            "type": kind,
+            "crc32": zlib.crc32(data) & 0xFFFFFFFF,
+            "size": len(data),
+        }
         entry.update(extra)
         self._files[name] = entry
 
@@ -278,22 +290,18 @@ class SegmentWriter:
             )
         arr = np.ascontiguousarray(arr.astype(store_dtype, copy=False))
         target = self._target(name)
-        with open(target, "wb") as handle:
-            np.save(handle, arr, allow_pickle=False)
-            handle.flush()
-            os.fsync(handle.fileno())
-        self._register(
-            name, target, "array", dtype=store_dtype, shape=list(arr.shape)
+        buffer = io.BytesIO()
+        np.save(buffer, arr, allow_pickle=False)
+        self._write_payload(
+            name, target, buffer.getvalue(), "array",
+            dtype=store_dtype, shape=list(arr.shape),
         )
 
     def add_json(self, name: str, payload: Any) -> None:
         """Persist one JSON document (floats round-trip bit-exactly)."""
         target = self._target(name)
-        with open(target, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, separators=(",", ":"))
-            handle.flush()
-            os.fsync(handle.fileno())
-        self._register(name, target, "json")
+        data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        self._write_payload(name, target, data, "json")
 
     # ------------------------------------------------------------------
     def commit(self, kind: str, metadata: Optional[Dict[str, Any]] = None) -> None:
@@ -312,14 +320,30 @@ class SegmentWriter:
             "metadata": dict(metadata or {}),
             "files": self._files,
         }
-        temporary = os.path.join(self.path, MANIFEST_NAME + ".tmp")
-        with open(temporary, "w", encoding="utf-8") as handle:
-            json.dump(manifest, handle, indent=1, sort_keys=True)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temporary, os.path.join(self.path, MANIFEST_NAME))
-        _fsync_dir(self.path)
+        rewrite_manifest(self.path, manifest)
         self._committed = True
+
+
+def rewrite_manifest(path: str, manifest: Dict[str, Any]) -> None:
+    """Atomically install ``manifest`` as the store's commit record.
+
+    Temp-sibling write, fsync, ``replace``, directory fsync — the same
+    boundary sequence :meth:`SegmentWriter.commit` uses, shared with the
+    repair path (which rewrites an existing store's manifest after
+    quarantining damaged segments).
+    """
+    shim = store_io()
+    temporary = os.path.join(path, MANIFEST_NAME + ".tmp")
+    data = json.dumps(manifest, indent=1, sort_keys=True).encode("utf-8")
+    try:
+        shim.write_bytes(temporary, data)
+        shim.fsync_file(temporary)
+        shim.replace(temporary, os.path.join(path, MANIFEST_NAME))
+    except OSError as exc:
+        raise StoreIOError(
+            f"cannot commit manifest {MANIFEST_NAME!r} in {path!r}: {exc}"
+        ) from None
+    shim.fsync_dir(path)
 
 
 class SegmentReader:
@@ -341,7 +365,7 @@ class SegmentReader:
                 f"store {path!r} does not exist or is not a directory"
             )
         if not os.path.exists(manifest_path):
-            raise StoreError(
+            raise StoreCorruptionError(
                 f"no {MANIFEST_NAME} in {path!r}: not a segment store, or "
                 "a save was interrupted before commit — re-run `repro save`"
             )
@@ -349,9 +373,9 @@ class SegmentReader:
             with open(manifest_path, encoding="utf-8") as handle:
                 manifest = json.load(handle)
         except (OSError, ValueError) as exc:
-            raise StoreError(
-                f"corrupted manifest in {path!r}: {exc} — the store cannot "
-                "be trusted; re-create it with `repro save`"
+            raise StoreCorruptionError(
+                f"corrupted manifest {manifest_path!r}: {exc} — the store "
+                "cannot be trusted; re-create it with `repro save`"
             ) from None
         if not isinstance(manifest, dict) or manifest.get("format") != FORMAT_NAME:
             raise StoreError(
@@ -377,24 +401,61 @@ class SegmentReader:
             self.verify_checksums()
 
     # ------------------------------------------------------------------
-    def verify_checksums(self) -> None:
-        """Stream-verify every segment file against the manifest."""
+    def checksum_report(self) -> Dict[str, str]:
+        """Per-file verification verdicts: name → ``"ok"`` or a reason.
+
+        The non-raising companion of :meth:`verify_checksums` — what
+        ``repro fsck`` walks and what degraded-mode loading consults to
+        decide which columns to quarantine.  Reasons name the full path
+        plus expected/actual values.
+        """
+        report: Dict[str, str] = {}
         for name, entry in self.files().items():
             target = os.path.join(self.path, name)
             if not os.path.exists(target):
-                raise StoreError(
-                    f"store {self.path!r} is missing segment file {name!r} "
-                    "named by its manifest — the store is corrupted"
+                report[name] = (
+                    f"missing: segment file {target!r} named by the "
+                    "manifest is absent"
                 )
-            crc, size = _file_crc32(target)
+                continue
+            try:
+                crc, size = _file_crc32(target)
+            except OSError as exc:  # repro: noqa[error-escalation] -- the audit's contract is a verdict per file; verify_checksums escalates read-error verdicts as typed StoreIOError
+                report[name] = f"read-error: cannot read {target!r}: {exc}"
+                continue
             if size != entry.get("size") or crc != entry.get("crc32"):
-                raise StoreError(
-                    f"checksum mismatch in segment file {name!r} of store "
-                    f"{self.path!r} (expected crc32 "
+                report[name] = (
+                    f"checksum mismatch in {target!r}: expected crc32 "
                     f"{entry.get('crc32'):#010x}/{entry.get('size')}B, "
-                    f"found {crc:#010x}/{size}B) — the store is corrupted; "
-                    "re-create it with `repro save`"
+                    f"found {crc:#010x}/{size}B"
                 )
+            else:
+                report[name] = "ok"
+        return report
+
+    def verify_checksums(self) -> None:
+        """Stream-verify every segment file against the manifest."""
+        for name, verdict in self.checksum_report().items():
+            if verdict == "ok":
+                continue
+            if verdict.startswith("missing"):
+                raise StoreCorruptionError(
+                    f"store {self.path!r} is missing segment file {name!r} "
+                    "named by its manifest — the store is corrupted; run "
+                    "`repro fsck` / `repro repair`"
+                )
+            if verdict.startswith("read-error"):
+                raise StoreIOError(
+                    f"cannot verify segment file {name!r} of store "
+                    f"{self.path!r}: {verdict}"
+                )
+            raise StoreCorruptionError(
+                f"checksum mismatch in segment file {name!r} of store "
+                f"{self.path!r} ({verdict}) — the store is corrupted; "
+                "run `repro fsck` to locate damage and `repro repair "
+                "--quarantine` to recover, or re-create it with "
+                "`repro save`"
+            )
 
     def files(self) -> Dict[str, Dict[str, Any]]:
         return dict(self.manifest.get("files", {}))
@@ -434,6 +495,13 @@ class SegmentReader:
         that need a mutable buffer must copy explicitly.
         """
         target = self._resolve(name, "array")
+        try:
+            store_io().check_read(target)
+        except OSError as exc:
+            raise StoreIOError(
+                f"I/O error reading array segment {name!r} at {target!r}: "
+                f"{exc}"
+            ) from None
         entry = self.manifest.get("files", {}).get(name, {})
         if entry.get("size", self.SMALL_ARRAY_BYTES) < self.SMALL_ARRAY_BYTES:
             loaded = _read_small_array(target)
@@ -442,9 +510,14 @@ class SegmentReader:
         mode = "r" if self._mmap else None
         try:
             loaded = np.load(target, mmap_mode=mode, allow_pickle=False)
-        except (OSError, ValueError) as exc:
-            raise StoreError(
-                f"cannot read array segment {name!r}: {exc}"
+        except OSError as exc:
+            raise StoreIOError(
+                f"cannot read array segment {name!r} at {target!r}: {exc}"
+            ) from None
+        except ValueError as exc:
+            raise StoreCorruptionError(
+                f"cannot decode array segment {name!r} at {target!r}: "
+                f"{exc}"
             ) from None
         loaded.flags.writeable = False
         return loaded
@@ -453,9 +526,20 @@ class SegmentReader:
         """Load a JSON segment."""
         target = self._resolve(name, "json")
         try:
+            store_io().check_read(target)
+        except OSError as exc:
+            raise StoreIOError(
+                f"I/O error reading JSON segment {name!r} at {target!r}: "
+                f"{exc}"
+            ) from None
+        try:
             with open(target, encoding="utf-8") as handle:
                 return json.load(handle)
-        except (OSError, ValueError) as exc:
-            raise StoreError(
-                f"cannot read JSON segment {name!r}: {exc}"
+        except OSError as exc:
+            raise StoreIOError(
+                f"cannot read JSON segment {name!r} at {target!r}: {exc}"
+            ) from None
+        except ValueError as exc:
+            raise StoreCorruptionError(
+                f"cannot decode JSON segment {name!r} at {target!r}: {exc}"
             ) from None

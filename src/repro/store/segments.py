@@ -37,6 +37,8 @@ Codecs:
 
 from __future__ import annotations
 
+import os
+import zlib
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -44,7 +46,8 @@ import numpy as np
 from repro.core.config import STLocalConfig
 from repro.core.patterns import CombinatorialPattern, RegionalPattern
 from repro.core.stlocal import RegionSequence, STLocalTermTracker
-from repro.errors import StoreError
+from repro.errors import StoreCorruptionError, StoreError, StoreIOError
+from repro.faults.io import store_io
 from repro.intervals.interval import Interval
 from repro.search.inverted_index import (
     PostingList,
@@ -233,6 +236,21 @@ def decode_collection(reader: SegmentReader, prefix: str):
 # ----------------------------------------------------------------------
 # Posting lists
 # ----------------------------------------------------------------------
+def _posting_term_crc(
+    rows: np.ndarray, scores: np.ndarray, ties: np.ndarray
+) -> int:
+    """CRC-32 over one term's decoded posting columns.
+
+    Computed over the canonical ``<i8`` row / ``<f8`` score-bit /
+    ``<i8`` tie byte streams, so raw and packed encodings of the same
+    term agree — the audit key of degraded-mode serving.
+    """
+    crc = zlib.crc32(np.ascontiguousarray(rows, dtype="<i8").tobytes())
+    crc = zlib.crc32(np.ascontiguousarray(scores, dtype="<f8").tobytes(), crc)
+    crc = zlib.crc32(np.ascontiguousarray(ties, dtype="<i8").tobytes(), crc)
+    return crc & 0xFFFFFFFF
+
+
 def encode_posting_lists(
     writer: SegmentWriter,
     prefix: str,
@@ -289,10 +307,25 @@ def encode_posting_lists(
         shadow_indptr.append(len(shadow_rows))
 
     doc_kind = _write_id_column(writer, prefix, "doc_table", list(table))
+    rows_arr = np.asarray(rows, dtype="<i8")
+    scores_arr = np.asarray(scores, dtype="<f8")
+    ties_arr = np.asarray(ties, dtype="<i8")
     meta: Dict[str, Any] = {
         "terms": terms,
         "doc_id_kind": doc_kind,
         "entries": len(rows),
+        # CRC-32 per term over its decoded (rows, score bits, ties)
+        # column slice — codec-independent, so a reader can audit one
+        # term's postings without trusting the rest of the file.  The
+        # key is additive: pre-existing stores without it still load.
+        "term_crcs": [
+            _posting_term_crc(
+                rows_arr[indptr[i] : indptr[i + 1]],
+                scores_arr[indptr[i] : indptr[i + 1]],
+                ties_arr[indptr[i] : indptr[i + 1]],
+            )
+            for i in range(len(terms))
+        ],
     }
     if codec == "packed":
         # Readers without the key default to "raw", so raw meta stays
@@ -338,11 +371,9 @@ def encode_posting_lists(
             f"{prefix}/scores_blocks.npy", packed_scores["block_indptr"]
         )
     else:
-        writer.add_array(f"{prefix}/rows.npy", np.asarray(rows, dtype="<i8"))
-        writer.add_array(
-            f"{prefix}/scores.npy", np.asarray(scores, dtype="<f8")
-        )
-        writer.add_array(f"{prefix}/ties.npy", np.asarray(ties, dtype="<i8"))
+        writer.add_array(f"{prefix}/rows.npy", rows_arr)
+        writer.add_array(f"{prefix}/scores.npy", scores_arr)
+        writer.add_array(f"{prefix}/ties.npy", ties_arr)
     writer.add_array(
         f"{prefix}/shadow_indptr.npy", np.asarray(shadow_indptr, dtype="<i8")
     )
@@ -364,12 +395,19 @@ class PostingSegment:
     slices of the mapped buffers).
     """
 
+    #: When ``True`` (degraded-mode loading), every first touch of a
+    #: term audits its decoded columns against the per-term CRC before
+    #: serving — a :class:`~repro.errors.StoreCorruptionError` names the
+    #: damaged term instead of silently returning wrong postings.
+    verify_terms = False
+
     def __init__(self, reader: SegmentReader, prefix: str) -> None:
         self._reader = reader
         self._prefix = prefix
         meta = reader.json(f"{prefix}/meta.json")
         self.terms: List[str] = list(meta["terms"])
         self.codec: str = str(meta.get("codec", "raw"))
+        self._term_crcs: Optional[List[int]] = meta.get("term_crcs")
         self._term_index = {term: i for i, term in enumerate(self.terms)}
         self._table = _read_id_column(
             reader, prefix, "doc_table", meta["doc_id_kind"]
@@ -416,11 +454,84 @@ class PostingSegment:
         return term in self._term_index
 
     def posting_array(self, term: str):
-        """The term's reloaded posting list, or ``None`` when absent."""
+        """The term's reloaded posting list, or ``None`` when absent.
+
+        Raises:
+            StoreIOError: on a (possibly transient) read failure of the
+                term's backing column file — callers may retry once.
+            StoreCorruptionError: in ``verify_terms`` mode, when the
+                term's decoded columns fail their stored CRC.
+        """
         index = self._term_index.get(term)
         if index is None:
             return None
+        probe = os.path.join(
+            self._reader.path,
+            self._prefix,
+            "scores_payload.npy" if self.codec == "packed" else "scores.npy",
+        )
+        try:
+            store_io().check_read(probe)
+        except OSError as exc:
+            raise StoreIOError(
+                f"I/O error reading posting column for term {term!r} at "
+                f"{probe!r}: {exc}"
+            ) from None
+        if self.verify_terms:
+            self.check_term(term)
         return decode_posting_list(self, index)
+
+    def check_term(self, term: str) -> None:
+        """Audit one term's decoded columns against its stored CRC.
+
+        A full decode-and-checksum pass — the degraded-serving audit
+        surface, not the hot path.  Raises
+        :class:`~repro.errors.StoreCorruptionError` naming the term and
+        segment when the columns fail to decode or mismatch.
+        """
+        index = self._term_index[term]
+        where = (
+            f"posting column for term {term!r} in segment "
+            f"{self._prefix!r} of store {self._reader.path!r}"
+        )
+        if self._term_crcs is None:
+            raise StoreCorruptionError(
+                f"cannot audit {where}: the store predates per-term "
+                "checksums (no 'term_crcs' in postings meta) — re-save "
+                "it to enable per-term damage isolation"
+            )
+        try:
+            if self.codec == "packed":
+                rows = self._rows_packed.decode_list(index)
+                scores = self._scores_packed.decode_list(index)
+                ties = self._ties_packed.decode_list(index)
+            else:
+                lo = int(self._indptr[index])
+                hi = int(self._indptr[index + 1])
+                rows = self._rows[lo:hi]
+                scores = self._scores[lo:hi]
+                ties = self._ties[lo:hi]
+            crc = _posting_term_crc(
+                np.asarray(rows), np.asarray(scores), np.asarray(ties)
+            )
+        except StoreCorruptionError:
+            raise
+        except (
+            StoreError,
+            ValueError,
+            IndexError,
+            KeyError,
+            OverflowError,
+        ) as exc:
+            raise StoreCorruptionError(
+                f"{where} fails to decode: {exc}"
+            ) from None
+        expected = int(self._term_crcs[index])
+        if crc != expected:
+            raise StoreCorruptionError(
+                f"checksum mismatch in {where}: expected crc32 "
+                f"{expected:#010x}, found {crc:#010x}"
+            )
 
     # -- raw column access (verification) ------------------------------
     def columns(self, term: str):

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Union
 
-from repro.errors import StoreError
+from repro.errors import StoreCorruptionError, StoreError
 from repro.store.format import SegmentReader, SegmentWriter
 from repro.store.segments import (
     PostingSegment,
@@ -294,6 +294,32 @@ def save_search_index(
     writer.commit("index", meta)
 
 
+#: Posting-column payload files degraded-mode serving can lose without
+#: losing the store's structure: per-term damage inside any of these is
+#: isolated by the per-term CRCs and quarantined at first touch.  The
+#: skeleton files (``meta.json``, ``indptr.npy``, ``doc_table*``, the
+#: shadow CSR) stay hard failures — without them no term can be trusted.
+_DEGRADABLE_POSTING_FILES = frozenset(
+    [
+        "rows.npy",
+        "scores.npy",
+        "ties.npy",
+        "rows_payload.npy",
+        "rows_meta.npy",
+        "rows_blocks.npy",
+        "ties_payload.npy",
+        "ties_meta.npy",
+        "ties_blocks.npy",
+        "scores_dict.npy",
+        "scores_payload.npy",
+        "scores_meta.npy",
+        "scores_residual.npy",
+        "scores_bounds.npy",
+        "scores_blocks.npy",
+    ]
+)
+
+
 def load_search_engine(path: StoreLike, **engine_kwargs):
     """Cold-start a :class:`BurstySearchEngine` from an ``index`` store.
 
@@ -302,6 +328,19 @@ def load_search_engine(path: StoreLike, **engine_kwargs):
     posting columns stay memory-mapped and are wrapped into
     :class:`~repro.columnar.postings.PostingArray` views lazily, per
     queried term.
+
+    ``on_corruption`` selects the failure policy:
+
+    * ``"fail"`` (default) — any checksum mismatch raises
+      :class:`~repro.errors.StoreCorruptionError` (subject to the
+      ``verify`` flag, as before);
+    * ``"degrade"`` — damage confined to posting *payload* columns (or
+      a stale planner model) is survivable: every term is audited
+      against its stored CRC on first touch, damaged terms are
+      quarantined and reported, and serving continues over healthy
+      terms.  Damage to structural segments (documents, patterns,
+      posting skeletons) still raises — there is no safe subset to
+      serve without them.
     """
     from repro.search.engine import BurstySearchEngine
     from repro.store.collection import (
@@ -311,11 +350,43 @@ def load_search_engine(path: StoreLike, **engine_kwargs):
         StoredCollection,
     )
 
-    store = open_store(
-        path,
-        mmap=engine_kwargs.pop("mmap", True),
-        verify=engine_kwargs.pop("verify", True),
-    )
+    on_corruption = engine_kwargs.pop("on_corruption", "fail")
+    if on_corruption not in ("fail", "degrade"):
+        raise StoreError(
+            f"unknown on_corruption policy {on_corruption!r}: expected "
+            "'fail' or 'degrade'"
+        )
+    mmap = engine_kwargs.pop("mmap", True)
+    verify = engine_kwargs.pop("verify", True)
+    damage: Dict[str, str] = {}
+    if on_corruption == "degrade":
+        store = open_store(path, mmap=mmap, verify=False)
+        damage = {
+            name: verdict
+            for name, verdict in store.checksum_report().items()
+            if verdict != "ok"
+        }
+        hard = {
+            name: verdict
+            for name, verdict in damage.items()
+            if not (
+                name == "planner/model"
+                or (
+                    name.startswith("postings/")
+                    and name.rsplit("/", 1)[1] in _DEGRADABLE_POSTING_FILES
+                )
+            )
+        }
+        if hard:
+            name, verdict = sorted(hard.items())[0]
+            raise StoreCorruptionError(
+                f"cannot serve degraded from store {store.path!r}: "
+                f"segment file {name!r} is structural, not a posting "
+                f"payload ({verdict}) — run `repro repair --quarantine` "
+                "or re-save the store"
+            )
+    else:
+        store = open_store(path, mmap=mmap, verify=verify)
     if store.kind != "index":
         raise StoreError(
             f"store {store.path!r} is a {store.kind!r} store, not an "
@@ -331,9 +402,20 @@ def load_search_engine(path: StoreLike, **engine_kwargs):
     # queried terms' posting columns; the pattern map and the full
     # corpus inflate lazily, and only if something walks them.
     engine._patterns = LazyPatternMap(store, "patterns")
-    engine._segments = PostingSegment(store, "postings")
+    segments = PostingSegment(store, "postings")
+    if on_corruption == "degrade":
+        # Audit every term at first touch: a mismatch quarantines that
+        # term only, and the engine keeps serving the healthy ones.
+        segments.verify_terms = True
+        engine._on_corruption = "degrade"
+    engine._segments = segments
     engine._doc_map = LazyDocumentMap(table)
-    if engine.planner is None and store.has("planner/model"):
+    planner_damage = damage.get("planner/model")
+    if planner_damage is not None:
+        engine._degraded["(planner)"] = (
+            f"planner model dropped: {planner_damage}"
+        )
+    elif engine.planner is None and store.has("planner/model"):
         from repro.search.planner import CalibratedPlanner
 
         engine.planner = CalibratedPlanner.from_payload(
@@ -495,7 +577,7 @@ def _verify_live_store(store: SegmentReader, k: int) -> List[str]:
 # ----------------------------------------------------------------------
 # Live checkpoints
 # ----------------------------------------------------------------------
-def save_live_checkpoint(path: str, engine) -> None:
+def save_live_checkpoint(path: str, engine, codec: str = "raw") -> None:
     """Persist a :class:`LiveSearchEngine` checkpoint (see module doc)."""
     live = engine.live
     for term in engine.index.terms():
@@ -519,7 +601,7 @@ def save_live_checkpoint(path: str, engine) -> None:
     patterns = {term: list(state.patterns) for term, state in states.items()}
     encode_patterns(writer, "patterns", patterns, "regional")
     lists = {term: engine.index.get(term) for term in engine.index.terms()}
-    encode_posting_lists(writer, "postings", lists)
+    encode_posting_lists(writer, "postings", lists, codec=codec)
     trackers = engine._feeder._trackers if engine._feeder is not None else {}
     encode_trackers(writer, "trackers", trackers)
     writer.add_json(

@@ -1,0 +1,41 @@
+"""Error-escalation clean twin: typed escalation, quarantine, reasons."""
+
+
+def escalates_typed(path):
+    try:
+        with open(path, "rb") as handle:
+            return handle.read()
+    except OSError as exc:
+        raise StoreIOError(f"cannot read {path!r}: {exc}")  # noqa: F821
+
+
+def reraises_corruption(reader, term):
+    try:
+        return reader.check_term(term)
+    except StoreCorruptionError:  # noqa: F821
+        raise
+
+
+def records_quarantine(self, term):
+    try:
+        return self._segments.posting_array(term)
+    except StoreCorruptionError as exc:  # noqa: F821
+        self._quarantine(term, str(exc))
+        return None
+
+
+def plain_store_error_probe(reader, name):
+    # StoreError is the typed umbrella — catching it consumes an
+    # already-escalated condition, which the rule permits.
+    try:
+        return reader.json(name)
+    except StoreError:  # noqa: F821
+        return None
+
+
+def reasoned_swallow(path):
+    try:
+        with open(path, "rb") as handle:
+            return handle.read()
+    except OSError:  # repro: noqa[error-escalation] -- best-effort probe; absence is a legal answer here
+        return None

@@ -1,0 +1,40 @@
+"""Error-escalation fixture: swallowed I/O and corruption failures."""
+
+
+def swallowed_oserror(path):
+    try:
+        with open(path, "rb") as handle:
+            return handle.read()
+    except OSError:  # M:oserror
+        return None
+
+
+def swallowed_corruption(reader, term):
+    try:
+        return reader.check_term(term)
+    except StoreCorruptionError:  # noqa: F821  M:corruption
+        return None
+
+
+def swallowed_in_tuple(path):
+    try:
+        with open(path, "rb") as handle:
+            return handle.read()
+    except (ValueError, FileNotFoundError):  # M:tuple
+        return None
+
+
+def swallowed_typed_io(segment, term):
+    try:
+        return segment.posting_array(term)
+    except StoreIOError:  # noqa: F821  M:typed-io
+        return None
+
+
+def logged_but_swallowed(path, log):
+    try:
+        with open(path, "rb") as handle:
+            return handle.read()
+    except PermissionError as exc:  # M:logged
+        log.append(str(exc))
+        return None

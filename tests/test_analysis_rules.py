@@ -164,6 +164,40 @@ class TestExceptionHygiene:
         assert len(suppressed) == 1
 
 
+class TestErrorEscalation:
+    TAGS = ("oserror", "corruption", "tuple", "typed-io", "logged")
+
+    def test_violations_line_exact(self):
+        source, active, _ = run_fixture(
+            "escalation_violation.py", STORE_PATH, "error-escalation"
+        )
+        assert sorted(f.line for f in active) == sorted(
+            marked_lines(source, *self.TAGS)
+        )
+        assert {f.rule for f in active} == {"error-escalation"}
+
+    def test_clean_twin_with_reasoned_suppression(self):
+        _, active, suppressed = run_fixture(
+            "escalation_clean.py", STORE_PATH, "error-escalation"
+        )
+        assert active == []
+        # The best-effort probe's swallow is recorded as suppressed,
+        # not silently dropped — suppressions stay auditable.
+        assert len(suppressed) == 1
+
+    def test_serving_scope_checked(self):
+        source, active, _ = run_fixture(
+            "escalation_violation.py", LIVE_PATH, "error-escalation"
+        )
+        assert len(active) == len(self.TAGS)
+
+    def test_out_of_scope_path_not_checked(self):
+        _, active, _ = run_fixture(
+            "escalation_violation.py", NEUTRAL_PATH, "error-escalation"
+        )
+        assert active == []
+
+
 class TestPicklability:
     TAGS = (
         "lambda",

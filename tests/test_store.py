@@ -6,7 +6,7 @@ import os
 import numpy as np
 import pytest
 
-from repro.errors import StoreError
+from repro.errors import StoreCorruptionError, StoreError
 from repro.store import (
     FORMAT_NAME,
     FORMAT_VERSION,
@@ -164,6 +164,42 @@ class TestReader:
             SegmentReader(path)
         # Opt-out still serves (trusted-store fast path).
         assert SegmentReader(path, verify=False).kind == "index"
+
+    def test_checksum_mismatch_reports_expected_and_actual(self, tmp_path):
+        """Corruption errors carry the full path plus both CRC/size
+        values — the difference between a fixable report and a shrug."""
+        path = write_minimal(str(tmp_path / "store"))
+        target = os.path.join(path, "a", "floats.npy")
+        with open(target, "r+b") as handle:
+            handle.seek(-1, os.SEEK_END)
+            last = handle.read(1)
+            handle.seek(-1, os.SEEK_END)
+            handle.write(bytes([last[0] ^ 0x5A]))
+        with open(os.path.join(path, MANIFEST_NAME)) as handle:
+            entry = json.load(handle)["files"]["a/floats.npy"]
+        with pytest.raises(StoreCorruptionError) as excinfo:
+            SegmentReader(path)
+        message = str(excinfo.value)
+        assert "a/floats.npy" in message
+        assert f"expected crc32 {entry['crc32']:#010x}" in message
+        assert f"{entry['size']}B" in message
+        assert "found 0x" in message
+        assert "repro fsck" in message  # the recovery pointer
+
+    def test_missing_file_error_is_typed_and_names_path(self, tmp_path):
+        path = write_minimal(str(tmp_path / "store"))
+        os.remove(os.path.join(path, "a", "ints.npy"))
+        with pytest.raises(StoreCorruptionError, match="a/ints.npy"):
+            SegmentReader(path)
+
+    def test_interrupted_save_refusal_is_typed(self, tmp_path):
+        """No manifest → typed StoreCorruptionError, never a half-load."""
+        target = str(tmp_path / "half")
+        writer = SegmentWriter(target)
+        writer.add_array("a/ints.npy", np.arange(3, dtype=np.int64))
+        # no commit: simulates a crash before the manifest rename
+        with pytest.raises(StoreCorruptionError, match="interrupted"):
+            SegmentReader(target)
 
     def test_missing_segment_file(self, tmp_path):
         path = write_minimal(str(tmp_path / "store"))

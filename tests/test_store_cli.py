@@ -237,3 +237,143 @@ class TestServingFlows:
         captured = capsys.readouterr()
         assert "OK" in captured.out
         assert "Traceback" not in captured.err
+
+
+class TestFeedValidation:
+    """``repro ingest`` rejects malformed JSONL with line-numbered
+    reasons and applies nothing from a bad batch."""
+
+    def test_malformed_json_line_exits_2_with_line_number(
+        self, tmp_path, capsys
+    ):
+        feed = tmp_path / "feed.jsonl"
+        feed.write_text(
+            '{"type": "stream", "id": "s0", "x": 0.0, "y": 0.0}\n'
+            "{this is not json}\n"
+        )
+        assert main(["ingest", "--file", str(feed)]) == 2
+        err = capsys.readouterr().err
+        assert f"{feed}:2" in err
+        assert "not valid JSON" in err
+        assert "no records were applied" in err
+        assert "Traceback" not in err
+
+    def test_missing_field_names_line_kind_and_fields(
+        self, tmp_path, capsys
+    ):
+        feed = tmp_path / "feed.jsonl"
+        feed.write_text(
+            '{"type": "stream", "id": "s0", "x": 0.0, "y": 0.0}\n'
+            "\n"
+            '{"doc_id": 1, "stream": "s0"}\n'
+        )
+        assert main(["ingest", "--file", str(feed)]) == 2
+        err = capsys.readouterr().err
+        assert f"{feed}:3" in err  # blank lines still count
+        assert "'doc'" in err
+        assert "timestamp" in err and "text" in err
+        assert "Traceback" not in err
+
+    def test_unknown_record_type_rejected(self, tmp_path, capsys):
+        feed = tmp_path / "feed.jsonl"
+        feed.write_text('{"type": "selfdestruct"}\n')
+        assert main(["ingest", "--file", str(feed)]) == 2
+        err = capsys.readouterr().err
+        assert "selfdestruct" in err
+        assert "Traceback" not in err
+
+    def test_bad_batch_applies_nothing(self, tmp_path, capsys):
+        """A checkpoint target stays untouched when the feed is bad —
+        validation happens before any record is applied."""
+        feed = tmp_path / "feed.jsonl"
+        feed.write_text(
+            '{"type": "stream", "id": "s0", "x": 0.0, "y": 0.0}\n'
+            '{"type": "advance", "timestamp": "soon"}\n'
+        )
+        ckpt = tmp_path / "ckpt"
+        assert (
+            main(["ingest", "--file", str(feed), "--checkpoint-to", str(ckpt)])
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert f"{feed}:2" in err
+        assert "integer" in err
+        assert not ckpt.exists()
+
+
+class TestFsckRepairCli:
+    def test_fsck_clean_store_exit_0(self, index_store, capsys):
+        assert main(["fsck", "--store", index_store]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: clean" in out
+
+    def test_fsck_json_report_written(self, index_store, tmp_path, capsys):
+        import json
+
+        out_file = str(tmp_path / "fsck.json")
+        assert (
+            main(["fsck", "--store", index_store, "--format", "json",
+                  "--output", out_file])
+            == 0
+        )
+        with open(out_file) as handle:
+            payload = json.load(handle)
+        assert payload["exit_code"] == 0
+        assert payload["kind"] == "index"
+        assert all(v == "ok" for v in payload["files"].values())
+
+    def test_fsck_missing_store_exit_2(self, tmp_path, capsys):
+        assert main(["fsck", "--store", str(tmp_path / "nope")]) == 2
+        out = capsys.readouterr().out
+        assert "unreadable" in out
+
+    def test_corrupt_fsck_repair_fsck_flow(self, index_store, tmp_path, capsys):
+        """The CI recovery flow: flip a byte, fsck flags it (exit 1),
+        repair quarantines and rebuilds, fsck comes back clean."""
+        import shutil
+
+        broken = str(tmp_path / "broken")
+        shutil.copytree(index_store, broken)
+        corrupt(broken, os.path.join("postings", "scores.npy"))
+        assert main(["fsck", "--store", broken]) == 1
+        out = capsys.readouterr().out
+        assert "checksum mismatch" in out
+        assert "postings/scores.npy" in out
+        # dry run first: reports, changes nothing
+        assert main(["repair", "--store", broken]) == 1
+        assert "dry run" in capsys.readouterr().out
+        assert main(["fsck", "--store", broken]) == 1
+        capsys.readouterr()
+        # the real repair
+        assert main(["repair", "--store", broken, "--quarantine"]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined postings/scores.npy" in out
+        assert "rebuilt segment postings/" in out
+        assert main(["fsck", "--store", broken]) == 0
+        capsys.readouterr()
+        assert main(["load", "--store", broken, "--verify"]) == 0
+        assert os.path.exists(
+            os.path.join(broken, "quarantine", "postings", "scores.npy")
+        )
+
+    def test_search_degraded_mode(self, index_store, tmp_path, capsys):
+        import shutil
+
+        broken = str(tmp_path / "broken")
+        shutil.copytree(index_store, broken)
+        corrupt(broken, os.path.join("postings", "scores.npy"))
+        # default policy refuses
+        assert (
+            main(["search", "--from-store", broken, "--query", "crisis"])
+            != 0
+        )
+        capsys.readouterr()
+        # degrade policy serves, reporting the quarantined term
+        assert (
+            main(["search", "--from-store", broken, "--query", "crisis",
+                  "--on-corruption", "degrade"])
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "DEGRADED MODE" in captured.err or "WARNING" in captured.out
+        assert "Traceback" not in captured.err

@@ -749,3 +749,103 @@ class TestEngineRoundTripProperty:
                 assert ranking(
                     loaded.search(query, k=k, strategy=strategy)
                 ) == ranking(engine.search(query, k=k, strategy=strategy))
+
+
+class TestCrashSchedules:
+    """Hypothesis sweep over ingest/checkpoint/crash interleavings.
+
+    A live engine ingests in bursts and checkpoints between them; the
+    final checkpoint is killed at an arbitrary mutating-IO boundary
+    (drawn by Hypothesis, executed by the deterministic fault shim).
+    Recovery must land exactly on a *completed* checkpoint — the
+    crashed one if its manifest committed (byte-identical to an
+    unfaulted run), else the previous one (untouched, byte-identical
+    to the snapshot taken when it was written) — and never between
+    two.  Both posting codecs are drawn into the sweep.
+    """
+
+    @given(data=st.data())
+    @settings(max_examples=6, deadline=None)
+    def test_restore_matches_last_completed_checkpoint(
+        self, tmp_path_factory, data
+    ):
+        import os
+
+        from repro.errors import StoreCorruptionError
+        from repro.faults import (
+            FaultPlan,
+            FaultRule,
+            FaultyIO,
+            InjectedCrash,
+            install,
+            record_operations,
+            snapshot_files,
+        )
+        from repro.store import MANIFEST_NAME
+
+        codec = data.draw(st.sampled_from(["raw", "packed"]))
+        tmp = tmp_path_factory.mktemp("sched")
+        live = LiveCollection(48)
+        for i in range(4):
+            live.add_stream(f"s{i}", Point(float(i % 2), float(i // 2)))
+        engine = LiveSearchEngine(live)
+        rng = random.Random(data.draw(st.integers(0, 2**16)))
+        doc, upto = 0, 0
+
+        def ingest_burst(steps):
+            nonlocal doc, upto
+            for t in range(upto, upto + steps):
+                for sid in list(live.locations()):
+                    if rng.random() < 0.7:
+                        term = rng.choice(("storm", "filler"))
+                        live.ingest(Document(doc, sid, t, (term, term)))
+                        doc += 1
+            upto += steps
+
+        checkpoints = []
+        for step in range(data.draw(st.integers(1, 2))):
+            ingest_burst(data.draw(st.integers(2, 4)))
+            engine.search("storm", k=5)
+            path = str(tmp / f"ckpt{step}")
+            engine.checkpoint(path, codec=codec)
+            checkpoints.append(
+                (path, snapshot_files(path), ranking(engine.search("storm", k=5)))
+            )
+        # More ingestion, so the final (crashed) checkpoint would
+        # persist state the previous one does not hold.
+        ingest_burst(data.draw(st.integers(1, 3)))
+        final_ranking = ranking(engine.search("storm", k=5))
+
+        reference_dir = str(tmp / "reference")
+        engine.checkpoint(reference_dir, codec=codec)
+        reference = snapshot_files(reference_dir)
+        ops = record_operations(
+            lambda p: engine.checkpoint(p, codec=codec),
+            str(tmp / "recording"),
+        )
+        crash_index = data.draw(st.integers(0, len(ops) - 1))
+
+        target = str(tmp / "crashed")
+        plan = FaultPlan(
+            [FaultRule(op="mutate", action="crash_before", index=crash_index)]
+        )
+        with install(FaultyIO(plan)):
+            with pytest.raises(InjectedCrash):
+                engine.checkpoint(target, codec=codec)
+
+        if os.path.exists(os.path.join(target, MANIFEST_NAME)):
+            # The kill landed at/after the atomic rename: the store is
+            # complete and byte-identical to the unfaulted reference.
+            SegmentReader(target, verify=True)
+            assert snapshot_files(target) == reference
+            recovery, expected = target, final_ranking
+        else:
+            # Not committed: the reader refuses with a typed error and
+            # the previous completed checkpoint is bit-for-bit intact.
+            with pytest.raises(StoreCorruptionError):
+                SegmentReader(target)
+            path, snapshot, at_checkpoint = checkpoints[-1]
+            assert snapshot_files(path) == snapshot
+            recovery, expected = path, at_checkpoint
+        restored = LiveSearchEngine.from_checkpoint(recovery)
+        assert ranking(restored.search("storm", k=5)) == expected
