@@ -23,6 +23,22 @@ trigger it.  This package enforces the project's cross-layer contracts
 * :mod:`~repro.analysis.rules.cache_invalidation` — versioned classes
   bump their version (or call an invalidation hook) in every mutator.
 
+Per-file rules judge one module at a time.  The
+:mod:`~repro.analysis.program` subpackage adds a whole-program layer:
+each module is distilled into a JSON-serializable summary, the
+summaries are linked into a project-wide call graph
+(:class:`~repro.analysis.program.graph.ProgramGraph`), and fixpoint
+propagations over that graph power four interprocedural rules —
+``error-contract`` (only ``ReproError`` subtypes escape public entry
+points, however deep the raise), ``mmap-escape`` (raw loader arrays
+frozen on every path out of ``store/``), ``invalidation-reachability``
+(mutators reach a version bump through helper chains) and
+``blocking-in-async`` (nothing transitively reachable from ``async
+def`` blocks the event loop).  Summaries are cached under
+``.repro-check-cache/`` keyed by content hash, so a warm ``repro
+check`` re-summarizes only edited files while producing findings
+identical to a cold run.
+
 Findings are suppressed line-by-line with ``# repro: noqa[rule-name]
 -- reason``; the rule set, per-rule scoping and reporters are pluggable
 (see :mod:`~repro.analysis.registry` and
@@ -35,10 +51,18 @@ from __future__ import annotations
 
 from repro.analysis.config import AnalysisConfig, default_config
 from repro.analysis.findings import Finding
-from repro.analysis.registry import all_rules, get_rule, register
+from repro.analysis.registry import (
+    all_program_rules,
+    all_rule_names,
+    all_rules,
+    get_rule,
+    register,
+    register_program,
+)
 from repro.analysis.reporting import render_json, render_text
 from repro.analysis.runner import (
     AnalysisReport,
+    CheckStats,
     check_paths,
     check_source,
     iter_python_files,
@@ -47,7 +71,10 @@ from repro.analysis.runner import (
 __all__ = [
     "AnalysisConfig",
     "AnalysisReport",
+    "CheckStats",
     "Finding",
+    "all_program_rules",
+    "all_rule_names",
     "all_rules",
     "check_paths",
     "check_source",
@@ -55,6 +82,7 @@ __all__ = [
     "get_rule",
     "iter_python_files",
     "register",
+    "register_program",
     "render_json",
     "render_text",
 ]

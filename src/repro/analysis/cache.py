@@ -1,0 +1,170 @@
+"""The incremental summary cache behind warm ``repro check`` runs.
+
+The expensive part of an analysis run is per-file: parsing, the
+per-file rule walks, and summary extraction.  All of it is a pure
+function of (file bytes, analyzer code, configuration), so the runner
+persists each file's outputs — its program summary, its suppression
+table, and its per-file findings — in one JSON file under
+``.repro-check-cache/``, keyed by content hash.  A warm run re-reads
+and re-hashes every source file (cheap) but re-analyzes only the ones
+whose bytes changed, then re-runs the graph fixpoints over the mostly
+cached summaries; the fixpoints themselves are not cached because any
+single-file edit can invalidate them globally and they are cheap to
+recompute.
+
+Staleness is handled by construction, not mtime heuristics:
+
+* the cache **fingerprint** hashes every ``repro.analysis`` source
+  file plus the effective configuration, so editing a rule, the
+  summarizer, or scopes/selects silently discards the whole cache;
+* each entry stores the content hash it was computed from, so an
+  edited file is a miss even when the cache file is fresh.
+
+Writes are atomic (temp file + ``os.replace``) and best-effort: a
+read-only checkout degrades to cold runs, never to an error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+from repro.analysis.config import AnalysisConfig
+
+__all__ = [
+    "CacheStats",
+    "SummaryCache",
+    "compute_fingerprint",
+    "content_hash",
+]
+
+#: Bump when the cached entry layout changes shape.
+_SCHEMA = "repro-check-cache-v1"
+
+_CACHE_FILENAME = "summaries.json"
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _config_key(config: AnalysisConfig) -> str:
+    return repr(
+        (
+            sorted((name, tuple(frags)) for name, frags in config.scopes.items()),
+            sorted(
+                (name, sorted((key, repr(value)) for key, value in opts.items()))
+                for name, opts in config.options.items()
+            ),
+            None if config.select is None else sorted(config.select),
+            sorted(config.ignore),
+        )
+    )
+
+
+def compute_fingerprint(config: AnalysisConfig) -> str:
+    """Hash of the analyzer's own code plus the effective config."""
+    hasher = hashlib.sha256()
+    hasher.update(_SCHEMA.encode("utf-8"))
+    root = os.path.dirname(os.path.abspath(__file__))
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            name for name in dirnames if name != "__pycache__"
+        )
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            full = os.path.join(dirpath, filename)
+            relative = os.path.relpath(full, root).replace(os.sep, "/")
+            hasher.update(relative.encode("utf-8"))
+            try:
+                with open(full, "rb") as handle:
+                    hasher.update(handle.read())
+            except OSError:  # pragma: no cover - unreadable own source
+                hasher.update(b"?")
+    hasher.update(_config_key(config).encode("utf-8"))
+    return hasher.hexdigest()
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss counters for one run (mutated in place by the runner)."""
+
+    enabled: bool = False
+    hits: int = 0
+    misses: int = 0
+
+
+class SummaryCache:
+    """One JSON file of per-path entries keyed by content hash."""
+
+    def __init__(self, directory: str, fingerprint: str) -> None:
+        self.directory = directory
+        self.fingerprint = fingerprint
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._dirty = False
+        self._load()
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.directory, _CACHE_FILENAME)
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("fingerprint") != self.fingerprint:
+            return  # analyzer or config changed: start cold
+        entries = payload.get("files")
+        if isinstance(entries, dict):
+            self._entries = {
+                str(path): entry
+                for path, entry in entries.items()
+                if isinstance(entry, dict)
+            }
+
+    def get(self, path: str, digest: str) -> Optional[Dict[str, Any]]:
+        """The cached entry for ``path`` iff its content hash matches."""
+        entry = self._entries.get(path.replace(os.sep, "/"))
+        if entry is not None and entry.get("hash") == digest:
+            return entry
+        return None
+
+    def put(self, path: str, digest: str, entry: Dict[str, Any]) -> None:
+        stored = dict(entry)
+        stored["hash"] = digest
+        self._entries[path.replace(os.sep, "/")] = stored
+        self._dirty = True
+
+    def save(self) -> None:
+        """Atomically persist the cache; silent no-op when unchanged."""
+        if not self._dirty:
+            return
+        payload = {
+            "fingerprint": self.fingerprint,
+            "files": self._entries,
+        }
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                "w",
+                encoding="utf-8",
+                dir=self.directory,
+                prefix=".summaries-",
+                suffix=".tmp",
+                delete=False,
+            )
+            with handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(handle.name, self.path)
+        except OSError:  # read-only checkout: degrade to cold runs
+            return
+        self._dirty = False

@@ -14,6 +14,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, FrozenSet, Mapping, Optional, Tuple
 
+from repro.errors import ConfigurationError
+
 #: The byte-identical ranking/mining kernel modules: everything on the
 #: mine → score → serve path whose output the differential harnesses
 #: pin against the reference implementation.
@@ -57,6 +59,31 @@ INVALIDATION_SCOPE: Tuple[str, ...] = (
     "repro/store/",
 )
 
+#: Public entry-point modules bound by the typed-error contract: a
+#: public function here may only let ``ReproError`` subtypes (or the
+#: deliberate ``InjectedCrash``) escape, however deep the raise sits.
+ERROR_CONTRACT_SCOPE: Tuple[str, ...] = (
+    "repro/cli.py",
+    "repro/search/",
+    "repro/store/",
+    "repro/live/",
+)
+
+#: Exception types a public entry point may let escape besides
+#: ``ReproError`` subtypes: the fault-injection crash (a deliberate
+#: ``BaseException`` so ``except Exception`` cannot eat it) and the
+#: control-flow builtins that are protocol, not failure.
+ERROR_CONTRACT_ALLOWED: Tuple[str, ...] = (
+    "repro.errors.ReproError",
+    "repro.faults.io.InjectedCrash",
+    "SystemExit",
+    "KeyboardInterrupt",
+    "GeneratorExit",
+    "StopIteration",
+    "StopAsyncIteration",
+    "NotImplementedError",
+)
+
 DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
     "determinism": KERNEL_SCOPE,
     "mmap-safety": MMAP_SCOPE,
@@ -65,6 +92,11 @@ DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
     "error-escalation": ESCALATION_SCOPE,
     "picklability": ("*",),
     "cache-invalidation": INVALIDATION_SCOPE,
+    # program (whole-project) rules
+    "error-contract": ERROR_CONTRACT_SCOPE,
+    "mmap-escape": ("repro/store/",),
+    "invalidation-reachability": INVALIDATION_SCOPE,
+    "blocking-in-async": ("*",),
 }
 
 
@@ -114,10 +146,29 @@ def default_config(
     select: Optional[FrozenSet[str]] = None,
     ignore: FrozenSet[str] = frozenset(),
 ) -> AnalysisConfig:
-    """The project configuration: every rule, project-contract scopes."""
+    """The project configuration: every rule, project-contract scopes.
+
+    Raises:
+        ConfigurationError: when ``select`` or ``ignore`` names a rule
+            that is not registered — a typo in ``--select`` must fail
+            loudly (exit 2), not pass silently as "no findings".
+    """
+    from repro.analysis.registry import all_rule_names  # import cycle
+
+    known = all_rule_names()
+    for name in sorted((select or frozenset()) | ignore):
+        if name not in known:
+            raise ConfigurationError(
+                f"unknown rule {name!r}; registered rules: "
+                f"{', '.join(known)}"
+            )
     return AnalysisConfig(
         scopes=dict(DEFAULT_SCOPES),
-        options={"mmap-safety": {"boundary": MMAP_BOUNDARY}},
+        options={
+            "mmap-safety": {"boundary": MMAP_BOUNDARY},
+            "error-contract": {"allowed": ERROR_CONTRACT_ALLOWED},
+            "mmap-escape": {"origin": ("repro/store/",)},
+        },
         select=select,
         ignore=ignore,
     )

@@ -10,14 +10,23 @@ to its canonical dotted form.
 Resolution is purely lexical (no type inference): a name that is not
 an import binding resolves to itself, which deliberately covers the
 builtins (``set``, ``sorted``) the determinism rule matches on.
+
+When the analyzed module's own dotted name is known (the program
+analysis layer always knows it), relative imports resolve too:
+``from .topk import scan_topk`` inside ``repro.search.engine`` binds
+``scan_topk`` to ``repro.search.topk.scan_topk``.  The full alias →
+canonical table is exposed as :attr:`ImportMap.bindings`, which is how
+:mod:`repro.analysis.program` chases names through package
+re-exports (``from repro.search import BurstySearchEngine`` →
+``repro.search.engine.BurstySearchEngine``).
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
-__all__ = ["ImportMap", "dotted_name"]
+__all__ = ["ImportMap", "dotted_name", "module_name_for_path"]
 
 
 def dotted_name(node: ast.expr) -> Optional[str]:
@@ -33,10 +42,56 @@ def dotted_name(node: ast.expr) -> Optional[str]:
     return ".".join(reversed(parts))
 
 
+def module_name_for_path(path: str) -> str:
+    """Dotted module name of a source file, derived from its path.
+
+    The name starts after the innermost ``src/`` directory when one is
+    present (``src/repro/search/topk.py`` → ``repro.search.topk``),
+    else at the first ``repro/`` component (so fixture trees that fake
+    repo-like paths resolve the same way), else it is the bare file
+    stem (``benchmarks/bench_search.py`` → ``bench_search``).  A
+    package ``__init__.py`` maps to the package name itself.
+    """
+    posix = path.replace("\\", "/")
+    parts = [part for part in posix.split("/") if part not in ("", ".")]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if "src" in parts:
+        start = len(parts) - 1 - parts[::-1].index("src") + 1
+        parts = parts[start:]
+    elif "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = parts[-1:]
+    return ".".join(parts)
+
+
+def _relative_base(
+    module_name: str, is_package: bool, level: int
+) -> Optional[str]:
+    """The package a ``from ..x import y`` (level dots) resolves against."""
+    parts = module_name.split(".") if module_name else []
+    if not is_package and parts:
+        parts = parts[:-1]  # the module's own package
+    drop = level - 1
+    if drop > len(parts):
+        return None
+    if drop:
+        parts = parts[:-drop]
+    return ".".join(parts)
+
+
 class ImportMap:
     """Alias → canonical dotted name bindings of one module."""
 
-    def __init__(self, tree: ast.Module) -> None:
+    def __init__(
+        self,
+        tree: ast.Module,
+        module_name: str = "",
+        is_package: bool = False,
+    ) -> None:
         self._aliases: Dict[str, str] = {}
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
@@ -45,13 +100,31 @@ class ImportMap:
                     target = alias.name if alias.asname else bound
                     self._aliases[bound] = target
             elif isinstance(node, ast.ImportFrom):
-                if node.level or node.module is None:
-                    continue  # relative imports stay package-local names
+                if node.level:
+                    if not module_name:
+                        continue  # caller did not say where we are
+                    base = _relative_base(
+                        module_name, is_package, node.level
+                    )
+                    if base is None:
+                        continue
+                    source = (
+                        f"{base}.{node.module}" if node.module else base
+                    )
+                elif node.module is None:
+                    continue
+                else:
+                    source = node.module
                 for alias in node.names:
                     if alias.name == "*":
                         continue
                     bound = alias.asname or alias.name
-                    self._aliases[bound] = f"{node.module}.{alias.name}"
+                    self._aliases[bound] = f"{source}.{alias.name}"
+
+    @property
+    def bindings(self) -> Mapping[str, str]:
+        """The full alias → canonical-dotted-name table."""
+        return self._aliases
 
     def resolve(self, node: ast.expr) -> Optional[str]:
         """Canonical dotted name of an expression, or ``None``.

@@ -1,0 +1,61 @@
+"""The program-rule base class.
+
+A :class:`ProgramRule` is the whole-program sibling of
+:class:`repro.analysis.base.Rule`: same ``name``/``description``
+contract (so ``--list-rules``, ``--select``/``--ignore`` and
+``# repro: noqa[...]`` treat both kinds uniformly), but ``check``
+receives the assembled :class:`~repro.analysis.program.graph.ProgramGraph`
+instead of one module's AST, and runs once per analysis run rather
+than once per file.
+
+Scoping differs too: a per-file rule is scoped by which *files* it
+runs on; a program rule sees every summarized module (the graph is
+only sound when whole) and instead applies its configured scopes to
+the *anchor* of each finding — the function whose contract is
+violated — via :meth:`ProgramRule.in_scope`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar, Iterator
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.program.graph import ProgramGraph
+from repro.analysis.program.summary import FunctionSummary
+
+__all__ = ["ProgramRule"]
+
+
+class ProgramRule(abc.ABC):
+    """One cross-module project invariant."""
+
+    #: Registry key; also the ``# repro: noqa[<name>]`` suppression key.
+    name: ClassVar[str] = ""
+    #: One-line summary for ``--list-rules`` and reports.
+    description: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def check(
+        self, graph: ProgramGraph, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        """Yield every violation of this rule across the program."""
+
+    def in_scope(
+        self, func: FunctionSummary, graph: ProgramGraph, config: AnalysisConfig
+    ) -> bool:
+        """Does this rule's scope cover the module defining ``func``?"""
+        return config.applies(self.name, graph.path_of(func.qualname))
+
+    def emit(
+        self, graph: ProgramGraph, qualname: str, line: int, message: str
+    ) -> Finding:
+        """Anchor a finding to a line of the function's defining module."""
+        return Finding(
+            rule=self.name,
+            path=graph.path_of(qualname),
+            line=line,
+            col=0,
+            message=message,
+        )

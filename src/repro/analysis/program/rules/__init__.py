@@ -1,0 +1,10 @@
+"""Built-in program rules; importing registers them all."""
+
+from __future__ import annotations
+
+from repro.analysis.program.rules import (  # noqa: F401
+    blocking_in_async,
+    error_contract,
+    invalidation_reachability,
+    mmap_escape,
+)

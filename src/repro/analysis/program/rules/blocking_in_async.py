@@ -1,0 +1,74 @@
+"""blocking-in-async: no synchronous waits under ``async def``.
+
+An event loop serves every live query on one thread; a single
+``time.sleep``, blocking ``open``/``subprocess`` call, or a sync
+helper that hides one, stalls all of them.  The per-call-site version
+of this check is easy to grep for; the value of the program rule is
+the *hidden* case — an ``async def`` calling an innocent-looking sync
+helper that reaches ``time.sleep`` three frames down.
+
+Blocking-call reachability is computed as a fixpoint over sync
+functions only (awaiting an async callee is the event loop working as
+designed), and each finding is anchored at the call site inside the
+``async def``, naming the ultimate blocking operation and where it
+lives.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.program.base import ProgramRule
+from repro.analysis.program.graph import (
+    ProgramGraph,
+    is_blocking_call,
+)
+from repro.analysis.registry import register_program
+
+
+@register_program
+class BlockingInAsyncRule(ProgramRule):
+    name = "blocking-in-async"
+    description = (
+        "async functions must not reach time.sleep, blocking IO or "
+        "subprocess calls, directly or through sync helpers"
+    )
+
+    def check(
+        self, graph: ProgramGraph, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        blocking = graph.blocking_reach()
+        edges = graph.edges()
+        for qualname in sorted(graph.functions):
+            func = graph.functions[qualname]
+            if not func.is_async:
+                continue
+            if not self.in_scope(func, graph, config):
+                continue
+            for site, target in edges[qualname]:
+                if is_blocking_call(site.callee):
+                    yield self.emit(
+                        graph,
+                        qualname,
+                        site.line,
+                        f"async function {qualname}() calls blocking "
+                        f"{site.callee}(); use the asyncio "
+                        f"equivalent or run it in an executor",
+                    )
+                    continue
+                if target is None or graph.functions[target].is_async:
+                    continue
+                reached = blocking.get(target)
+                if reached is not None:
+                    op, owner, line = reached
+                    yield self.emit(
+                        graph,
+                        qualname,
+                        site.line,
+                        f"async function {qualname}() calls "
+                        f"{target}(), which reaches blocking {op}() "
+                        f"at {graph.path_of(owner)}:{line}; use the "
+                        f"asyncio equivalent or run it in an executor",
+                    )

@@ -1,0 +1,92 @@
+"""error-contract: public entry points fail with typed errors only.
+
+The project's failure contract (README, ``repro.errors``): anything a
+caller of the public surface — ``repro.cli``, ``repro/search/``,
+``repro/store/``, ``repro/live/`` — can observe going wrong must
+surface as a :class:`~repro.errors.ReproError` subtype (or the
+deliberate :class:`~repro.faults.io.InjectedCrash`), never a bare
+``ValueError`` three helpers deep.  The per-file ``error-escalation``
+rule checks the handlers it can see; this rule checks the raises it
+cannot: every exception type that *transitively* escapes a public
+function, through the call graph, with ``try``/``except`` absorption
+modeled at each hop.
+
+The finding is anchored at the entry point's ``def`` line and names
+the full propagation chain down to the offending ``raise``, so the fix
+site is one click away even when the raise is modules deep.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.analysis.config import (
+    ERROR_CONTRACT_ALLOWED,
+    AnalysisConfig,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.program.base import ProgramRule
+from repro.analysis.program.graph import ProgramGraph
+from repro.analysis.program.summary import FunctionSummary
+from repro.analysis.registry import register_program
+
+
+def _is_entry_point(func: FunctionSummary, graph: ProgramGraph) -> bool:
+    """Public module function, or public method of a public class."""
+    if not func.is_public:
+        return False
+    if func.cls is None:
+        return True
+    klass = graph.classes.get(f"{func.module}.{func.cls}")
+    return klass is None or klass.is_public
+
+
+@register_program
+class ErrorContractRule(ProgramRule):
+    name = "error-contract"
+    description = (
+        "public entry points may only let ReproError subtypes (or "
+        "InjectedCrash) escape, transitively through the call graph"
+    )
+
+    def _allowed(
+        self, graph: ProgramGraph, config: AnalysisConfig, exc_type: str
+    ) -> bool:
+        allowed_raw = config.option(self.name, "allowed", ERROR_CONTRACT_ALLOWED)
+        allowed: Tuple[str, ...] = (
+            tuple(str(name) for name in allowed_raw)
+            if isinstance(allowed_raw, (tuple, list))
+            else ERROR_CONTRACT_ALLOWED
+        )
+        return any(
+            graph.is_exception_subtype(exc_type, base) for base in allowed
+        )
+
+    def check(
+        self, graph: ProgramGraph, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        escapes = graph.escaping_exceptions()
+        for qualname in sorted(graph.functions):
+            func = graph.functions[qualname]
+            if not _is_entry_point(func, graph):
+                continue
+            if not self.in_scope(func, graph, config):
+                continue
+            for exc_type in sorted(escapes[qualname]):
+                if self._allowed(graph, config, exc_type):
+                    continue
+                chain = graph.escape_chain(qualname, exc_type)
+                origin_qualname, origin_line = chain[-1]
+                origin = (
+                    f"{graph.path_of(origin_qualname)}:{origin_line}"
+                )
+                hops = " -> ".join(hop for hop, _ in chain)
+                yield self.emit(
+                    graph,
+                    qualname,
+                    func.line,
+                    f"public entry point {qualname}() lets "
+                    f"{exc_type} escape (raised at {origin}, via "
+                    f"{hops}); raise a ReproError subtype or absorb "
+                    f"it at the boundary",
+                )

@@ -1,0 +1,103 @@
+"""invalidation-reachability: mutators bump versions, even via helpers.
+
+The per-file ``cache-invalidation`` rule proves, within one class
+body, that every mutator of versioned state bumps a version attribute
+or calls an invalidation hook.  Its blind spot is delegation: a
+mutator that hands ``self`` to a free function in another module
+(``maintenance.compact(index)``) looks clean per-file even when no
+code on that chain ever bumps.
+
+This rule re-checks the same contract over the program graph, where
+"bumps" is a fixpoint: a parameter is bumped if the function assigns a
+version attribute on it, calls an invalidation hook on it, forwards it
+positionally to a function that bumps the matching parameter, or (for
+``self``) delegates to a method/``super()`` target that bumps.  A
+mutator-named public method of a version-carrying class with no bump
+reachable on *any* chain is flagged at its ``def`` line.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Set
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.program.base import ProgramRule
+from repro.analysis.program.graph import ProgramGraph
+from repro.analysis.program.summary import ClassSummary
+from repro.analysis.registry import register_program
+
+# Same mutator/read-only heuristics as the per-file rule, so the two
+# layers never disagree on what counts as a mutator.
+from repro.analysis.rules.cache_invalidation import (
+    _READ_DECORATORS,
+    _is_mutator_name,
+)
+
+
+def _inherited_version_attrs(
+    graph: ProgramGraph, klass: ClassSummary
+) -> List[str]:
+    """Version attributes of a class and its resolvable base chain."""
+    attrs: List[str] = []
+    seen: Set[str] = set()
+    queue = [klass.qualname]
+    while queue:
+        qualname = queue.pop(0)
+        if qualname in seen:
+            continue
+        seen.add(qualname)
+        current = graph.classes.get(qualname)
+        if current is None:
+            continue
+        attrs.extend(current.version_attrs)
+        for base in current.bases:
+            resolved = graph._resolve_base(base, current.module)
+            if resolved is not None:
+                queue.append(resolved)
+    return sorted(set(attrs))
+
+
+@register_program
+class InvalidationReachabilityRule(ProgramRule):
+    name = "invalidation-reachability"
+    description = (
+        "mutators of versioned classes must reach a version bump or "
+        "invalidation hook through any cross-module helper chain"
+    )
+
+    def check(
+        self, graph: ProgramGraph, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        bumps = graph.param_bumps()
+        for class_qualname in sorted(graph.classes):
+            klass = graph.classes[class_qualname]
+            attrs = _inherited_version_attrs(graph, klass)
+            if not attrs:
+                continue
+            for method_name in sorted(klass.methods):
+                func = graph.functions.get(klass.methods[method_name])
+                if func is None or method_name.startswith("_"):
+                    continue
+                if not _is_mutator_name(method_name):
+                    continue
+                if any(
+                    deco.rpartition(".")[2] in _READ_DECORATORS
+                    for deco in func.decorators
+                ):
+                    continue
+                if not self.in_scope(func, graph, config):
+                    continue
+                receiver = func.params[0] if func.params else ""
+                if receiver and receiver in bumps[func.qualname]:
+                    continue
+                shown = ", ".join(attrs[:3])
+                yield self.emit(
+                    graph,
+                    func.qualname,
+                    func.line,
+                    f"mutator {func.qualname}() never reaches a bump "
+                    f"of {shown} on any call chain; bump a version "
+                    f"attribute or call an invalidation hook (directly "
+                    f"or via the helper it delegates to)",
+                )

@@ -1,0 +1,77 @@
+"""mmap-escape: raw segment arrays freeze before leaving the store.
+
+``SegmentReader.array`` (the one sanctioned raw-loader call site, per
+the per-file ``mmap-safety`` rule) freezes every array it returns with
+``writeable = False`` — a write to a memory-mapped page would silently
+corrupt the segment file on disk.  That guarantee is only as good as
+the paths around it: a helper that re-loads without freezing, or a
+wrapper that returns the raw value before the freeze line, hands a
+writeable mmap to code outside ``repro/store/``.
+
+This rule tracks return-value origins through the call graph: a
+function in the store whose returned value originates (possibly via a
+chain of calls) from a raw loader and is not frozen on that path is
+flagged when the value can cross the store boundary — the function is
+public, or some caller lives outside ``repro/store/``.  Private
+helpers whose only consumers freeze before returning are fine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.program.base import ProgramRule
+from repro.analysis.program.graph import ProgramGraph
+from repro.analysis.registry import register_program
+
+
+@register_program
+class MmapEscapeRule(ProgramRule):
+    name = "mmap-escape"
+    description = (
+        "raw-loader arrays must be frozen read-only on every path "
+        "that returns them out of repro/store/"
+    )
+
+    def _origin_fragments(self, config: AnalysisConfig) -> Tuple[str, ...]:
+        raw = config.option(self.name, "origin", ("repro/store/",))
+        if isinstance(raw, (tuple, list)):
+            return tuple(str(fragment) for fragment in raw)
+        return ("repro/store/",)
+
+    def check(
+        self, graph: ProgramGraph, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        origin = self._origin_fragments(config)
+
+        def inside(path: str) -> bool:
+            posix = path.replace("\\", "/")
+            return any(fragment in posix for fragment in origin)
+
+        for qualname, line in sorted(graph.raw_unfrozen_returns().items()):
+            func = graph.functions[qualname]
+            if not self.in_scope(func, graph, config):
+                continue
+            outside_callers = sorted(
+                caller
+                for caller in graph.callers_of(qualname)
+                if not inside(graph.path_of(caller))
+            )
+            if not func.is_public and not outside_callers:
+                continue
+            how = (
+                f"reachable from outside the store via "
+                f"{outside_callers[0]}()"
+                if outside_callers
+                else "part of the store's public surface"
+            )
+            yield self.emit(
+                graph,
+                qualname,
+                line,
+                f"{qualname}() returns a raw-loader array without "
+                f"freezing it ({how}); set .flags.writeable = False "
+                f"before the array leaves repro/store/",
+            )

@@ -1,53 +1,92 @@
-"""The rule registry: rules self-register at import time.
+"""The rule registries: rules self-register at import time.
+
+Two kinds of rules share one name space (so ``--select``/``--ignore``
+and ``# repro: noqa[...]`` treat them uniformly):
+
+* per-file rules (:class:`~repro.analysis.base.Rule`) register with
+  :func:`register` and run once per analyzed module;
+* program rules (:class:`~repro.analysis.program.base.ProgramRule`)
+  register with :func:`register_program` and run once per analysis
+  run, over the assembled program graph.
 
 Adding a rule is three steps (see README "Static analysis &
-invariants"): subclass :class:`~repro.analysis.base.Rule`, decorate it
-with :func:`register`, and give it a scope in
+invariants"): subclass the right base, decorate it with the matching
+register function, and give it a scope in
 :data:`~repro.analysis.config.DEFAULT_SCOPES` (or construct an
 :class:`~repro.analysis.config.AnalysisConfig` that scopes it).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Type
+from typing import TYPE_CHECKING, Dict, List, Type
 
 from repro.analysis.base import Rule
 from repro.errors import ConfigurationError
 
+if TYPE_CHECKING:  # deferred: program.base transitively imports rules
+    from repro.analysis.program.base import ProgramRule
+
 _REGISTRY: Dict[str, Rule] = {}
+_PROGRAM_REGISTRY: Dict[str, "ProgramRule"] = {}
+
+
+def _claim_name(name: str, class_name: str) -> None:
+    if not name:
+        raise ConfigurationError(f"rule class {class_name} has no name")
+    if name in _REGISTRY or name in _PROGRAM_REGISTRY:
+        raise ConfigurationError(f"duplicate rule name {name!r}")
 
 
 def register(rule_class: Type[Rule]) -> Type[Rule]:
-    """Class decorator: instantiate and register a rule by its name."""
-    if not rule_class.name:
-        raise ConfigurationError(
-            f"rule class {rule_class.__name__} has no name"
-        )
-    if rule_class.name in _REGISTRY:
-        raise ConfigurationError(
-            f"duplicate rule name {rule_class.name!r}"
-        )
+    """Class decorator: instantiate and register a per-file rule."""
+    _claim_name(rule_class.name, rule_class.__name__)
     _REGISTRY[rule_class.name] = rule_class()
     return rule_class
 
 
-def all_rules() -> List[Rule]:
-    """Every registered rule, in name order (importing the built-ins)."""
+def register_program(
+    rule_class: "Type[ProgramRule]",
+) -> "Type[ProgramRule]":
+    """Class decorator: instantiate and register a program rule."""
+    _claim_name(rule_class.name, rule_class.__name__)
+    _PROGRAM_REGISTRY[rule_class.name] = rule_class()
+    return rule_class
+
+
+def _import_builtin_rules() -> None:
+    import repro.analysis.program.rules  # noqa: F401  (registration)
     import repro.analysis.rules  # noqa: F401  (registration side effect)
 
+
+def all_rules() -> List[Rule]:
+    """Every registered per-file rule, in name order."""
+    _import_builtin_rules()
     return [_REGISTRY[name] for name in sorted(_REGISTRY)]
 
 
+def all_program_rules() -> List["ProgramRule"]:
+    """Every registered program rule, in name order."""
+    _import_builtin_rules()
+    return [
+        _PROGRAM_REGISTRY[name] for name in sorted(_PROGRAM_REGISTRY)
+    ]
+
+
+def all_rule_names() -> List[str]:
+    """Every valid rule name (both kinds), sorted."""
+    _import_builtin_rules()
+    return sorted(set(_REGISTRY) | set(_PROGRAM_REGISTRY))
+
+
 def get_rule(name: str) -> Rule:
-    """Look up one registered rule.
+    """Look up one registered per-file rule.
 
     Raises:
         ConfigurationError: for an unknown rule name.
     """
-    import repro.analysis.rules  # noqa: F401  (registration side effect)
-
+    _import_builtin_rules()
     if name not in _REGISTRY:
-        known = ", ".join(sorted(_REGISTRY))
+        known = ", ".join(all_rule_names())
         raise ConfigurationError(
             f"unknown rule {name!r}; registered rules: {known}"
         )

@@ -24,7 +24,7 @@ def _counts_by_rule(report: AnalysisReport) -> Dict[str, int]:
     return dict(sorted(counts.items()))
 
 
-def render_text(report: AnalysisReport) -> str:
+def render_text(report: AnalysisReport, show_stats: bool = False) -> str:
     """The human-readable report: findings then a one-line summary."""
     lines: List[str] = [finding.render() for finding in report.findings]
     if report.findings:
@@ -43,6 +43,19 @@ def render_text(report: AnalysisReport) -> str:
             f"clean: {report.checked_files} file(s) checked, "
             f"0 findings, {len(report.suppressed)} suppressed"
         )
+    stats = report.stats
+    if show_stats and stats is not None:
+        cache = (
+            f"cache: {stats.cache_hits} hit(s), "
+            f"{stats.cache_misses} miss(es)"
+            if stats.cache_enabled
+            else "cache: disabled"
+        )
+        lines.append(
+            f"stats: {cache}; graph: {stats.modules} module(s), "
+            f"{stats.functions} function(s), {stats.call_edges} call "
+            f"edge(s); {stats.elapsed_seconds:.2f}s"
+        )
     return "\n".join(lines)
 
 
@@ -54,5 +67,6 @@ def render_json(report: AnalysisReport) -> str:
         "counts": _counts_by_rule(report),
         "findings": [finding.to_dict() for finding in report.findings],
         "suppressed": [finding.to_dict() for finding in report.suppressed],
+        "stats": None if report.stats is None else report.stats.to_dict(),
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -7,6 +7,16 @@ scopes), and splitting raw findings into *active* and *suppressed* via
 the module's ``# repro: noqa`` directives.  ``check_source`` is the
 seam the test suite drives with fake repo-like paths, so scoping is
 exercised without touching the filesystem.
+
+``check_paths`` additionally runs the **whole-program** layer: each
+file's :class:`~repro.analysis.program.summary.ModuleSummary` feeds a
+:class:`~repro.analysis.program.graph.ProgramGraph`, the registered
+:class:`~repro.analysis.program.base.ProgramRule` set runs once over
+it, and program findings pass through the same per-line suppression
+filter as per-file ones.  Per-file work (parse, rules, summary) is
+memoized by content hash when a cache directory is given
+(:mod:`repro.analysis.cache`); the graph fixpoints always recompute,
+because one changed file can shift them anywhere.
 """
 
 from __future__ import annotations
@@ -14,16 +24,28 @@ from __future__ import annotations
 import ast
 import dataclasses
 import os
-from typing import Iterator, List, Optional, Sequence, Tuple
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.base import ModuleContext
+from repro.analysis.cache import (
+    CacheStats,
+    SummaryCache,
+    compute_fingerprint,
+    content_hash,
+)
 from repro.analysis.config import AnalysisConfig, default_config
 from repro.analysis.findings import Finding
-from repro.analysis.registry import all_rules
-from repro.analysis.suppressions import parse_suppressions
+from repro.analysis.imports import module_name_for_path
+from repro.analysis.program.graph import ProgramGraph
+from repro.analysis.program.summary import ModuleSummary, summarize_module
+from repro.analysis.registry import all_program_rules, all_rules
+from repro.analysis.suppressions import Suppressions, parse_suppressions
+from repro.errors import AnalysisError
 
 __all__ = [
     "AnalysisReport",
+    "CheckStats",
     "check_paths",
     "check_source",
     "iter_python_files",
@@ -38,6 +60,40 @@ _SKIPPED_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
 
 
 @dataclasses.dataclass(frozen=True)
+class CheckStats:
+    """Run telemetry for ``repro check --stats`` and the CI artifact.
+
+    Attributes:
+        cache_enabled: whether a summary cache directory was in use.
+        cache_hits: files whose per-file results were reused.
+        cache_misses: files (re)analyzed this run.
+        modules: modules contributing summaries to the program graph.
+        functions: functions in the program graph.
+        call_edges: resolved caller → callee edges in the graph.
+        elapsed_seconds: wall-clock duration of the whole run.
+    """
+
+    cache_enabled: bool
+    cache_hits: int
+    cache_misses: int
+    modules: int
+    functions: int
+    call_edges: int
+    elapsed_seconds: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cache_enabled": self.cache_enabled,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "modules": self.modules,
+            "functions": self.functions,
+            "call_edges": self.call_edges,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+        }
+
+
+@dataclasses.dataclass(frozen=True)
 class AnalysisReport:
     """The outcome of one analyzer run.
 
@@ -46,11 +102,13 @@ class AnalysisReport:
         suppressed: findings silenced by a ``# repro: noqa`` directive,
             kept for the JSON report so suppressions stay auditable.
         checked_files: number of modules parsed and analyzed.
+        stats: run telemetry; ``None`` for ``check_source``-level runs.
     """
 
     findings: Tuple[Finding, ...]
     suppressed: Tuple[Finding, ...]
     checked_files: int
+    stats: Optional[CheckStats] = None
 
     @property
     def clean(self) -> bool:
@@ -64,12 +122,28 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
     hidden directories and ``__pycache__`` pruned.  Order is
     deterministic (sorted at each level) so reports diff cleanly
     between runs.
+
+    Raises:
+        AnalysisError: when a given path does not exist or a directory
+            under it cannot be listed — a CI job pointed at a
+            misspelled path must fail loudly, not check zero files.
     """
+
+    def _walk_failed(error: OSError) -> None:
+        raise AnalysisError(
+            f"analysis path is not walkable: {error.filename!r} "
+            f"({error.strerror})"
+        )
+
     for path in paths:
         if os.path.isfile(path):
             yield path
             continue
-        for root, dirnames, filenames in os.walk(path):
+        if not os.path.isdir(path):
+            raise AnalysisError(
+                f"analysis path does not exist: {path!r}"
+            )
+        for root, dirnames, filenames in os.walk(path, onerror=_walk_failed):
             dirnames[:] = sorted(
                 name
                 for name in dirnames
@@ -80,28 +154,24 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
                     yield os.path.join(root, filename)
 
 
-def check_source(
-    source: str, path: str, config: AnalysisConfig
-) -> Tuple[List[Finding], List[Finding]]:
-    """Analyze one module given as text; returns (active, suppressed).
+def _parse_error(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        rule=PARSE_ERROR_RULE,
+        path=path,
+        line=int(exc.lineno or 1),
+        col=int(exc.offset or 1) - 1,
+        message=f"module does not parse: {exc.msg}",
+    )
 
-    ``path`` is used only for rule scoping and finding locations — it
-    need not exist on disk, which is how the fixture tests run
-    violation files under fake kernel-scope paths.
-    """
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        finding = Finding(
-            rule=PARSE_ERROR_RULE,
-            path=path,
-            line=int(exc.lineno or 1),
-            col=int(exc.offset or 1) - 1,
-            message=f"module does not parse: {exc.msg}",
-        )
-        return [finding], []
+
+def _run_file_rules(
+    source: str,
+    path: str,
+    tree: ast.Module,
+    config: AnalysisConfig,
+    suppressions: Suppressions,
+) -> Tuple[List[Finding], List[Finding]]:
     module = ModuleContext(path=path, source=source, tree=tree, config=config)
-    suppressions = parse_suppressions(source)
     active: List[Finding] = []
     suppressed: List[Finding] = []
     for rule in all_rules():
@@ -117,24 +187,120 @@ def check_source(
     return active, suppressed
 
 
+def check_source(
+    source: str, path: str, config: AnalysisConfig
+) -> Tuple[List[Finding], List[Finding]]:
+    """Analyze one module given as text; returns (active, suppressed).
+
+    ``path`` is used only for rule scoping and finding locations — it
+    need not exist on disk, which is how the fixture tests run
+    violation files under fake kernel-scope paths.  Only per-file
+    rules run here: program rules need the whole file set and run in
+    :func:`check_paths`.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [_parse_error(path, exc)], []
+    return _run_file_rules(
+        source, path, tree, config, parse_suppressions(source)
+    )
+
+
+def _analyze_file(
+    source: str, path: str, config: AnalysisConfig
+) -> Dict[str, Any]:
+    """The cacheable per-file unit: findings + summary + suppressions."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return {
+            "active": [_parse_error(path, exc).to_dict()],
+            "suppressed": [],
+            "summary": None,
+            "suppressions": Suppressions({}).to_jsonable(),
+        }
+    suppressions = parse_suppressions(source)
+    active, suppressed = _run_file_rules(
+        source, path, tree, config, suppressions
+    )
+    summary = summarize_module(path, module_name_for_path(path), tree)
+    return {
+        "active": [finding.to_dict() for finding in active],
+        "suppressed": [finding.to_dict() for finding in suppressed],
+        "summary": summary.to_jsonable(),
+        "suppressions": suppressions.to_jsonable(),
+    }
+
+
+def _findings_from(entries: Sequence[Dict[str, Any]]) -> List[Finding]:
+    return [
+        Finding(
+            rule=str(entry["rule"]),
+            path=str(entry["path"]),
+            line=int(entry["line"]),
+            col=int(entry["col"]),
+            message=str(entry["message"]),
+        )
+        for entry in entries
+    ]
+
+
+def _run_program_rules(
+    summaries: Dict[str, ModuleSummary],
+    suppressions: Dict[str, Suppressions],
+    config: AnalysisConfig,
+) -> Tuple[List[Finding], List[Finding], ProgramGraph]:
+    graph = ProgramGraph(
+        {summary.module: summary for summary in summaries.values()}
+    )
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for rule in all_program_rules():
+        if not config.enabled(rule.name):
+            continue
+        for finding in rule.check(graph, config):
+            table = suppressions.get(finding.path)
+            if table is not None and table.covers(finding.line, finding.rule):
+                suppressed.append(finding)
+            else:
+                active.append(finding)
+    return active, suppressed, graph
+
+
 def check_paths(
-    paths: Sequence[str], config: Optional[AnalysisConfig] = None
+    paths: Sequence[str],
+    config: Optional[AnalysisConfig] = None,
+    cache_dir: Optional[str] = None,
 ) -> AnalysisReport:
-    """Run the analyzer over files and directories.
+    """Run the full analyzer (per-file + program rules) over paths.
 
     Unreadable files surface as :data:`PARSE_ERROR_RULE` findings
     rather than aborting the run — one bad file should not hide the
-    findings of the other few hundred.
+    findings of the other few hundred.  Nonexistent *paths* raise
+    :class:`~repro.errors.AnalysisError` (see
+    :func:`iter_python_files`).
+
+    When ``cache_dir`` is given, per-file results are reused from the
+    summary cache for files whose content hash is unchanged.
     """
+    started = time.monotonic()
     if config is None:
         config = default_config()
+    cache: Optional[SummaryCache] = None
+    cache_stats = CacheStats(enabled=cache_dir is not None)
+    if cache_dir is not None:
+        cache = SummaryCache(cache_dir, compute_fingerprint(config))
     findings: List[Finding] = []
     suppressed: List[Finding] = []
+    summaries: Dict[str, ModuleSummary] = {}
+    suppression_tables: Dict[str, Suppressions] = {}
     checked = 0
     for file_path in iter_python_files(list(paths)):
         try:
-            with open(file_path, "r", encoding="utf-8") as handle:
-                source = handle.read()
+            with open(file_path, "rb") as handle:
+                raw = handle.read()
+            source = raw.decode("utf-8")
         except (OSError, UnicodeDecodeError) as exc:
             findings.append(
                 Finding(
@@ -147,13 +313,47 @@ def check_paths(
             )
             continue
         checked += 1
-        active, silenced = check_source(source, file_path, config)
-        findings.extend(active)
-        suppressed.extend(silenced)
+        digest = content_hash(raw)
+        entry: Optional[Dict[str, Any]] = None
+        if cache is not None:
+            entry = cache.get(file_path, digest)
+        if entry is not None:
+            cache_stats.hits += 1
+        else:
+            cache_stats.misses += 1
+            entry = _analyze_file(source, file_path, config)
+            if cache is not None:
+                cache.put(file_path, digest, entry)
+        findings.extend(_findings_from(entry["active"]))
+        suppressed.extend(_findings_from(entry["suppressed"]))
+        if entry["summary"] is not None:
+            summaries[file_path] = ModuleSummary.from_jsonable(
+                entry["summary"]
+            )
+        suppression_tables[file_path] = Suppressions.from_jsonable(
+            entry["suppressions"]
+        )
+    program_active, program_suppressed, graph = _run_program_rules(
+        summaries, suppression_tables, config
+    )
+    findings.extend(program_active)
+    suppressed.extend(program_suppressed)
+    if cache is not None:
+        cache.save()
     findings.sort(key=Finding.sort_key)
     suppressed.sort(key=Finding.sort_key)
+    stats = CheckStats(
+        cache_enabled=cache_stats.enabled,
+        cache_hits=cache_stats.hits,
+        cache_misses=cache_stats.misses,
+        modules=len(graph.modules),
+        functions=len(graph.functions),
+        call_edges=graph.call_edge_count,
+        elapsed_seconds=time.monotonic() - started,
+    )
     return AnalysisReport(
         findings=tuple(findings),
         suppressed=tuple(suppressed),
         checked_files=checked,
+        stats=stats,
     )

@@ -8,6 +8,15 @@ string literal containing the marker text does not suppress):
 * either form followed by ``-- reason`` — document *why*; required by
   convention for ``exception-hygiene`` (a broad handler must state why
   broadness is intended).
+
+A directive applies to the **logical line** it sits on, not just the
+physical one: a statement continued across several lines (a
+bracketed call, a multi-line ``def`` signature, a decorated function
+header) is one suppression target, so the directive may live on any of
+its lines — trailing the closing bracket, or on the decorator line —
+and still cover a finding anchored to the statement's first line.
+Standalone comment lines belong to no statement and only cover
+findings on their own line.
 """
 
 from __future__ import annotations
@@ -15,7 +24,7 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from typing import Dict, FrozenSet, Iterator, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 __all__ = ["Suppressions", "parse_suppressions"]
 
@@ -26,25 +35,45 @@ _NOQA = re.compile(
     re.IGNORECASE,
 )
 
+#: (suppressed rule names, or None for "suppress all"; reason)
+_Directive = Tuple[Optional[FrozenSet[str]], str]
+
 
 class Suppressions:
     """The ``noqa`` directives of one module, keyed by physical line."""
 
     def __init__(
-        self, by_line: Dict[int, Tuple[Optional[FrozenSet[str]], str]]
+        self,
+        by_line: Dict[int, _Directive],
+        groups: Optional[List[FrozenSet[int]]] = None,
     ) -> None:
-        # line -> (suppressed rule names, or None for "all"; reason)
         self._by_line = by_line
+        # physical line -> every line of its logical statement, so a
+        # directive anywhere on the statement covers all of it.
+        self._peers: Dict[int, FrozenSet[int]] = {}
+        for group in groups or []:
+            for line in group:
+                self._peers[line] = group
+
+    def _directive_for(self, line: int) -> Optional[_Directive]:
+        entry = self._by_line.get(line)
+        if entry is not None:
+            return entry
+        for peer in sorted(self._peers.get(line, frozenset())):
+            entry = self._by_line.get(peer)
+            if entry is not None:
+                return entry
+        return None
 
     def covers(self, line: int, rule: str) -> bool:
-        entry = self._by_line.get(line)
+        entry = self._directive_for(line)
         if entry is None:
             return False
         rules, _ = entry
         return rules is None or rule in rules
 
     def reason(self, line: int) -> str:
-        entry = self._by_line.get(line)
+        entry = self._directive_for(line)
         return entry[1] if entry is not None else ""
 
     def lines(self) -> Iterator[int]:
@@ -52,6 +81,51 @@ class Suppressions:
 
     def __len__(self) -> int:
         return len(self._by_line)
+
+    def to_jsonable(self) -> Dict[str, object]:
+        """Serializable form for the incremental summary cache."""
+        return {
+            "by_line": {
+                str(line): [
+                    sorted(rules) if rules is not None else None,
+                    reason,
+                ]
+                for line, (rules, reason) in self._by_line.items()
+            },
+            "groups": [
+                sorted(group)
+                for group in sorted(
+                    {
+                        group
+                        for group in self._peers.values()
+                        if len(group) > 1
+                    },
+                    key=min,
+                )
+            ],
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: Dict[str, object]) -> "Suppressions":
+        by_line_raw = payload.get("by_line", {})
+        by_line: Dict[int, _Directive] = {}
+        if isinstance(by_line_raw, dict):
+            for key, value in by_line_raw.items():
+                rules_raw, reason = value
+                rules = (
+                    frozenset(str(name) for name in rules_raw)
+                    if rules_raw is not None
+                    else None
+                )
+                by_line[int(key)] = (rules, str(reason))
+        groups_raw = payload.get("groups", [])
+        groups: List[FrozenSet[int]] = []
+        if isinstance(groups_raw, list):
+            groups = [
+                frozenset(int(line) for line in group)
+                for group in groups_raw
+            ]
+        return cls(by_line, groups)
 
 
 def _comment_tokens(source: str) -> Iterator[Tuple[int, str]]:
@@ -72,9 +146,62 @@ def _comment_tokens(source: str) -> Iterator[Tuple[int, str]]:
                 yield number, text[text.index("#"):]
 
 
+def _logical_groups(source: str) -> List[FrozenSet[int]]:
+    """The physical-line sets of each multi-line logical statement.
+
+    Tokenize terminates a logical line with NEWLINE (NL marks blank or
+    comment-only lines and in-bracket line breaks), so the lines seen
+    between NEWLINEs form one statement.  Decorator lines are their own
+    logical lines syntactically but one suppression target practically,
+    so a ``@...`` group is merged into the statement that follows it.
+    Only groups spanning more than one line are kept — single-line
+    statements already match by physical line.
+    """
+    groups: List[Tuple[Set[int], bool]] = []  # (lines, starts_with_@)
+    current: Set[int] = set()
+    is_decorator = False
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return []
+    for token in tokens:
+        if token.type in (
+            tokenize.NL,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENCODING,
+            tokenize.ENDMARKER,
+        ):
+            continue
+        if token.type == tokenize.COMMENT:
+            if current:  # trailing or in-bracket comment of an open stmt
+                current.add(token.start[0])
+            continue
+        if not current and token.string == "@":
+            is_decorator = True
+        current.update(range(token.start[0], token.end[0] + 1))
+        if token.type == tokenize.NEWLINE:
+            groups.append((current, is_decorator))
+            current = set()
+            is_decorator = False
+    if current:
+        groups.append((current, is_decorator))
+    merged: List[Set[int]] = []
+    pending: Set[int] = set()
+    for lines, decorator in groups:
+        if decorator:
+            pending |= lines
+            continue
+        merged.append(pending | lines)
+        pending = set()
+    if pending:
+        merged.append(pending)
+    return [frozenset(lines) for lines in merged if len(lines) > 1]
+
+
 def parse_suppressions(source: str) -> Suppressions:
     """Collect every ``# repro: noqa`` directive in ``source``."""
-    by_line: Dict[int, Tuple[Optional[FrozenSet[str]], str]] = {}
+    by_line: Dict[int, _Directive] = {}
     for line, text in _comment_tokens(source):
         match = _NOQA.search(text)
         if match is None:
@@ -88,4 +215,4 @@ def parse_suppressions(source: str) -> Suppressions:
                 name.strip() for name in raw_rules.split(",") if name.strip()
             )
         by_line[line] = (rules, match.group("reason") or "")
-    return Suppressions(by_line)
+    return Suppressions(by_line, _logical_groups(source))

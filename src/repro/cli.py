@@ -544,6 +544,26 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the registered rules with their scopes and exit",
     )
+    check.add_argument(
+        "--stats",
+        action="store_true",
+        help="report run statistics: summary-cache hits/misses, "
+        "program-graph size and wall-clock time",
+    )
+    check.add_argument(
+        "--cache-dir",
+        default=".repro-check-cache",
+        metavar="DIR",
+        help="incremental summary cache directory (default: "
+        ".repro-check-cache); unchanged files reuse cached per-file "
+        "results keyed by content hash",
+    )
+    check.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="analyze every file from scratch, neither reading nor "
+        "writing the summary cache",
+    )
     return parser
 
 
@@ -1450,6 +1470,7 @@ def _run_planner(args: argparse.Namespace) -> None:
 def _run_check(args: argparse.Namespace) -> int:
     """Run the static invariant analyzer; exit 0 clean, 1 on findings."""
     from repro.analysis import (
+        all_program_rules,
         all_rules,
         check_paths,
         default_config,
@@ -1459,10 +1480,13 @@ def _run_check(args: argparse.Namespace) -> int:
     from repro.analysis.config import DEFAULT_SCOPES
 
     if args.list_rules:
-        for rule in all_rules():
-            scopes = ", ".join(DEFAULT_SCOPES.get(rule.name, ()))
-            print(f"{rule.name:<20} [{scopes}]")
-            print(f"    {rule.description}")
+        per_file = all_rules()
+        program = all_program_rules()
+        for rule_list, kind in ((per_file, "file"), (program, "program")):
+            for rule in rule_list:
+                scopes = ", ".join(DEFAULT_SCOPES.get(rule.name, ()))
+                print(f"{rule.name:<26} <{kind}> [{scopes}]")
+                print(f"    {rule.description}")
         return 0
     paths = args.paths or [
         path for path in ("src", "benchmarks") if os.path.isdir(path)
@@ -1476,23 +1500,15 @@ def _run_check(args: argparse.Namespace) -> int:
         return 2
     select = frozenset(args.select) if args.select else None
     ignore = frozenset(args.ignore) if args.ignore else frozenset()
-    # Validate rule names up front: a typo in --select must not pass as
-    # "no findings".
-    known = {rule.name for rule in all_rules()}
-    for name in (select or frozenset()) | ignore:
-        if name not in known:
-            print(
-                f"error: unknown rule {name!r}; registered rules: "
-                f"{', '.join(sorted(known))}",
-                file=sys.stderr,
-            )
-            return 2
+    # default_config validates rule names: a typo in --select raises
+    # ConfigurationError, which main() turns into exit 2.
     config = default_config(select=select, ignore=ignore)
-    report = check_paths(paths, config)
+    cache_dir = None if args.no_cache else args.cache_dir
+    report = check_paths(paths, config, cache_dir=cache_dir)
     rendered = (
         render_json(report)
         if args.report_format == "json"
-        else render_text(report)
+        else render_text(report, show_stats=args.stats)
     )
     print(rendered)
     if args.output:

@@ -16,6 +16,8 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Tuple
 
+from repro.errors import GenerationError
+
 __all__ = ["Country", "WORLD_COUNTRIES", "default_countries"]
 
 
@@ -237,11 +239,11 @@ def default_countries(n: int = 181) -> List[Country]:
     """The first ``n`` countries (181 matches the Topix dataset).
 
     Raises:
-        ValueError: when more countries are requested than the
+        GenerationError: when more countries are requested than the
             gazetteer holds.
     """
     if n > len(WORLD_COUNTRIES):
-        raise ValueError(
+        raise GenerationError(
             f"gazetteer has {len(WORLD_COUNTRIES)} countries, {n} requested"
         )
     return list(WORLD_COUNTRIES[:n])

@@ -72,6 +72,15 @@ class FeedError(ReproError, ValueError):
     """Raised for malformed ingest feed records (bad JSONL line)."""
 
 
+class AnalysisError(ReproError, ValueError):
+    """Raised for unusable static-analysis inputs (``repro check``).
+
+    Covers analysis paths that do not exist or cannot be walked: a CI
+    job pointing the analyzer at a misspelled directory must fail with
+    the offending path (exit 2), not silently check zero files.
+    """
+
+
 class GenerationError(ReproError, ValueError):
     """Raised when a data generator is given unsatisfiable parameters."""
 

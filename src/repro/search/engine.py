@@ -437,12 +437,22 @@ class BurstySearchEngine(_PatternEngineBase):
                 raise
             self._quarantine(term, str(exc))
             return None
-        except (StoreError, ValueError, IndexError, KeyError, OverflowError) as exc:
-            # A corrupted packed payload can fail inside the decoder
-            # before any CRC audit sees it; in degrade mode that is
-            # quarantine-worthy damage, not a crash.
+        except StoreError as exc:
             if self._on_corruption != "degrade":
                 raise
+            self._quarantine(term, f"decode failure: {exc}")
+            return None
+        except (ValueError, IndexError, KeyError, OverflowError) as exc:
+            # A corrupted packed payload can fail inside the decoder
+            # before any CRC audit sees it.  In degrade mode that is
+            # quarantine-worthy damage, not a crash; otherwise it is
+            # store corruption and must surface as the typed error the
+            # serving layers are contracted to raise, never as a bare
+            # decoder exception.
+            if self._on_corruption != "degrade":
+                raise StoreCorruptionError(
+                    f"posting decode failed for term {term!r}: {exc}"
+                ) from exc
             self._quarantine(term, f"decode failure: {exc}")
             return None
 

@@ -21,6 +21,8 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+
 __all__ = ["EARTH_RADIUS_KM", "haversine", "vincenty", "distance_matrix"]
 
 EARTH_RADIUS_KM = 6371.0088
@@ -140,7 +142,7 @@ def distance_matrix(
     elif method == "vincenty":
         kernel = vincenty
     else:
-        raise ValueError(f"unknown distance method: {method!r}")
+        raise ConfigurationError(f"unknown distance method: {method!r}")
     n = len(coordinates)
     matrix = np.zeros((n, n), dtype=float)
     for i in range(n):

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.errors import ConfigurationError
 from repro.temporal.burstiness import discrepancy_transform
 from repro.temporal.max_segments import ScoredSegment, maximal_segments
 
@@ -48,7 +49,7 @@ class LappasBurstDetector:
         max_intervals: Optional[int] = None,
     ) -> None:
         if min_length < 1:
-            raise ValueError("min_length must be at least 1")
+            raise ConfigurationError("min_length must be at least 1")
         self.min_score = min_score
         self.min_length = min_length
         self.max_intervals = max_intervals

@@ -1,0 +1,11 @@
+"""Async query gateway that yields instead of blocking."""
+
+import asyncio
+
+from repro.live.workers import drain_queue
+
+
+async def handle_query(query):
+    await asyncio.sleep(0.01)
+    await drain_queue(query)
+    return query

@@ -1,0 +1,12 @@
+"""Async helpers; awaiting them is the event loop working as designed."""
+
+import asyncio
+
+
+async def drain_queue(query):
+    await _wait_for_slot()
+    return query
+
+
+async def _wait_for_slot():
+    await asyncio.sleep(0.1)

@@ -1,0 +1,11 @@
+"""Async query gateway that stalls its event loop, twice."""
+
+import time
+
+from repro.live.workers import drain_queue
+
+
+async def handle_query(query):
+    time.sleep(0.01)  # M:direct
+    drain_queue(query)  # M:indirect
+    return query

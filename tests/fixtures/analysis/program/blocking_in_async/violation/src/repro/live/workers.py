@@ -1,0 +1,12 @@
+"""Sync helpers; the blocking wait hides one call deeper."""
+
+import time
+
+
+def drain_queue(query):
+    _wait_for_slot()
+    return query
+
+
+def _wait_for_slot():
+    time.sleep(0.1)  # M:sleep

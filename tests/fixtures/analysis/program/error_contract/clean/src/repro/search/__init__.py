@@ -1,0 +1,5 @@
+"""Package re-export: the entry point callers actually import."""
+
+from repro.search.api import top_events
+
+__all__ = ["top_events"]

@@ -1,0 +1,11 @@
+"""Public search surface; deep failures are absorbed at the boundary."""
+
+from repro.errors import SearchError
+from repro.search.planning import choose_plan
+
+
+def top_events(query):
+    try:
+        return choose_plan(query)
+    except OverflowError as exc:
+        raise SearchError(f"plan overflow: {exc}") from exc

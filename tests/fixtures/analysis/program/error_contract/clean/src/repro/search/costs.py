@@ -1,0 +1,9 @@
+"""Deepest helper: fails with the typed error the contract demands."""
+
+from repro.errors import SearchError
+
+
+def estimate_cost(query):
+    if not query:
+        raise SearchError("empty query")
+    return len(query)

@@ -1,0 +1,9 @@
+"""Mini error hierarchy mirroring the real ``repro.errors``."""
+
+
+class ReproError(Exception):
+    pass
+
+
+class SearchError(ReproError, ValueError):
+    pass

@@ -1,0 +1,7 @@
+"""Public search surface; the contract violation is three calls deep."""
+
+from repro.search.planning import choose_plan
+
+
+def top_events(query):  # M:entry
+    return choose_plan(query)

@@ -1,0 +1,7 @@
+"""Deepest helper: raises a bare builtin out of the public surface."""
+
+
+def estimate_cost(query):  # M:origin
+    if not query:
+        raise ValueError("empty query")  # M:raise
+    return len(query)

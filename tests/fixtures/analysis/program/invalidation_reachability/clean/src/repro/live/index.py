@@ -1,0 +1,17 @@
+"""Versioned index whose mutator delegates to a helper that bumps."""
+
+from repro.live.maintenance import compact_segments
+
+
+class SegmentIndex:
+    def __init__(self):
+        self._version = 0
+        self._segments = []
+
+    def add_segment(self, segment):
+        self._segments.append(segment)
+        compact_segments(self)
+
+    def remove_segment(self, segment):
+        self._segments.remove(segment)
+        self._version += 1

@@ -1,0 +1,8 @@
+"""Cross-module helper: the version bump lives at the end of the chain."""
+
+
+def compact_segments(index):
+    merged = list(index._segments)
+    index._segments = merged
+    index._version += 1
+    return len(merged)

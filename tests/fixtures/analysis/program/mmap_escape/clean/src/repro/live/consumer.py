@@ -1,0 +1,7 @@
+"""Outside-the-store consumer: receives a read-only array."""
+
+from repro.store.reader import open_column
+
+
+def serve(path):
+    return open_column(path)

@@ -1,0 +1,14 @@
+"""Store read path: every array is frozen before it crosses out."""
+
+import numpy
+
+
+def _load_raw(path):
+    data = numpy.load(path, mmap_mode="r+")
+    return data  # private: fine while it stays inside the store
+
+
+def open_column(path):
+    data = _load_raw(path)
+    data.flags.writeable = False
+    return data

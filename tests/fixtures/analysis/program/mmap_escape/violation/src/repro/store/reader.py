@@ -1,0 +1,18 @@
+"""Store read path: a raw mmap leaks out through a public wrapper."""
+
+import numpy
+
+
+def _load_raw(path):
+    data = numpy.load(path, mmap_mode="r+")
+    return data  # private: fine while it stays inside the store
+
+
+def open_column(path):
+    return _load_raw(path)  # M:leak
+
+
+def open_frozen(path):
+    data = _load_raw(path)
+    data.flags.writeable = False
+    return data  # frozen on this path: clean

@@ -66,6 +66,49 @@ class TestCheckCommand:
         ):
             assert name in out
 
+    def test_program_rules_listed(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "error-contract",
+            "mmap-escape",
+            "invalidation-reachability",
+            "blocking-in-async",
+        ):
+            assert name in out
+
+    def test_nonexistent_path_exits_two_without_traceback(
+        self, tmp_path, capsys
+    ):
+        missing = str(tmp_path / "misspelled")
+        assert main(["check", missing]) == 2
+        err = capsys.readouterr().err
+        assert "misspelled" in err
+        assert "Traceback" not in err
+
+    def test_stats_flag_reports_cache_and_graph(self, tmp_path, capsys):
+        root = make_tree(tmp_path, source="x = 1\n")
+        cache_dir = str(tmp_path / "cache")
+        assert (
+            main(["check", root, "--stats", "--cache-dir", cache_dir])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "stats:" in out
+        assert "miss(es)" in out
+        assert "module(s)" in out
+        # Second run over the unchanged tree is all cache hits.
+        assert (
+            main(["check", root, "--stats", "--cache-dir", cache_dir])
+            == 0
+        )
+        assert "1 hit(s), 0 miss(es)" in capsys.readouterr().out
+
+    def test_no_cache_flag_disables_cache(self, tmp_path, capsys):
+        root = make_tree(tmp_path, source="x = 1\n")
+        assert main(["check", root, "--stats", "--no-cache"]) == 0
+        assert "cache: disabled" in capsys.readouterr().out
+
     def test_missing_paths_exit_two(self, tmp_path, capsys, monkeypatch):
         empty = tmp_path / "elsewhere"
         empty.mkdir()

@@ -8,6 +8,8 @@ every finding either fixed or explicitly suppressed with a reason.
 import json
 import os
 
+import pytest
+
 from repro.analysis import (
     check_paths,
     check_source,
@@ -16,6 +18,7 @@ from repro.analysis import (
     render_text,
 )
 from repro.analysis.runner import PARSE_ERROR_RULE, iter_python_files
+from repro.errors import AnalysisError, ConfigurationError
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -63,6 +66,61 @@ class TestSuppressions:
         )
         active, _ = check_source(source, KERNEL_PATH, default_config())
         assert [f.rule for f in active] == ["determinism"]
+
+    def test_directive_on_continuation_line_covers_statement(self):
+        # The finding anchors at the physical line of time.time( — the
+        # directive trails the closing bracket two lines later, on the
+        # same *logical* line.
+        source = (
+            "import time\n"
+            "\n"
+            "\n"
+            "def stamp():\n"
+            "    return time.time(\n"
+            "        # a pensive comment inside the call\n"
+            "    )  # repro: noqa[determinism] -- fixture\n"
+        )
+        active, suppressed = check_source(
+            source, KERNEL_PATH, default_config()
+        )
+        assert active == []
+        assert [f.rule for f in suppressed] == ["determinism"]
+
+    def test_directive_on_decorator_line_covers_def(self):
+        # cache-invalidation anchors at the def line; the directive
+        # sits on the decorator line of the same suppression target.
+        source = (
+            "import functools\n"
+            "\n"
+            "\n"
+            "class Cache:\n"
+            "    def __init__(self):\n"
+            "        self._version = 0\n"
+            "        self._data = {}\n"
+            "\n"
+            "    @functools.lru_cache  # repro: noqa[cache-invalidation] -- fixture\n"
+            "    def add_entry(self, key):\n"
+            "        self._data[key] = 1\n"
+        )
+        path = "src/repro/live/fixture.py"
+        active, suppressed = check_source(source, path, default_config())
+        assert [f.rule for f in active] == []
+        assert [f.rule for f in suppressed] == ["cache-invalidation"]
+
+    def test_directive_on_neighbouring_statement_does_not_cover(self):
+        source = (
+            "import time\n"
+            "\n"
+            "\n"
+            "def stamp():\n"
+            "    label = 'x'  # repro: noqa[determinism] -- wrong line\n"
+            "    return time.time()\n"
+        )
+        active, suppressed = check_source(
+            source, KERNEL_PATH, default_config()
+        )
+        assert [f.rule for f in active] == ["determinism"]
+        assert suppressed == []
 
 
 class TestRunner:
@@ -114,6 +172,19 @@ class TestRunner:
         assert report.checked_files == 1
         assert not report.clean
         assert [f.rule for f in report.findings] == ["determinism"]
+
+    def test_nonexistent_path_raises_typed_error(self, tmp_path):
+        missing = str(tmp_path / "no-such-dir")
+        with pytest.raises(AnalysisError, match="no-such-dir"):
+            list(iter_python_files([missing]))
+        with pytest.raises(AnalysisError, match="does not exist"):
+            check_paths([missing])
+
+    def test_unknown_rule_in_config_raises_typed_error(self):
+        with pytest.raises(ConfigurationError, match="unknown rule"):
+            default_config(select=frozenset(["no-such-rule"]))
+        with pytest.raises(ConfigurationError, match="registered rules"):
+            default_config(ignore=frozenset(["also-missing"]))
 
 
 class TestReporting:
